@@ -1,0 +1,35 @@
+package lit
+
+import "leaveintime/internal/calculus"
+
+// Deterministic network calculus (Cruz, refs [2, 3] of the paper):
+// burstiness envelopes and worst-case FCFS bounds, the methodology
+// Section 4 contrasts with Leave-in-Time's per-session isolation. The
+// FCFS bounds depend on the burstiness of *all* flows sharing each
+// server; the Leave-in-Time bounds (Route) depend on the session alone.
+type (
+	// Envelope is a (sigma, rho) burstiness constraint.
+	Envelope = calculus.Envelope
+	// FCFSServer computes Cruz delay/backlog bounds for an FCFS
+	// multiplexer.
+	FCFSServer = calculus.FCFSServer
+	// TandemHop is one FCFS server plus its cross traffic on a path.
+	TandemHop = calculus.TandemHop
+)
+
+// ErrUnstable is returned by the calculus when aggregate rate reaches
+// capacity.
+var ErrUnstable = calculus.ErrUnstable
+
+// EnvelopeFromTokenBucket converts a token bucket (r, b0) into its
+// (sigma, rho) envelope.
+func EnvelopeFromTokenBucket(r, b0 float64) Envelope { return calculus.FromTokenBucket(r, b0) }
+
+// SumEnvelopes returns the envelope of a superposition of flows.
+func SumEnvelopes(flows ...Envelope) Envelope { return calculus.Sum(flows...) }
+
+// TandemDelayBound bounds a tagged flow's end-to-end delay across FCFS
+// hops with per-hop cross traffic.
+func TandemDelayBound(flow Envelope, hops []TandemHop) (float64, error) {
+	return calculus.TandemDelayBound(flow, hops)
+}

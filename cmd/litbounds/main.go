@@ -1,0 +1,81 @@
+// Command litbounds computes the Leave-in-Time service commitments
+// (eqs. 12-17 of the paper) for a session described on the command
+// line, without running any simulation — demonstrating the paper's
+// isolation property: the bounds depend only on the session's own
+// declaration.
+//
+// Usage:
+//
+//	litbounds -rate 32000 -b0 424 -lmax 424 -hops 5 -capacity 1536000 \
+//	          -gamma 0.001 -d 0.01325 [-jitterctrl]
+//
+// -d is the per-node service parameter d_max (defaults to lmax/rate,
+// the one-class case). Output: beta, the end-to-end delay bound, the
+// jitter bound for the selected mode, and per-node buffer bounds.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	lit "leaveintime"
+)
+
+func main() {
+	var (
+		rate       = flag.Float64("rate", 32e3, "reserved rate r_s, bits/s")
+		b0         = flag.Float64("b0", 424, "token bucket depth b_0, bits (session conforms to (rate, b0))")
+		lmax       = flag.Float64("lmax", 424, "session and network maximum packet length, bits")
+		lmin       = flag.Float64("lmin", 0, "session minimum packet length, bits (default lmax)")
+		hops       = flag.Int("hops", 5, "number of Leave-in-Time servers on the route")
+		capacity   = flag.Float64("capacity", 1536e3, "link capacity C, bits/s (all hops)")
+		gamma      = flag.Float64("gamma", 1e-3, "link propagation delay, seconds (all hops)")
+		d          = flag.Float64("d", 0, "per-node d_max, seconds (default lmax/rate)")
+		jitterCtrl = flag.Bool("jitterctrl", false, "session uses delay jitter control")
+	)
+	flag.Parse()
+
+	if *lmin == 0 {
+		*lmin = *lmax
+	}
+	dMax := *d
+	alpha := 0.0
+	if dMax == 0 {
+		dMax = *lmax / *rate
+	} else {
+		// With a fixed d, alpha = d - Lmin/r maximized over lengths.
+		alpha = dMax - *lmin / *rate
+		if a2 := dMax - *lmax / *rate; a2 > alpha {
+			alpha = a2
+		}
+	}
+	hopList := make([]lit.Hop, *hops)
+	for i := range hopList {
+		hopList[i] = lit.Hop{C: *capacity, Gamma: *gamma, DMax: dMax}
+	}
+	route := lit.Route{Hops: hopList, LMax: *lmax, Alpha: alpha}
+	dRef := *b0 / *rate
+
+	fmt.Printf("session: rate %.6g bit/s, token bucket (%.6g, %.6g), %d hops of %.6g bit/s\n",
+		*rate, *rate, *b0, *hops, *capacity)
+	fmt.Printf("  D_ref_max (eq. 14)        %12.6g s\n", dRef)
+	fmt.Printf("  beta (eq. 13)             %12.6g s\n", route.Beta())
+	fmt.Printf("  alpha                     %12.6g s\n", alpha)
+	fmt.Printf("  end-to-end delay (eq. 12) %12.6g s\n", route.DelayBound(dRef))
+	if *jitterCtrl {
+		fmt.Printf("  jitter bound (eq. 17)     %12.6g s (with jitter control)\n",
+			route.JitterBoundControl(dRef, *lmin))
+	} else {
+		fmt.Printf("  jitter bound              %12.6g s (no jitter control)\n",
+			route.JitterBoundNoControl(dRef, *lmin))
+	}
+	for n := 1; n <= *hops; n++ {
+		var q float64
+		if *jitterCtrl {
+			q = route.BufferBoundControl(*rate, dRef, *lmin, n)
+		} else {
+			q = route.BufferBoundNoControl(*rate, dRef, *lmin, n)
+		}
+		fmt.Printf("  buffer bound, node %d      %12.6g bits (%.2f packets of lmax)\n", n, q, q / *lmax)
+	}
+}

@@ -1,0 +1,29 @@
+// Command litcompare runs the paper's CROSS scenario — a five-hop
+// 32 kbit/s ON-OFF session against 1472 kbit/s Poisson cross traffic —
+// under every service discipline in the repository with identical
+// traffic, and prints a side-by-side table of the tagged session's
+// measured delay and jitter together with each discipline's own
+// analytic delay bound where one exists. It is the paper's Section 4
+// comparison run live.
+//
+// Usage:
+//
+//	litcompare [-duration 60] [-seed 1] [-aoff 0.65]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	lit "leaveintime"
+)
+
+func main() {
+	var (
+		duration = flag.Float64("duration", 60, "run length, simulated seconds")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		aOff     = flag.Float64("aoff", 0.650, "mean OFF period of the tagged ON-OFF session, seconds")
+	)
+	flag.Parse()
+	fmt.Print(lit.RunComparison(*duration, *seed, *aOff).Format())
+}

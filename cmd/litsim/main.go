@@ -1,0 +1,157 @@
+// Command litsim runs the Leave-in-Time paper's simulated experiments
+// (Figures 7 through 17) and prints the series each figure plots.
+//
+// Usage:
+//
+//	litsim -experiment fig7 [-duration 300] [-seed 1]
+//	litsim -experiment all
+//
+// Experiments: fig7, fig8, fig9, fig10, fig11, fig12 (alias of fig8's
+// buffer view), fig14 (figures 14-17, procedure 2), fig14ac1 (same
+// under procedure 1), section4, all.
+//
+// Durations default to the paper's (300 s for the MIX sweeps, 600 s for
+// the CROSS distribution runs); pass -duration to shorten exploratory
+// runs. Runs are deterministic in (-duration, -seed).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	lit "leaveintime"
+)
+
+func main() {
+	var (
+		exp      = flag.String("experiment", "all", "which experiment to run (fig7, fig8, fig9, fig10, fig11, fig12, fig14, fig14ac1, perhop, establish, blocking, saturation, section4, all)")
+		duration = flag.Float64("duration", 0, "run length in simulated seconds (0 = the paper's duration)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		asPlot   = flag.Bool("plot", false, "render distribution figures as terminal charts")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of text (fig8-fig13)")
+	)
+	flag.Parse()
+
+	run := func(name string) bool { return *exp == name || *exp == "all" }
+	dur := func(paper float64) float64 {
+		if *duration > 0 {
+			return *duration
+		}
+		return paper
+	}
+
+	any := false
+	if run("fig7") {
+		any = true
+		fmt.Print(lit.RunFig7(dur(300), *seed).Format())
+		fmt.Println()
+	}
+	if run("fig8") || run("fig12") || run("fig13") {
+		any = true
+		res := lit.RunFig8(dur(600), *seed)
+		switch {
+		case *asJSON:
+			emitJSON(res)
+		case *asPlot:
+			fmt.Print(res.Plot())
+		default:
+			if *exp != "fig12" && *exp != "fig13" {
+				fmt.Print(res.Format())
+			}
+			fmt.Print(res.FormatBuffers())
+		}
+		fmt.Println()
+	}
+	if run("fig9") {
+		any = true
+		res := lit.RunFig9(dur(600), *seed)
+		switch {
+		case *asJSON:
+			emitJSON(res)
+		case *asPlot:
+			fmt.Printf("Figure 9:\n%s", res.Plot())
+		default:
+			fmt.Print("Figure 9: ", res.Format())
+		}
+		fmt.Println()
+	}
+	if run("fig10") {
+		any = true
+		res := lit.RunFig10(dur(600), *seed)
+		switch {
+		case *asJSON:
+			emitJSON(res)
+		case *asPlot:
+			fmt.Printf("Figure 10:\n%s", res.Plot())
+		default:
+			fmt.Print("Figure 10: ", res.Format())
+		}
+		fmt.Println()
+	}
+	if run("fig11") {
+		any = true
+		res := lit.RunFig11(dur(600), *seed)
+		switch {
+		case *asJSON:
+			emitJSON(res)
+		case *asPlot:
+			fmt.Printf("Figure 11:\n%s", res.Plot())
+		default:
+			fmt.Print("Figure 11: ", res.Format())
+		}
+		fmt.Println()
+	}
+	if run("fig14") {
+		any = true
+		fmt.Print(lit.RunFig14to17(dur(300), *seed, 2).Format())
+		fmt.Println()
+	}
+	if run("fig14ac1") {
+		any = true
+		fmt.Print(lit.RunFig14to17(dur(300), *seed, 1).Format())
+		fmt.Println()
+	}
+	if run("perhop") {
+		any = true
+		fmt.Print(lit.RunPerHop(dur(60), *seed).Format())
+		fmt.Println()
+	}
+	if run("establish") {
+		any = true
+		fmt.Print(lit.RunEstablishment(*seed, 0.5e-3).Format())
+		fmt.Println()
+	}
+	if run("blocking") {
+		any = true
+		fmt.Print(lit.RunCallBlocking(dur(600), *seed, 40, 2).Format())
+		fmt.Println()
+	}
+	if run("saturation") {
+		any = true
+		fmt.Print(lit.RunSaturation(dur(30), *seed, 8, 5).Format())
+		fmt.Println()
+	}
+	if run("section4") {
+		any = true
+		fmt.Print(lit.RunStopAndGoComparison(0.01, 1536e3, 5).Format())
+		pg := lit.RunPGPSComparison(32e3, 424, 424, 1536e3, 1e-3, 5)
+		fmt.Printf("Section 4: eq. (15) vs PGPS bound on the Figure 6 route: LiT %.6g s, PGPS %.6g s\n", pg.LiT, pg.PGPS)
+		fmt.Println()
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func emitJSON(result any) {
+	data, err := lit.ResultJSON(result)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "json: %v\n", err)
+		os.Exit(1)
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+}

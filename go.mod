@@ -1,0 +1,3 @@
+module leaveintime
+
+go 1.22

@@ -1,0 +1,463 @@
+// Package admission implements the three Leave-in-Time admission
+// control procedures of Section 2 of the paper, together with the
+// service-commitment bound calculators (end-to-end delay, delay
+// distribution shift, delay jitter, and buffer space).
+//
+// An admission procedure guards one Leave-in-Time server (one port):
+// it decides whether a session may be established there and, if so,
+// what per-packet service parameter d_{i,s} the session receives at
+// that node. Lower d means lower end-to-end delay (eq. 12), and the
+// procedures implement *delay shifting*: some sessions get d values
+// below L/r at the expense of others that must accept larger ones.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// SessionSpec is what a session declares at connection establishment
+// time: its reserved rate and its packet-length envelope. Leave-in-Time
+// requires no further traffic characterization.
+type SessionSpec struct {
+	ID   int
+	Rate float64 // reserved rate r_s, bits/s
+	LMax float64 // maximum packet length, bits
+	LMin float64 // minimum packet length, bits
+}
+
+func (s SessionSpec) validate() error {
+	if s.Rate <= 0 {
+		return fmt.Errorf("admission: session %d: rate must be positive", s.ID)
+	}
+	if s.LMax <= 0 || s.LMin <= 0 || s.LMin > s.LMax {
+		return fmt.Errorf("admission: session %d: need 0 < LMin <= LMax", s.ID)
+	}
+	return nil
+}
+
+// Class is one delay class of procedures 1 and 2: R is the maximum
+// bandwidth assignable to sessions in this class and the classes below
+// it, and Sigma is the class base delay (seconds).
+type Class struct {
+	R     float64
+	Sigma float64
+}
+
+// Assignment is the outcome of admitting a session at one server: the
+// per-packet service parameter d_{i,s}.
+type Assignment struct {
+	// D returns d_{i,s} for a packet of the given length (bits).
+	D func(length float64) float64
+	// DMax is max{d_{i,s}} over the session's packet lengths
+	// (d_max_s at this node).
+	DMax float64
+	// DMin is min{d_{i,s}} over the session's packet lengths, used by
+	// the alpha term of the bounds.
+	DMin float64
+	// Class is the delay class the session was admitted into
+	// (1-based; 0 for procedure 3).
+	Class int
+}
+
+// Alpha returns the session's alpha contribution at a final node with
+// this assignment: max{d_i - L_i/r} over packet lengths (Section 2,
+// following eq. 13). For the per-packet rules the extremum is at one of
+// the length endpoints because d is affine in L.
+func (a Assignment) Alpha(spec SessionSpec) float64 {
+	lo := a.D(spec.LMin) - spec.LMin/spec.Rate
+	hi := a.D(spec.LMax) - spec.LMax/spec.Rate
+	return math.Max(lo, hi)
+}
+
+// ErrRejected is wrapped by every admission failure.
+var ErrRejected = errors.New("admission rejected")
+
+// Procedure1 is admission control procedure 1. Classes are numbered
+// 1..P; class P must have R_P equal to the link capacity. Sessions in
+// lower-numbered classes receive lower d values (rule 1.3):
+//
+//	d_{i,s} = L_i * R_j / (r_s * C) + sigma_{j-1} + eps.
+type Procedure1 struct {
+	C       float64
+	Classes []Class
+
+	members [][]admitted // per class
+}
+
+type admitted struct {
+	spec SessionSpec
+	eps  float64
+}
+
+// NewProcedure1 validates the class hierarchy (R and Sigma nondecreasing,
+// R_P = C) and returns an empty procedure-1 controller.
+func NewProcedure1(c float64, classes []Class) (*Procedure1, error) {
+	if err := validateClasses(c, classes, true); err != nil {
+		return nil, err
+	}
+	return &Procedure1{C: c, Classes: classes, members: make([][]admitted, len(classes))}, nil
+}
+
+func validateClasses(c float64, classes []Class, requireRPEqualsC bool) error {
+	if c <= 0 {
+		return errors.New("admission: capacity must be positive")
+	}
+	if len(classes) == 0 {
+		return errors.New("admission: at least one class required")
+	}
+	for k := 1; k < len(classes); k++ {
+		if classes[k].R < classes[k-1].R || classes[k].Sigma < classes[k-1].Sigma {
+			return fmt.Errorf("admission: class %d must have R and Sigma >= class %d", k+1, k)
+		}
+	}
+	for k, cl := range classes {
+		if cl.R <= 0 || cl.Sigma < 0 {
+			return fmt.Errorf("admission: class %d: R must be positive and Sigma nonnegative", k+1)
+		}
+	}
+	if requireRPEqualsC && classes[len(classes)-1].R != c {
+		return errors.New("admission: R_P must equal the link capacity C")
+	}
+	return nil
+}
+
+// Options tune an admission request.
+type Options struct {
+	// Eps is the nonnegative constant eps_s added to d (rules 1.3/2.3).
+	Eps float64
+	// PerPacket selects rule 1.3/2.3 (d proportional to the individual
+	// packet length). When false, rule 1.3a/2.3a is used and d is fixed
+	// at the value for LMax.
+	PerPacket bool
+}
+
+// Admit attempts to admit the session into class j (1-based). On
+// success the session is recorded and its Assignment returned; on
+// failure the controller state is unchanged.
+func (p *Procedure1) Admit(spec SessionSpec, j int, opts Options) (Assignment, error) {
+	if err := p.check(spec, j, opts); err != nil {
+		return Assignment{}, err
+	}
+	p.members[j-1] = append(p.members[j-1], admitted{spec: spec, eps: opts.Eps})
+	return p.assignment(spec, j, opts), nil
+}
+
+func (p *Procedure1) check(spec SessionSpec, j int, opts Options) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	if j < 1 || j > len(p.Classes) {
+		return fmt.Errorf("admission: class %d out of range 1..%d", j, len(p.Classes))
+	}
+	if opts.Eps < 0 {
+		return errors.New("admission: eps must be nonnegative")
+	}
+	P := len(p.Classes)
+	for m := j; m <= P; m++ {
+		// Rule 1.1: cumulative rate through class m fits in R_m.
+		if p.cumRate(m)+spec.Rate > p.Classes[m-1].R+rateTol(p.Classes[m-1].R) {
+			return fmt.Errorf("%w: rule 1.1 fails at class %d", ErrRejected, m)
+		}
+		// Rule 1.2: cumulative LMax/C through class m fits in sigma_m;
+		// class P is exempt under procedure 1.
+		if m < P && p.cumSigma(m)+spec.LMax/p.C > p.Classes[m-1].Sigma+1e-12 {
+			return fmt.Errorf("%w: rule 1.2 fails at class %d", ErrRejected, m)
+		}
+	}
+	return nil
+}
+
+func (p *Procedure1) assignment(spec SessionSpec, j int, opts Options) Assignment {
+	rj := p.Classes[j-1].R
+	var sigmaPrev float64 // sigma_0 = 0
+	if j > 1 {
+		sigmaPrev = p.Classes[j-2].Sigma
+	}
+	return affineAssignment(spec, rj, sigmaPrev, p.C, j, opts)
+}
+
+// cumRate returns the total reserved rate of sessions in classes 1..m.
+func (p *Procedure1) cumRate(m int) float64 {
+	var sum float64
+	for l := 0; l < m; l++ {
+		for _, a := range p.members[l] {
+			sum += a.spec.Rate
+		}
+	}
+	return sum
+}
+
+// cumSigma returns sum of LMax_s/C over sessions in classes 1..m.
+func (p *Procedure1) cumSigma(m int) float64 {
+	var sum float64
+	for l := 0; l < m; l++ {
+		for _, a := range p.members[l] {
+			sum += a.spec.LMax / p.C
+		}
+	}
+	return sum
+}
+
+// Remove tears down a previously admitted session, freeing its
+// bandwidth and sigma budget. It reports whether the session was found.
+func (p *Procedure1) Remove(id int) bool { return removeFrom(p.members, id) }
+
+// TotalRate returns the reserved rate committed across all classes.
+func (p *Procedure1) TotalRate() float64 { return p.cumRate(len(p.Classes)) }
+
+// Procedure2 is admission control procedure 2: the same class scheme
+// as procedure 1, with rule 2.2 extending the sigma test to class P
+// and rule 2.3 using the *previous* class's R and the *own* class's
+// sigma:
+//
+//	d_{i,s} = L_i * R_{j-1} / (r_s * C) + sigma_j + eps,  R_0 = 0.
+//
+// In class 1, d does not depend on L/r at all, which lets low-rate
+// sessions obtain low delay (the paper's Figures 14-17 use this).
+type Procedure2 struct {
+	C       float64
+	Classes []Class
+
+	members [][]admitted
+}
+
+// NewProcedure2 returns an empty procedure-2 controller. R_P = C is
+// required as in procedure 1 so the whole link can be committed.
+func NewProcedure2(c float64, classes []Class) (*Procedure2, error) {
+	if err := validateClasses(c, classes, true); err != nil {
+		return nil, err
+	}
+	return &Procedure2{C: c, Classes: classes, members: make([][]admitted, len(classes))}, nil
+}
+
+// Admit attempts to admit the session into class j (1-based).
+func (p *Procedure2) Admit(spec SessionSpec, j int, opts Options) (Assignment, error) {
+	if err := p.check(spec, j, opts); err != nil {
+		return Assignment{}, err
+	}
+	p.members[j-1] = append(p.members[j-1], admitted{spec: spec, eps: opts.Eps})
+	return p.assignment(spec, j, opts), nil
+}
+
+func (p *Procedure2) check(spec SessionSpec, j int, opts Options) error {
+	if err := spec.validate(); err != nil {
+		return err
+	}
+	if j < 1 || j > len(p.Classes) {
+		return fmt.Errorf("admission: class %d out of range 1..%d", j, len(p.Classes))
+	}
+	if opts.Eps < 0 {
+		return errors.New("admission: eps must be nonnegative")
+	}
+	P := len(p.Classes)
+	for m := j; m <= P; m++ {
+		if p.cumRate(m)+spec.Rate > p.Classes[m-1].R+rateTol(p.Classes[m-1].R) {
+			return fmt.Errorf("%w: rule 1.1 fails at class %d", ErrRejected, m)
+		}
+		// Rule 2.2: sigma test includes class P.
+		if p.cumSigma(m)+spec.LMax/p.C > p.Classes[m-1].Sigma+1e-12 {
+			return fmt.Errorf("%w: rule 2.2 fails at class %d", ErrRejected, m)
+		}
+	}
+	return nil
+}
+
+func (p *Procedure2) assignment(spec SessionSpec, j int, opts Options) Assignment {
+	var rPrev float64 // R_0 = 0
+	if j > 1 {
+		rPrev = p.Classes[j-2].R
+	}
+	sigmaJ := p.Classes[j-1].Sigma
+	return affineAssignment(spec, rPrev, sigmaJ, p.C, j, opts)
+}
+
+func (p *Procedure2) cumRate(m int) float64 {
+	var sum float64
+	for l := 0; l < m; l++ {
+		for _, a := range p.members[l] {
+			sum += a.spec.Rate
+		}
+	}
+	return sum
+}
+
+func (p *Procedure2) cumSigma(m int) float64 {
+	var sum float64
+	for l := 0; l < m; l++ {
+		for _, a := range p.members[l] {
+			sum += a.spec.LMax / p.C
+		}
+	}
+	return sum
+}
+
+// Remove tears down a previously admitted session.
+func (p *Procedure2) Remove(id int) bool { return removeFrom(p.members, id) }
+
+// TotalRate returns the reserved rate committed across all classes.
+func (p *Procedure2) TotalRate() float64 { return p.cumRate(len(p.Classes)) }
+
+// affineAssignment builds the affine-in-L service parameter
+// d(L) = L*rCoeff/(r*C) + sigma + eps shared by rules 1.3/1.3a and
+// 2.3/2.3a.
+func affineAssignment(spec SessionSpec, rCoeff, sigma, c float64, class int, opts Options) Assignment {
+	if opts.PerPacket {
+		d := func(l float64) float64 { return l*rCoeff/(spec.Rate*c) + sigma + opts.Eps }
+		return Assignment{
+			D:     d,
+			DMax:  d(spec.LMax),
+			DMin:  d(spec.LMin),
+			Class: class,
+		}
+	}
+	// Rule 1.3a / 2.3a: d fixed at the LMax value for every packet.
+	fixed := spec.LMax*rCoeff/(spec.Rate*c) + sigma + opts.Eps
+	return Assignment{
+		D:     func(float64) float64 { return fixed },
+		DMax:  fixed,
+		DMin:  fixed,
+		Class: class,
+	}
+}
+
+// Procedure3 is admission control procedure 3: every session carries a
+// fixed d_s of its own choosing, and inequality (19) is verified over
+// every non-empty subset A of the sessions:
+//
+//	C >= (sum_A LMax_s) * (sum_A r_s) / (sum_A r_s * d_s).
+//
+// The test is exponential in the number of sessions (2^n - 1 subsets);
+// MaxSessions caps n. The procedure may strand bandwidth: unlike
+// procedures 1 and 2, nothing guarantees the full link capacity can be
+// committed.
+type Procedure3 struct {
+	C float64
+	// MaxSessions caps the exponential subset test; Admit returns an
+	// error beyond it. The default (when 0) is 20 sessions (~1M
+	// subsets).
+	MaxSessions int
+
+	specs []SessionSpec
+	ds    []float64
+}
+
+// NewProcedure3 returns an empty procedure-3 controller.
+func NewProcedure3(c float64) (*Procedure3, error) {
+	if c <= 0 {
+		return nil, errors.New("admission: capacity must be positive")
+	}
+	return &Procedure3{C: c}, nil
+}
+
+// Admit attempts to admit the session with fixed service parameter d
+// (seconds). The subset test runs over the existing sessions plus the
+// candidate.
+func (p *Procedure3) Admit(spec SessionSpec, d float64) (Assignment, error) {
+	if err := spec.validate(); err != nil {
+		return Assignment{}, err
+	}
+	if d <= 0 {
+		return Assignment{}, errors.New("admission: d must be positive")
+	}
+	maxN := p.MaxSessions
+	if maxN == 0 {
+		maxN = 20
+	}
+	n := len(p.specs) + 1
+	if n > maxN {
+		return Assignment{}, fmt.Errorf("admission: procedure 3 subset test capped at %d sessions", maxN)
+	}
+	// Common test (inequality 18).
+	var rateSum float64
+	for _, s := range p.specs {
+		rateSum += s.Rate
+	}
+	if rateSum+spec.Rate > p.C+rateTol(p.C) {
+		return Assignment{}, fmt.Errorf("%w: total reserved rate exceeds capacity", ErrRejected)
+	}
+	specs := append(append([]SessionSpec{}, p.specs...), spec)
+	ds := append(append([]float64{}, p.ds...), d)
+	if !subsetTest(p.C, specs, ds) {
+		return Assignment{}, fmt.Errorf("%w: inequality (19) fails for some session subset", ErrRejected)
+	}
+	p.specs = specs
+	p.ds = ds
+	return Assignment{
+		D:    func(float64) float64 { return d },
+		DMax: d,
+		DMin: d,
+	}, nil
+}
+
+// Remove tears down a previously admitted session.
+func (p *Procedure3) Remove(id int) bool {
+	for i, s := range p.specs {
+		if s.ID == id {
+			p.specs = append(p.specs[:i], p.specs[i+1:]...)
+			p.ds = append(p.ds[:i], p.ds[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// subsetTest verifies inequality (19) for every non-empty subset,
+// enumerated by Gray code so each step updates the three running sums
+// in O(1).
+func subsetTest(c float64, specs []SessionSpec, ds []float64) bool {
+	n := len(specs)
+	var sumL, sumR, sumRD float64
+	prev := uint64(0)
+	for g := uint64(1); g < 1<<uint(n); g++ {
+		gray := g ^ (g >> 1)
+		diff := gray ^ prev
+		prev = gray
+		// Exactly one bit flips between consecutive Gray codes.
+		i := trailingZeros(diff)
+		if gray&diff != 0 {
+			sumL += specs[i].LMax
+			sumR += specs[i].Rate
+			sumRD += specs[i].Rate * ds[i]
+		} else {
+			sumL -= specs[i].LMax
+			sumR -= specs[i].Rate
+			sumRD -= specs[i].Rate * ds[i]
+		}
+		if sumRD <= 0 {
+			return false
+		}
+		if c*sumRD < sumL*sumR-1e-9*sumL*sumR {
+			return false
+		}
+	}
+	return true
+}
+
+func trailingZeros(x uint64) int {
+	n := 0
+	for x&1 == 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// rateTol returns an absolute tolerance for rate comparisons so that
+// configurations the paper books at exactly 100% of capacity (e.g. 48
+// sessions of 32 kbit/s on a T1) are not rejected by floating-point
+// crumbs.
+func rateTol(r float64) float64 { return r * 1e-9 }
+
+func removeFrom(members [][]admitted, id int) bool {
+	for ci := range members {
+		for i, a := range members[ci] {
+			if a.spec.ID == id {
+				members[ci] = append(members[ci][:i], members[ci][i+1:]...)
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,179 @@
+package calculus
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"leaveintime/internal/analytic"
+	"leaveintime/internal/rng"
+)
+
+func TestEnvelopeAlgebra(t *testing.T) {
+	a := Envelope{Sigma: 1000, Rho: 1e5}
+	b := Envelope{Sigma: 500, Rho: 2e5}
+	sum := a.Add(b)
+	if sum.Sigma != 1500 || sum.Rho != 3e5 {
+		t.Errorf("Add = %+v", sum)
+	}
+	if s := Sum(a, b, a); s.Sigma != 2500 || s.Rho != 4e5 {
+		t.Errorf("Sum = %+v", s)
+	}
+	d := a.Delayed(0.01)
+	if d.Sigma != 1000+1e5*0.01 || d.Rho != 1e5 {
+		t.Errorf("Delayed = %+v", d)
+	}
+	tb := FromTokenBucket(32e3, 424)
+	if tb.Sigma != 424 || tb.Rho != 32e3 {
+		t.Errorf("FromTokenBucket = %+v", tb)
+	}
+}
+
+func TestFCFSBounds(t *testing.T) {
+	s := FCFSServer{C: 1e6, LMax: 1000}
+	agg := Envelope{Sigma: 5000, Rho: 0.8e6}
+	d, err := s.DelayBound(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-(5000.0/1e6+1000.0/1e6)) > 1e-12 {
+		t.Errorf("DelayBound = %v", d)
+	}
+	b, err := s.BacklogBound(agg)
+	if err != nil || b != 5000 {
+		t.Errorf("BacklogBound = %v, %v", b, err)
+	}
+	if _, err := s.DelayBound(Envelope{Sigma: 1, Rho: 1e6}); !errors.Is(err, ErrUnstable) {
+		t.Errorf("instability not detected: %v", err)
+	}
+}
+
+func TestOutputBurstiness(t *testing.T) {
+	s := FCFSServer{C: 1e6, LMax: 1000}
+	flow := Envelope{Sigma: 1000, Rho: 1e5}
+	cross := Envelope{Sigma: 4000, Rho: 0.7e6}
+	out, err := s.Output(flow, cross)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rho != flow.Rho {
+		t.Errorf("output rate changed: %v", out.Rho)
+	}
+	if out.Sigma <= flow.Sigma {
+		t.Errorf("output burst did not grow: %v", out.Sigma)
+	}
+}
+
+func TestTandemGrowsPerHop(t *testing.T) {
+	flow := FromTokenBucket(32e3, 424)
+	mk := func(n int) []TandemHop {
+		hops := make([]TandemHop, n)
+		for i := range hops {
+			hops[i] = TandemHop{
+				Server: FCFSServer{C: 1536e3, LMax: 424},
+				Cross:  Envelope{Sigma: 5 * 424, Rho: 1472e3},
+				Gamma:  1e-3,
+			}
+		}
+		return hops
+	}
+	d3, err := TandemDelayBound(flow, mk(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d5, err := TandemDelayBound(flow, mk(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d5 <= d3 {
+		t.Errorf("tandem bound not growing: %v vs %v", d3, d5)
+	}
+}
+
+func TestTandemUnstable(t *testing.T) {
+	flow := FromTokenBucket(32e3, 424)
+	hops := []TandemHop{{
+		Server: FCFSServer{C: 1536e3, LMax: 424},
+		Cross:  Envelope{Sigma: 424, Rho: 1536e3},
+	}}
+	if _, err := TandemDelayBound(flow, hops); !errors.Is(err, ErrUnstable) {
+		t.Errorf("instability not propagated: %v", err)
+	}
+}
+
+// TestBacklogBoundHoldsInSimulation: feed a shaped flow through a
+// simulated FCFS queue and verify Cruz's backlog bound via the
+// reference-server recursion (a fixed-rate FCFS server's backlog is
+// exactly what eq. (1) computes).
+func TestBacklogBoundHoldsInSimulation(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		const (
+			c     = 1e6
+			sigma = 3000.0
+			rho   = 0.6e6
+		)
+		server := analytic.NewRefServer(c)
+		shaper := analytic.NewTokenBucket(rho, sigma)
+		clock := 0.0
+		maxBacklogSec := 0.0
+		for i := 0; i < 500; i++ {
+			clock += r.Exp(1000 / rho) // offered faster than sustainable
+			l := 100 + r.Float64()*900
+			tEmit := clock + shaper.ConformanceDelay(clock, l)
+			shaper.Take(tEmit, l)
+			clock = tEmit
+			server.Arrive(tEmit, l)
+			if b := server.Backlog(tEmit); b > maxBacklogSec {
+				maxBacklogSec = b
+			}
+		}
+		bound, err := FCFSServer{C: c, LMax: 1000}.BacklogBound(Envelope{Sigma: sigma, Rho: rho})
+		if err != nil {
+			return false
+		}
+		// Backlog in bits = backlog-seconds * C; allow one packet of
+		// slack for the in-service packet accounting.
+		return maxBacklogSec*c <= bound+1000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCruzVersusLeaveInTime reproduces the Section 4 contrast: the
+// Cruz FCFS bound depends on everyone's burstiness; the Leave-in-Time
+// bound does not. Double the cross traffic's burst and only the FCFS
+// bound moves.
+func TestCruzVersusLeaveInTime(t *testing.T) {
+	flow := FromTokenBucket(32e3, 424)
+	mk := func(crossSigma float64) []TandemHop {
+		hops := make([]TandemHop, 5)
+		for i := range hops {
+			hops[i] = TandemHop{
+				Server: FCFSServer{C: 1536e3, LMax: 424},
+				Cross:  Envelope{Sigma: crossSigma, Rho: 1200e3},
+				Gamma:  1e-3,
+			}
+		}
+		return hops
+	}
+	small, err := TandemDelayBound(flow, mk(10*424))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := TandemDelayBound(flow, mk(100*424))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big <= small {
+		t.Errorf("FCFS bound insensitive to cross burstiness: %v vs %v", small, big)
+	}
+	// The Leave-in-Time bound for the same session is a constant of
+	// the session alone (computed here for contrast: ~72.6 ms).
+	const litBound = 0.0726302083
+	if small < litBound {
+		t.Logf("note: with gentle cross traffic the FCFS bound %v can undercut LiT's %v — isolation costs something", small, litBound)
+	}
+}

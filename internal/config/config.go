@@ -1,0 +1,350 @@
+// Package config loads declarative network scenarios from JSON and
+// runs them: servers, delay classes, sessions with traffic sources and
+// token-bucket declarations, a duration and a seed. It is what
+// cmd/litrun executes, letting downstream users describe experiments
+// without writing Go.
+//
+// Schema (all rates bits/s, times seconds, lengths bits):
+//
+//	{
+//	  "lmax": 424,
+//	  "proc": 2,                               // optional, with classes
+//	  "classes": [{"r": 640000, "sigma": 0.00277}, ...],
+//	  "servers": [{"name": "n1", "capacity": 1536000, "gamma": 0.001}],
+//	  "sessions": [{
+//	    "name": "voice", "rate": 32000, "route": ["n1"],
+//	    "class": 1, "jitter_control": true, "b0": 424,
+//	    "source": {"kind": "onoff", "t": 0.01325, "length": 424,
+//	               "mean_on": 0.352, "mean_off": 0.65}
+//	  }],
+//	  "duration": 60, "seed": 1
+//	}
+//
+// Source kinds: onoff, poisson, deterministic, greedy; any of them may
+// be wrapped with "shape_rate"/"shape_b0" to pass through a token
+// bucket shaper.
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"leaveintime/internal/admission"
+	"leaveintime/internal/core"
+	"leaveintime/internal/event"
+	"leaveintime/internal/network"
+	"leaveintime/internal/rng"
+	"leaveintime/internal/traffic"
+)
+
+// Scenario is the top-level document.
+type Scenario struct {
+	LMax     float64   `json:"lmax"`
+	Proc     int       `json:"proc,omitempty"`
+	Classes  []Class   `json:"classes,omitempty"`
+	Servers  []Server  `json:"servers"`
+	Sessions []Session `json:"sessions"`
+	Duration float64   `json:"duration"`
+	Seed     uint64    `json:"seed"`
+}
+
+// Class is one delay class.
+type Class struct {
+	R     float64 `json:"r"`
+	Sigma float64 `json:"sigma"`
+}
+
+// Server describes one Leave-in-Time server.
+type Server struct {
+	Name     string  `json:"name"`
+	Capacity float64 `json:"capacity"`
+	Gamma    float64 `json:"gamma"`
+	// Approximate selects the calendar-queue transmission queue.
+	Approximate bool `json:"approximate,omitempty"`
+}
+
+// Session describes one connection.
+type Session struct {
+	Name          string   `json:"name"`
+	Rate          float64  `json:"rate"`
+	Route         []string `json:"route"`
+	Class         int      `json:"class,omitempty"`
+	JitterControl bool     `json:"jitter_control,omitempty"`
+	LMax          float64  `json:"lmax,omitempty"`
+	LMin          float64  `json:"lmin,omitempty"`
+	Eps           float64  `json:"eps,omitempty"`
+	FixedD        bool     `json:"fixed_d,omitempty"`
+	B0            float64  `json:"b0,omitempty"`
+	Source        Source   `json:"source"`
+}
+
+// Source describes a traffic generator.
+type Source struct {
+	Kind string `json:"kind"`
+	// onoff
+	T       float64 `json:"t,omitempty"`
+	MeanOn  float64 `json:"mean_on,omitempty"`
+	MeanOff float64 `json:"mean_off,omitempty"`
+	// poisson / deterministic
+	Mean     float64 `json:"mean,omitempty"`
+	Interval float64 `json:"interval,omitempty"`
+	// greedy
+	Rate float64 `json:"rate,omitempty"`
+	// shared
+	Length float64 `json:"length"`
+	// optional token bucket shaping applied on top
+	ShapeRate float64 `json:"shape_rate,omitempty"`
+	ShapeB0   float64 `json:"shape_b0,omitempty"`
+}
+
+// Parse decodes and validates a scenario document.
+func Parse(data []byte) (*Scenario, error) {
+	var s Scenario
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("config: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func (s *Scenario) validate() error {
+	if s.LMax <= 0 {
+		return fmt.Errorf("config: lmax must be positive")
+	}
+	if s.Duration <= 0 {
+		return fmt.Errorf("config: duration must be positive")
+	}
+	if len(s.Servers) == 0 {
+		return fmt.Errorf("config: at least one server required")
+	}
+	names := map[string]bool{}
+	for i, sv := range s.Servers {
+		if sv.Name == "" {
+			return fmt.Errorf("config: server %d has no name", i)
+		}
+		if names[sv.Name] {
+			return fmt.Errorf("config: duplicate server %q", sv.Name)
+		}
+		names[sv.Name] = true
+		if sv.Capacity <= 0 {
+			return fmt.Errorf("config: server %q capacity must be positive", sv.Name)
+		}
+	}
+	for i, sess := range s.Sessions {
+		if sess.Rate <= 0 {
+			return fmt.Errorf("config: session %d rate must be positive", i)
+		}
+		if len(sess.Route) == 0 {
+			return fmt.Errorf("config: session %d has an empty route", i)
+		}
+		for _, hop := range sess.Route {
+			if !names[hop] {
+				return fmt.Errorf("config: session %d routes through unknown server %q", i, hop)
+			}
+		}
+		switch sess.Source.Kind {
+		case "onoff", "poisson", "deterministic", "greedy":
+		default:
+			return fmt.Errorf("config: session %d has unknown source kind %q", i, sess.Source.Kind)
+		}
+		if sess.Source.Length <= 0 {
+			return fmt.Errorf("config: session %d source needs a positive length", i)
+		}
+		if sess.Source.Length > s.LMax || sess.LMax > s.LMax {
+			return fmt.Errorf("config: session %d packets exceed network lmax", i)
+		}
+	}
+	return nil
+}
+
+// SessionResult is the per-session outcome of a run.
+type SessionResult struct {
+	Name      string  `json:"name"`
+	Delivered int64   `json:"delivered"`
+	MaxDelay  float64 `json:"max_delay_s"`
+	MeanDelay float64 `json:"mean_delay_s"`
+	Jitter    float64 `json:"jitter_s"`
+	// Bounds (zero when no b0 was declared).
+	DelayBound  float64 `json:"delay_bound_s,omitempty"`
+	JitterBound float64 `json:"jitter_bound_s,omitempty"`
+	// BoundHolds reports MaxDelay < DelayBound when a bound exists.
+	BoundHolds bool `json:"bound_holds"`
+}
+
+// Result is the outcome of running a scenario.
+type Result struct {
+	Duration float64         `json:"duration_s"`
+	Sessions []SessionResult `json:"sessions"`
+}
+
+// Run executes the scenario and reports per-session measurements
+// against their bounds.
+func (s *Scenario) Run() (*Result, error) {
+	sim := event.New()
+	net := network.New(sim, s.LMax)
+	r := rng.New(s.Seed)
+
+	type serverState struct {
+		port *network.Port
+		ac1  *admission.Procedure1
+		ac2  *admission.Procedure2
+		spec Server
+	}
+	servers := map[string]*serverState{}
+	classes := make([]admission.Class, len(s.Classes))
+	for i, c := range s.Classes {
+		classes[i] = admission.Class{R: c.R, Sigma: c.Sigma}
+	}
+	for _, sv := range s.Servers {
+		disc := core.New(core.Config{Capacity: sv.Capacity, LMax: s.LMax, Approximate: sv.Approximate})
+		st := &serverState{
+			port: net.NewPort(sv.Name, sv.Capacity, sv.Gamma, disc),
+			spec: sv,
+		}
+		cls := classes
+		proc := s.Proc
+		if len(cls) == 0 {
+			cls = []admission.Class{{R: sv.Capacity, Sigma: 1}}
+			proc = 1
+		}
+		var err error
+		switch proc {
+		case 0, 1:
+			st.ac1, err = admission.NewProcedure1(sv.Capacity, cls)
+		case 2:
+			st.ac2, err = admission.NewProcedure2(sv.Capacity, cls)
+		default:
+			err = fmt.Errorf("config: unsupported proc %d", proc)
+		}
+		if err != nil {
+			return nil, err
+		}
+		servers[sv.Name] = st
+	}
+
+	type tracked struct {
+		cfg   Session
+		sess  *network.Session
+		route admission.Route
+	}
+	var all []tracked
+	for i, sc := range s.Sessions {
+		lMax := sc.LMax
+		if lMax == 0 {
+			lMax = sc.Source.Length
+		}
+		lMin := sc.LMin
+		if lMin == 0 {
+			lMin = lMax
+		}
+		class := sc.Class
+		if class == 0 {
+			class = 1
+		}
+		spec := admission.SessionSpec{ID: i + 1, Rate: sc.Rate, LMax: lMax, LMin: lMin}
+		opts := admission.Options{Eps: sc.Eps, PerPacket: !sc.FixedD}
+		var ports []*network.Port
+		var cfgs []network.SessionPort
+		var hops []admission.Hop
+		var lastAssign admission.Assignment
+		for _, hopName := range sc.Route {
+			st := servers[hopName]
+			var a admission.Assignment
+			var err error
+			if st.ac1 != nil {
+				a, err = st.ac1.Admit(spec, class, opts)
+			} else {
+				a, err = st.ac2.Admit(spec, class, opts)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("config: session %q rejected at %q: %w", sc.Name, hopName, err)
+			}
+			ports = append(ports, st.port)
+			cfgs = append(cfgs, network.SessionPort{D: a.D, DMax: a.DMax})
+			hops = append(hops, admission.Hop{C: st.spec.Capacity, Gamma: st.spec.Gamma, DMax: a.DMax})
+			lastAssign = a
+		}
+		src, err := buildSource(sc.Source, r)
+		if err != nil {
+			return nil, fmt.Errorf("config: session %q: %w", sc.Name, err)
+		}
+		sess := net.AddSession(i+1, sc.Rate, sc.JitterControl, ports, cfgs, src)
+		all = append(all, tracked{
+			cfg:  sc,
+			sess: sess,
+			route: admission.Route{
+				Hops:  hops,
+				LMax:  s.LMax,
+				Alpha: lastAssign.Alpha(spec),
+			},
+		})
+	}
+
+	for _, tr := range all {
+		tr.sess.Start(0, s.Duration)
+	}
+	sim.Run(s.Duration)
+
+	res := &Result{Duration: s.Duration}
+	for _, tr := range all {
+		sr := SessionResult{
+			Name:       tr.cfg.Name,
+			Delivered:  tr.sess.Delivered,
+			MaxDelay:   tr.sess.Delays.Max(),
+			MeanDelay:  tr.sess.Delays.Mean(),
+			Jitter:     tr.sess.Delays.Jitter(),
+			BoundHolds: true,
+		}
+		if tr.cfg.B0 > 0 {
+			dRef := tr.cfg.B0 / tr.cfg.Rate
+			lMin := tr.cfg.LMin
+			if lMin == 0 {
+				lMin = tr.cfg.Source.Length
+			}
+			sr.DelayBound = tr.route.DelayBound(dRef)
+			if tr.cfg.JitterControl {
+				sr.JitterBound = tr.route.JitterBoundControl(dRef, lMin)
+			} else {
+				sr.JitterBound = tr.route.JitterBoundNoControl(dRef, lMin)
+			}
+			sr.BoundHolds = sr.MaxDelay < sr.DelayBound
+		}
+		res.Sessions = append(res.Sessions, sr)
+	}
+	return res, nil
+}
+
+func buildSource(sc Source, r *rng.Rand) (traffic.Source, error) {
+	var src traffic.Source
+	switch sc.Kind {
+	case "onoff":
+		if sc.T <= 0 || sc.MeanOn <= 0 {
+			return nil, fmt.Errorf("onoff source needs positive t and mean_on")
+		}
+		src = &traffic.OnOff{T: sc.T, Length: sc.Length, MeanOn: sc.MeanOn,
+			MeanOff: sc.MeanOff, Rng: r.Split()}
+	case "poisson":
+		if sc.Mean <= 0 {
+			return nil, fmt.Errorf("poisson source needs positive mean")
+		}
+		src = &traffic.Poisson{Mean: sc.Mean, Length: sc.Length, Rng: r.Split()}
+	case "deterministic":
+		if sc.Interval <= 0 {
+			return nil, fmt.Errorf("deterministic source needs positive interval")
+		}
+		src = &traffic.Deterministic{Interval: sc.Interval, Length: sc.Length}
+	case "greedy":
+		if sc.Rate <= 0 {
+			return nil, fmt.Errorf("greedy source needs positive rate")
+		}
+		src = &traffic.Greedy{Rate: sc.Rate, Length: sc.Length}
+	default:
+		return nil, fmt.Errorf("unknown source kind %q", sc.Kind)
+	}
+	if sc.ShapeRate > 0 && sc.ShapeB0 > 0 {
+		src = traffic.NewShaped(src, sc.ShapeRate, sc.ShapeB0)
+	}
+	return src, nil
+}

@@ -1,0 +1,139 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+const validScenario = `{
+  "lmax": 424,
+  "servers": [
+    {"name": "n1", "capacity": 1536000, "gamma": 0.001},
+    {"name": "n2", "capacity": 1536000, "gamma": 0.001}
+  ],
+  "sessions": [
+    {"name": "voice", "rate": 32000, "route": ["n1", "n2"],
+     "jitter_control": true, "b0": 424,
+     "source": {"kind": "onoff", "t": 0.01325, "length": 424,
+                "mean_on": 0.352, "mean_off": 0.65}},
+    {"name": "cross", "rate": 1472000, "route": ["n1"],
+     "source": {"kind": "poisson", "mean": 0.00028804, "length": 424}}
+  ],
+  "duration": 10,
+  "seed": 1
+}`
+
+func TestParseAndRun(t *testing.T) {
+	s, err := Parse([]byte(validScenario))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Sessions) != 2 {
+		t.Fatalf("sessions = %d", len(res.Sessions))
+	}
+	voice := res.Sessions[0]
+	if voice.Name != "voice" || voice.Delivered == 0 {
+		t.Fatalf("voice result: %+v", voice)
+	}
+	if voice.DelayBound == 0 || !voice.BoundHolds {
+		t.Errorf("voice bound: %+v", voice)
+	}
+	if voice.JitterBound == 0 {
+		t.Error("jitter bound missing for jitter-controlled session")
+	}
+	cross := res.Sessions[1]
+	if cross.DelayBound != 0 {
+		t.Error("cross session without b0 should have no bound")
+	}
+	if cross.Delivered == 0 {
+		t.Error("cross delivered nothing")
+	}
+}
+
+func TestParseWithClasses(t *testing.T) {
+	doc := `{
+	  "lmax": 400, "proc": 2,
+	  "classes": [{"r": 10000000, "sigma": 0.0002}, {"r": 100000000, "sigma": 0.004}],
+	  "servers": [{"name": "s", "capacity": 100000000, "gamma": 0}],
+	  "sessions": [{"name": "a", "rate": 100000, "route": ["s"], "class": 1, "b0": 400,
+	    "source": {"kind": "deterministic", "interval": 0.004, "length": 400}}],
+	  "duration": 1, "seed": 2
+	}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sessions[0].Delivered == 0 {
+		t.Error("no packets")
+	}
+}
+
+func TestParseRejectsBadDocuments(t *testing.T) {
+	cases := map[string]string{
+		"bad json":       `{`,
+		"no lmax":        `{"servers":[{"name":"a","capacity":1}],"sessions":[],"duration":1}`,
+		"no duration":    `{"lmax":10,"servers":[{"name":"a","capacity":1}],"sessions":[]}`,
+		"no servers":     `{"lmax":10,"servers":[],"sessions":[],"duration":1}`,
+		"dup server":     `{"lmax":10,"duration":1,"servers":[{"name":"a","capacity":1},{"name":"a","capacity":1}],"sessions":[]}`,
+		"unknown hop":    `{"lmax":400,"duration":1,"servers":[{"name":"a","capacity":1000}],"sessions":[{"rate":10,"route":["zzz"],"source":{"kind":"greedy","rate":10,"length":100}}]}`,
+		"bad source":     `{"lmax":400,"duration":1,"servers":[{"name":"a","capacity":1000}],"sessions":[{"rate":10,"route":["a"],"source":{"kind":"fractal","length":100}}]}`,
+		"oversize pkt":   `{"lmax":50,"duration":1,"servers":[{"name":"a","capacity":1000}],"sessions":[{"rate":10,"route":["a"],"source":{"kind":"greedy","rate":10,"length":100}}]}`,
+		"zero rate":      `{"lmax":400,"duration":1,"servers":[{"name":"a","capacity":1000}],"sessions":[{"rate":0,"route":["a"],"source":{"kind":"greedy","rate":10,"length":100}}]}`,
+		"empty route":    `{"lmax":400,"duration":1,"servers":[{"name":"a","capacity":1000}],"sessions":[{"rate":10,"route":[],"source":{"kind":"greedy","rate":10,"length":100}}]}`,
+		"unnamed server": `{"lmax":10,"duration":1,"servers":[{"capacity":1}],"sessions":[]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Parse([]byte(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRunRejectsOverbooking(t *testing.T) {
+	doc := `{
+	  "lmax": 424,
+	  "servers": [{"name": "n", "capacity": 1000, "gamma": 0}],
+	  "sessions": [
+	    {"name": "a", "rate": 800, "route": ["n"], "source": {"kind": "greedy", "rate": 800, "length": 100}},
+	    {"name": "b", "rate": 800, "route": ["n"], "source": {"kind": "greedy", "rate": 800, "length": 100}}
+	  ],
+	  "duration": 1, "seed": 1
+	}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Errorf("overbooking not rejected: %v", err)
+	}
+}
+
+func TestShapedSource(t *testing.T) {
+	doc := `{
+	  "lmax": 424,
+	  "servers": [{"name": "n", "capacity": 1536000, "gamma": 0}],
+	  "sessions": [{"name": "s", "rate": 32000, "route": ["n"], "b0": 1272,
+	    "source": {"kind": "poisson", "mean": 0.005, "length": 424,
+	               "shape_rate": 32000, "shape_b0": 1272}}],
+	  "duration": 20, "seed": 4
+	}`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Sessions[0].BoundHolds {
+		t.Errorf("shaped session broke its bound: %+v", res.Sessions[0])
+	}
+}

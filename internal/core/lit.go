@@ -1,0 +1,233 @@
+// Package core implements the Leave-in-Time service discipline of
+// Figueira & Pasquale (SIGCOMM '95) — the paper's primary contribution.
+//
+// A Leave-in-Time server emulates, per session, a fixed-rate reference
+// server of the session's reserved rate. Each arriving packet receives
+// an eligibility time E (eqs. 6-8) and a transmission deadline F
+// (eq. 10), with the auxiliary reference-server clock K (eq. 11)
+// carrying the coupling to the reserved rate:
+//
+//	E^n = t^n                    (no jitter control)
+//	E^n = t^n + A^n              (jitter control; A from eq. 9, carried
+//	                              in the packet header from node n-1)
+//	F^n = max{E^n, K^n_{i-1}} + d^n_i
+//	K^n = max{E^n, K^n_{i-1}} + L_i/r_s
+//
+// Sessions with delay jitter control pass through a delay regulator
+// that holds packets until their eligibility times; eligible packets
+// from all sessions are served in increasing deadline order. With
+// d = L/r (admission control procedure 1, one class, epsilon = 0) and
+// no regulators, the discipline reduces exactly to VirtualClock.
+package core
+
+import (
+	"fmt"
+
+	"leaveintime/internal/network"
+	"leaveintime/internal/packet"
+)
+
+// Config parametrizes a Leave-in-Time server instance (one per port).
+type Config struct {
+	// Capacity is the outgoing link rate C_n in bits/s, needed by the
+	// holding-time computation (eq. 9).
+	Capacity float64
+	// LMax is the network-wide maximum packet length L_MAX in bits
+	// (also eq. 9).
+	LMax float64
+	// Approximate selects the O(1) calendar-queue approximation of the
+	// sorted transmission queue instead of an exact heap. The emulation
+	// error is bounded by ApproxBinWidth.
+	Approximate bool
+	// ApproxBinWidth is the calendar bin width in seconds of deadline;
+	// zero defaults to LMax/Capacity (one maximum-length transmission
+	// time).
+	ApproxBinWidth float64
+	// ApproxBuckets presizes the calendar's bucket table; zero picks a
+	// default.
+	ApproxBuckets int
+}
+
+// LiT is a Leave-in-Time server: the scheduler attached to one port.
+// It implements network.Discipline.
+type LiT struct {
+	cfg      Config
+	sessions map[int]*sessionState
+	// regulator holds not-yet-eligible packets of jitter-controlled
+	// sessions, keyed by eligibility time.
+	regulator *binHeap
+	// ready holds eligible packets keyed by transmission deadline.
+	ready pqueue
+	stamp uint64
+}
+
+type sessionState struct {
+	cfg     network.SessionPort
+	kPrev   float64 // K_{i-1}
+	started bool
+	// seenDMax is the running maximum of d_i for sessions that did not
+	// declare DMax at admission; it keeps the eq.-9 term d_max - d_i
+	// nonnegative for any packet mix.
+	seenDMax float64
+}
+
+// New returns a Leave-in-Time server for a port with the given
+// configuration.
+func New(cfg Config) *LiT {
+	if cfg.Capacity <= 0 || cfg.LMax <= 0 {
+		panic("core: Config requires positive Capacity and LMax")
+	}
+	var ready pqueue
+	if cfg.Approximate {
+		w := cfg.ApproxBinWidth
+		if w <= 0 {
+			w = cfg.LMax / cfg.Capacity
+		}
+		nb := cfg.ApproxBuckets
+		if nb <= 0 {
+			nb = 4096
+		}
+		ready = newCalendarQueue(w, nb)
+	} else {
+		ready = newBinHeap()
+	}
+	return &LiT{
+		cfg:       cfg,
+		sessions:  make(map[int]*sessionState),
+		regulator: newBinHeap(),
+		ready:     ready,
+	}
+}
+
+// AddSession implements network.Discipline.
+func (l *LiT) AddSession(cfg network.SessionPort) {
+	if cfg.Rate <= 0 {
+		panic(fmt.Sprintf("core: session %d has nonpositive rate", cfg.Session))
+	}
+	l.sessions[cfg.Session] = &sessionState{cfg: cfg}
+}
+
+// Enqueue implements network.Discipline: it stamps the packet with its
+// eligibility time and transmission deadline, then places it in the
+// delay regulator (if not yet eligible) or the transmission queue.
+func (l *LiT) Enqueue(p *packet.Packet, now float64) {
+	s, ok := l.sessions[p.Session]
+	if !ok {
+		panic(fmt.Sprintf("core: packet for unregistered session %d", p.Session))
+	}
+	// Eligibility (eqs. 6-8). p.Hold carries A^n from the upstream
+	// node; it is zero at the first node and for sessions without
+	// jitter control.
+	e := now
+	if s.cfg.JitterControl {
+		e += p.Hold
+	}
+
+	if !s.started {
+		s.kPrev = now // K_0 = t_1 (eq. 11's initial condition)
+		s.started = true
+	}
+	base := e
+	if s.kPrev > base {
+		base = s.kPrev
+	}
+	d := s.delay(p.Length)
+	if d > s.seenDMax {
+		s.seenDMax = d
+	}
+	p.Eligible = e
+	p.Deadline = base + d
+	p.Delay = d
+	p.DelayMax = s.dMax()
+	s.kPrev = base + p.Length/s.cfg.Rate
+
+	l.stamp++
+	en := entry{p: p, stamp: l.stamp}
+	if e > now {
+		en.key = e
+		l.regulator.push(en)
+	} else {
+		en.key = p.Deadline
+		l.ready.push(en)
+	}
+}
+
+// Dequeue implements network.Discipline: it releases regulated packets
+// whose eligibility times have passed and pops the eligible packet with
+// the smallest transmission deadline.
+func (l *LiT) Dequeue(now float64) (*packet.Packet, bool) {
+	l.release(now)
+	en, ok := l.ready.popMin()
+	if !ok {
+		return nil, false
+	}
+	return en.p, true
+}
+
+// NextEligible implements network.Discipline.
+func (l *LiT) NextEligible(now float64) (float64, bool) {
+	l.release(now)
+	if l.ready.len() > 0 {
+		return now, true
+	}
+	return l.regulator.peekMin()
+}
+
+// OnTransmit implements network.Discipline: for jitter-controlled
+// sessions it computes the holding time A^{n+1} carried to the next
+// node (eq. 9):
+//
+//	A = F^n + L_MAX/C_n - Fhat^n + d^n_max - d^n_i
+//
+// where Fhat is the actual finishing time. The value is provably
+// nonnegative when the server is not saturated; the port clamps and
+// counts violations.
+func (l *LiT) OnTransmit(p *packet.Packet, finish float64) {
+	s := l.sessions[p.Session]
+	if s == nil || !s.cfg.JitterControl {
+		p.Hold = 0
+		return
+	}
+	p.Hold = p.Deadline + l.cfg.LMax/l.cfg.Capacity - finish + p.DelayMax - p.Delay
+}
+
+// Len implements network.Discipline.
+func (l *LiT) Len() int { return l.ready.len() + l.regulator.len() }
+
+// RemoveSession implements network.SessionRemover: it frees the
+// session's scheduling state at teardown. Any still-queued packet of
+// the session will panic on its next Enqueue, surfacing teardown
+// before drain.
+func (l *LiT) RemoveSession(id int) { delete(l.sessions, id) }
+
+// release migrates regulated packets whose eligibility time has been
+// reached into the transmission queue.
+func (l *LiT) release(now float64) {
+	for {
+		k, ok := l.regulator.peekMin()
+		if !ok || k > now {
+			return
+		}
+		en, _ := l.regulator.popMin()
+		en.key = en.p.Deadline
+		l.ready.push(en)
+	}
+}
+
+func (s *sessionState) delay(length float64) float64 {
+	if s.cfg.D != nil {
+		return s.cfg.D(length)
+	}
+	// VirtualClock special case: d = L/r (AC procedure 1, one class).
+	return length / s.cfg.Rate
+}
+
+// dMax returns d^n_max,s: the declared DMax when the admission
+// procedure provided one, otherwise the running maximum of observed
+// d_i values (exact for fixed-length sources).
+func (s *sessionState) dMax() float64 {
+	if s.cfg.DMax > s.seenDMax {
+		return s.cfg.DMax
+	}
+	return s.seenDMax
+}

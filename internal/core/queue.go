@@ -1,0 +1,213 @@
+package core
+
+import (
+	"container/heap"
+
+	"leaveintime/internal/packet"
+)
+
+// entry is a queued packet with its priority key and an arrival stamp
+// for deterministic tie-breaking.
+type entry struct {
+	p     *packet.Packet
+	key   float64
+	stamp uint64
+}
+
+// pqueue is the priority-queue contract shared by the exact heap and
+// the approximate calendar queue. Keys are transmission deadlines (or
+// eligibility times in the regulator).
+type pqueue interface {
+	push(e entry)
+	// popMin removes and returns the minimum-key entry; ok is false
+	// when empty.
+	popMin() (entry, bool)
+	// peekMin returns the minimum key without removing it.
+	peekMin() (float64, bool)
+	len() int
+}
+
+// binHeap is an exact binary min-heap keyed by (key, stamp).
+type binHeap struct{ h entryHeap }
+
+func newBinHeap() *binHeap { return &binHeap{} }
+
+func (b *binHeap) push(e entry) { heap.Push(&b.h, e) }
+func (b *binHeap) len() int     { return len(b.h) }
+
+func (b *binHeap) popMin() (entry, bool) {
+	if len(b.h) == 0 {
+		return entry{}, false
+	}
+	return heap.Pop(&b.h).(entry), true
+}
+
+func (b *binHeap) peekMin() (float64, bool) {
+	if len(b.h) == 0 {
+		return 0, false
+	}
+	return b.h[0].key, true
+}
+
+type entryHeap []entry
+
+func (h entryHeap) Len() int { return len(h) }
+func (h entryHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].stamp < h[j].stamp
+}
+func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *entryHeap) Push(x any) { *h = append(*h, x.(entry)) }
+
+func (h *entryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// calendarQueue is the approximate sorted priority queue the paper
+// alludes to in Section 4 ("Leave-in-Time uses an approximate sorted
+// priority queue algorithm which runs in O(1) time with a small cost in
+// emulation error"). Deadlines are bucketed into bins of fixed width
+// anchored at absolute key 0; within a bin packets are served FIFO, so
+// the emulation error — the amount by which service order can deviate
+// from exact deadline order — is strictly bounded by the bin width.
+//
+// Buckets are kept in a map keyed by bin index, with a lazily-cleaned
+// min-heap of active bin indices: pushes to an existing bin and pops
+// from the current bin are O(1); a heap operation is paid only when a
+// bin opens or drains.
+type calendarQueue struct {
+	width   float64
+	buckets map[int64]*fifo
+	active  int64Heap // bin indices, may contain stale (drained) bins
+	count   int
+}
+
+// fifo is a simple queue of entries in insertion order.
+type fifo struct {
+	items []entry
+	head  int
+}
+
+func (f *fifo) push(e entry) { f.items = append(f.items, e) }
+
+func (f *fifo) pop() (entry, bool) {
+	if f.head >= len(f.items) {
+		return entry{}, false
+	}
+	e := f.items[f.head]
+	f.head++
+	if f.head == len(f.items) {
+		f.items = f.items[:0]
+		f.head = 0
+	}
+	return e, true
+}
+
+func (f *fifo) peek() (entry, bool) {
+	if f.head >= len(f.items) {
+		return entry{}, false
+	}
+	return f.items[f.head], true
+}
+
+func (f *fifo) len() int { return len(f.items) - f.head }
+
+// newCalendarQueue builds a calendar queue with the given bin width
+// (seconds of deadline). A natural width for a port of capacity C is
+// LMax/C: one maximum-size transmission time of emulation error.
+// hintBuckets presizes the bucket map (0 for the default).
+func newCalendarQueue(width float64, hintBuckets int) *calendarQueue {
+	if width <= 0 {
+		panic("core: calendar queue needs positive width")
+	}
+	if hintBuckets <= 0 {
+		hintBuckets = 64
+	}
+	return &calendarQueue{
+		width:   width,
+		buckets: make(map[int64]*fifo, hintBuckets),
+	}
+}
+
+func (c *calendarQueue) bin(key float64) int64 {
+	return int64(mathFloor(key / c.width))
+}
+
+func (c *calendarQueue) push(e entry) {
+	idx := c.bin(e.key)
+	b, ok := c.buckets[idx]
+	if !ok {
+		b = &fifo{}
+		c.buckets[idx] = b
+		heap.Push(&c.active, idx)
+	}
+	b.push(e)
+	c.count++
+}
+
+func (c *calendarQueue) popMin() (entry, bool) {
+	b, ok := c.minBucket()
+	if !ok {
+		return entry{}, false
+	}
+	e, _ := b.pop()
+	c.count--
+	return e, true
+}
+
+func (c *calendarQueue) peekMin() (float64, bool) {
+	b, ok := c.minBucket()
+	if !ok {
+		return 0, false
+	}
+	e, _ := b.peek()
+	return e.key, true
+}
+
+// minBucket returns the nonempty bucket with the smallest bin index,
+// lazily discarding drained bins from the heap.
+func (c *calendarQueue) minBucket() (*fifo, bool) {
+	for len(c.active) > 0 {
+		idx := c.active[0]
+		b := c.buckets[idx]
+		if b != nil && b.len() > 0 {
+			return b, true
+		}
+		heap.Pop(&c.active)
+		delete(c.buckets, idx)
+	}
+	return nil, false
+}
+
+func (c *calendarQueue) len() int { return c.count }
+
+// mathFloor avoids importing math for one call site.
+func mathFloor(x float64) float64 {
+	i := float64(int64(x))
+	if x < 0 && x != i {
+		return i - 1
+	}
+	return i
+}
+
+// int64Heap is a min-heap of bin indices.
+type int64Heap []int64
+
+func (h int64Heap) Len() int           { return len(h) }
+func (h int64Heap) Less(i, j int) bool { return h[i] < h[j] }
+func (h int64Heap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *int64Heap) Push(x any)        { *h = append(*h, x.(int64)) }
+func (h *int64Heap) Pop() any {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

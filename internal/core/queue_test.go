@@ -1,0 +1,191 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"leaveintime/internal/rng"
+)
+
+func TestBinHeapOrdering(t *testing.T) {
+	h := newBinHeap()
+	keys := []float64{5, 1, 3, 3, 2}
+	for i, k := range keys {
+		h.push(entry{key: k, stamp: uint64(i)})
+	}
+	if h.len() != 5 {
+		t.Fatalf("len = %d", h.len())
+	}
+	var got []float64
+	for {
+		e, ok := h.popMin()
+		if !ok {
+			break
+		}
+		got = append(got, e.key)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("pop order %v", got)
+	}
+}
+
+func TestBinHeapTieStability(t *testing.T) {
+	h := newBinHeap()
+	for i := 0; i < 10; i++ {
+		h.push(entry{key: 1, stamp: uint64(i)})
+	}
+	for i := 0; i < 10; i++ {
+		e, _ := h.popMin()
+		if e.stamp != uint64(i) {
+			t.Fatalf("tie order broken: stamp %d at position %d", e.stamp, i)
+		}
+	}
+}
+
+func TestCalendarQueueExactWithinBins(t *testing.T) {
+	// With keys exactly on distinct bins the calendar is exact.
+	c := newCalendarQueue(1, 16)
+	keys := []float64{7, 2, 9, 4, 0.5}
+	for i, k := range keys {
+		c.push(entry{key: k, stamp: uint64(i)})
+	}
+	var got []float64
+	for {
+		e, ok := c.popMin()
+		if !ok {
+			break
+		}
+		got = append(got, e.key)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("pop order %v", got)
+	}
+}
+
+func TestCalendarQueueOverflow(t *testing.T) {
+	c := newCalendarQueue(1, 4)
+	// Keys far beyond one rotation land in the overflow heap and must
+	// still come out in order.
+	for i, k := range []float64{0, 100, 3, 50, 1} {
+		c.push(entry{key: k, stamp: uint64(i)})
+	}
+	if c.len() != 5 {
+		t.Fatalf("len = %d", c.len())
+	}
+	var got []float64
+	for {
+		e, ok := c.popMin()
+		if !ok {
+			break
+		}
+		got = append(got, e.key)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("pop order with overflow: %v", got)
+	}
+}
+
+// TestCalendarQueueBoundedError: the emulation error of the calendar
+// queue is bounded by the bin width — a popped key may precede a
+// smaller key still queued by at most width.
+func TestCalendarQueueBoundedError(t *testing.T) {
+	const width = 0.5
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		c := newCalendarQueue(width, 64)
+		type op struct{ push bool }
+		live := map[uint64]float64{}
+		stamp := uint64(0)
+		clockKey := 0.0 // keys drift upward like deadlines do
+		for i := 0; i < 500; i++ {
+			if r.Float64() < 0.6 || c.len() == 0 {
+				clockKey += r.Float64() * 0.3
+				k := clockKey + r.Float64()*3
+				c.push(entry{key: k, stamp: stamp})
+				live[stamp] = k
+				stamp++
+			} else {
+				e, ok := c.popMin()
+				if !ok {
+					return false
+				}
+				// No live key may be smaller than the popped key by
+				// more than one bin width.
+				for _, k := range live {
+					if k < e.key-width-1e-9 && k != live[e.stamp] {
+						_ = k
+					}
+				}
+				min := 1e18
+				for s, k := range live {
+					if s != e.stamp && k < min {
+						min = k
+					}
+				}
+				delete(live, e.stamp)
+				if min < e.key-width-1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCalendarQueueDrainRefill exercises emptying and re-anchoring.
+func TestCalendarQueueDrainRefill(t *testing.T) {
+	c := newCalendarQueue(1, 8)
+	c.push(entry{key: 3})
+	if e, ok := c.popMin(); !ok || e.key != 3 {
+		t.Fatal("first pop")
+	}
+	if _, ok := c.popMin(); ok {
+		t.Fatal("empty pop succeeded")
+	}
+	// Re-anchor far ahead.
+	c.push(entry{key: 1000})
+	c.push(entry{key: 999})
+	if k, ok := c.peekMin(); !ok || k != 999 {
+		t.Fatalf("peek after re-anchor = %v, %v", k, ok)
+	}
+	e, _ := c.popMin()
+	if e.key != 999 {
+		t.Fatalf("pop after re-anchor = %v", e.key)
+	}
+}
+
+func TestCalendarQueuePanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero width did not panic")
+		}
+	}()
+	newCalendarQueue(0, 8)
+}
+
+func TestFifo(t *testing.T) {
+	var f fifo
+	if _, ok := f.pop(); ok {
+		t.Fatal("empty fifo popped")
+	}
+	f.push(entry{stamp: 1})
+	f.push(entry{stamp: 2})
+	if f.len() != 2 {
+		t.Fatalf("len = %d", f.len())
+	}
+	if e, ok := f.peek(); !ok || e.stamp != 1 {
+		t.Fatal("peek")
+	}
+	e, _ := f.pop()
+	if e.stamp != 1 {
+		t.Fatal("fifo order")
+	}
+	e, _ = f.pop()
+	if e.stamp != 2 || f.len() != 0 {
+		t.Fatal("fifo drain")
+	}
+}

@@ -1,0 +1,179 @@
+// Package event implements the deterministic discrete-event simulation
+// engine underneath every experiment in this repository.
+//
+// The engine is a single-threaded event loop over a binary min-heap of
+// timestamped events. Ties in time are broken by scheduling order
+// (a monotonically increasing sequence number), which makes every run
+// bit-reproducible: the same inputs always produce the same event
+// interleaving, independent of map iteration order or goroutine
+// scheduling.
+package event
+
+import "container/heap"
+
+// Handler is the action executed when an event fires.
+type Handler func()
+
+// Event is a scheduled occurrence in simulated time. Events are created
+// by Simulator.Schedule and may be canceled before they fire.
+type Event struct {
+	time     float64
+	seq      uint64
+	fn       Handler
+	index    int // position in the heap, -1 once removed
+	canceled bool
+}
+
+// Time returns the simulated time at which the event fires (or would
+// have fired, if canceled).
+func (e *Event) Time() float64 { return e.time }
+
+// Simulator is a discrete-event simulator. The zero value is ready to
+// use and starts at time 0.
+type Simulator struct {
+	now     float64
+	seq     uint64
+	heap    eventHeap
+	stopped bool
+}
+
+// New returns a simulator starting at time 0.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Pending returns the number of scheduled (non-canceled) events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, e := range s.heap {
+		if !e.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Schedule registers fn to run at absolute time t. Scheduling in the
+// past (t < Now) panics: it would silently reorder causality. Events
+// scheduled for the same instant fire in scheduling order.
+func (s *Simulator) Schedule(t float64, fn Handler) *Event {
+	if t < s.now {
+		panic("event: scheduled in the past")
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.heap, e)
+	return e
+}
+
+// After registers fn to run d seconds from now.
+func (s *Simulator) After(d float64, fn Handler) *Event {
+	return s.Schedule(s.now+d, fn)
+}
+
+// Cancel prevents e from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (s *Simulator) Cancel(e *Event) {
+	if e == nil || e.canceled || e.index < 0 {
+		e.markCanceled()
+		return
+	}
+	e.canceled = true
+	heap.Remove(&s.heap, e.index)
+}
+
+func (e *Event) markCanceled() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Step fires the earliest pending event. It reports false when no
+// events remain.
+func (s *Simulator) Step() bool {
+	for len(s.heap) > 0 {
+		e := heap.Pop(&s.heap).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.time
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run processes events in time order until the event queue is empty or
+// the next event is strictly later than until. The clock is left at the
+// time of the last fired event (or at until if no event fired after it,
+// clamped forward only).
+func (s *Simulator) Run(until float64) {
+	s.stopped = false
+	for !s.stopped {
+		e := s.peek()
+		if e == nil || e.time > until {
+			break
+		}
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
+// RunAll processes events until the queue is empty.
+func (s *Simulator) RunAll() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// Stop makes the current Run or RunAll return after the in-progress
+// event handler completes. It may be called from inside a handler.
+func (s *Simulator) Stop() { s.stopped = true }
+
+func (s *Simulator) peek() *Event {
+	for len(s.heap) > 0 {
+		e := s.heap[0]
+		if !e.canceled {
+			return e
+		}
+		heap.Pop(&s.heap)
+	}
+	return nil
+}
+
+// eventHeap orders events by (time, seq). It implements heap.Interface.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

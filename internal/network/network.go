@@ -1,0 +1,503 @@
+// Package network provides the packet-switching substrate of the
+// simulator: server nodes with outgoing links (ports), sessions routed
+// across tandems of ports, source-driven packet injection, and the
+// event-driven transmission loop.
+//
+// The package is discipline-agnostic: every service discipline
+// (Leave-in-Time in internal/core, the baselines in internal/sched)
+// plugs into a Port through the Discipline interface. A Port owns the
+// link state (busy/idle, capacity, propagation delay) and drives the
+// discipline: it enqueues arriving packets, asks for the next eligible
+// packet whenever the link is free, and schedules a wake-up when the
+// discipline is holding packets that are not yet eligible
+// (non-work-conserving operation).
+package network
+
+import (
+	"fmt"
+	"math"
+
+	"leaveintime/internal/event"
+	"leaveintime/internal/packet"
+	"leaveintime/internal/stats"
+	"leaveintime/internal/trace"
+	"leaveintime/internal/traffic"
+)
+
+// Discipline is the scheduling contract a Port drives. Implementations
+// must be deterministic: ties in priority must be broken by arrival
+// order.
+type Discipline interface {
+	// AddSession registers per-session state before any packet of the
+	// session arrives.
+	AddSession(cfg SessionPort)
+
+	// Enqueue hands an arriving packet to the discipline at time now.
+	// The packet's NodeArrive field is already set.
+	Enqueue(p *packet.Packet, now float64)
+
+	// Dequeue returns the packet to transmit at time now, if any queued
+	// packet is eligible. The discipline must fill the packet's
+	// Eligible, Deadline, Delay and DelayMax fields (when meaningful)
+	// no later than Dequeue.
+	Dequeue(now float64) (*packet.Packet, bool)
+
+	// NextEligible reports the earliest future instant at which a
+	// currently held packet becomes eligible. It is consulted when
+	// Dequeue returns no packet; ok is false when nothing is held.
+	NextEligible(now float64) (t float64, ok bool)
+
+	// OnTransmit is invoked when the packet's last bit leaves the link,
+	// at time finish. Disciplines with jitter control use it to compute
+	// the holding time carried to the next node (eq. 9 for
+	// Leave-in-Time); others must reset p.Hold to zero.
+	OnTransmit(p *packet.Packet, finish float64)
+
+	// Len returns the number of packets held by the discipline
+	// (regulated plus eligible).
+	Len() int
+}
+
+// SessionPort is the per-session configuration a discipline receives
+// for one port along the session's route.
+type SessionPort struct {
+	// Session is the session identifier.
+	Session int
+	// Rate is the reserved rate r_s in bits/s.
+	Rate float64
+	// JitterControl selects the delay-jitter-control mode (a delay
+	// regulator is assigned to the session at this node).
+	JitterControl bool
+	// D returns the service parameter d_{i,s} (seconds) for a packet of
+	// the given length in bits. For Leave-in-Time it comes from the
+	// admission control procedure; nil means d = L/rate (the
+	// VirtualClock special case).
+	D func(length float64) float64
+	// DMax is d_max_s at this node: the maximum of D over the session's
+	// packet lengths. Ignored when D is nil (then it is LMax/rate, but
+	// disciplines that need it receive it explicitly).
+	DMax float64
+	// LocalDelay is the per-node delay budget for deadline-based
+	// baselines (Delay-EDD, Jitter-EDD). Unused by Leave-in-Time.
+	LocalDelay float64
+	// XMin is the minimum packet interarrival time declared to
+	// Delay-EDD/Jitter-EDD admission. Unused by Leave-in-Time.
+	XMin float64
+}
+
+// Sink receives a packet when it leaves the network at the end of its
+// route (after the last link's propagation delay).
+type Sink interface {
+	Deliver(p *packet.Packet, now float64)
+}
+
+// SessionRemover is optionally implemented by disciplines that can free
+// a session's scheduling state at connection teardown.
+type SessionRemover interface {
+	RemoveSession(id int)
+}
+
+// Network is a simulated packet-switching network.
+type Network struct {
+	Sim *event.Simulator
+	// LMax is the maximum packet length allowed in the network
+	// (L_MAX in the paper), in bits. It enters the holding-time and
+	// bound computations.
+	LMax float64
+
+	// Tracer, when non-nil, receives every packet event (arrivals,
+	// transmissions, deliveries). See internal/trace.
+	Tracer trace.Tracer
+
+	ports    []*Port
+	sessions []*Session
+}
+
+func (n *Network) trace(e trace.Event) {
+	if n.Tracer != nil {
+		n.Tracer.Trace(e)
+	}
+}
+
+// New returns an empty network driven by sim with network-wide maximum
+// packet length lMax (bits).
+func New(sim *event.Simulator, lMax float64) *Network {
+	if lMax <= 0 {
+		panic("network: LMax must be positive")
+	}
+	return &Network{Sim: sim, LMax: lMax}
+}
+
+// NewPort creates a server port (one outgoing link and its scheduler).
+// capacity is the link rate C in bits/s, gamma the propagation delay in
+// seconds, and disc the service discipline instance dedicated to this
+// port.
+func (n *Network) NewPort(name string, capacity, gamma float64, disc Discipline) *Port {
+	if capacity <= 0 {
+		panic("network: port capacity must be positive")
+	}
+	p := &Port{
+		net:   n,
+		Name:  name,
+		C:     capacity,
+		Gamma: gamma,
+		Disc:  disc,
+	}
+	n.ports = append(n.ports, p)
+	return p
+}
+
+// Ports returns all ports in creation order.
+func (n *Network) Ports() []*Port { return n.ports }
+
+// Sessions returns all sessions in creation order.
+func (n *Network) Sessions() []*Session { return n.sessions }
+
+// Port is a server node's outgoing link plus its scheduler. In the
+// paper's model every server node has a single outgoing link, so "port"
+// and "Leave-in-Time server" coincide; the implementation allows
+// several ports per physical node for general topologies.
+type Port struct {
+	net   *Network
+	Name  string
+	C     float64 // link capacity, bits/s
+	Gamma float64 // propagation delay, s
+	Disc  Discipline
+
+	// Util measures the busy fraction of the link.
+	Util stats.Utilization
+
+	busy    bool
+	waker   *event.Event
+	nextHop map[int]*hop // session -> downstream
+
+	// Buffer tracking (Figures 12-13): per-session bits currently at
+	// this node, counting the packet under transmission.
+	trackBuf map[int]*BufferProbe
+
+	// HoldClamped counts eq.-9 holding times that came out negative and
+	// were clamped to zero; nonzero values indicate scheduler
+	// saturation (see Section 2 of the paper).
+	HoldClamped int64
+}
+
+type hop struct {
+	port *Port
+	sink Sink
+}
+
+// BufferProbe records the buffer space used by one session at one
+// node, sampled at packet-arrival instants as in the paper, and
+// optionally enforces a finite buffer.
+type BufferProbe struct {
+	// Bits is the current occupancy in bits.
+	Bits float64
+	// Dist is the sampled distribution of occupancy in packets
+	// (occupancy divided by the sampling packet's length, as in the
+	// fixed-length experiments of Figs. 12-13).
+	Dist stats.Discrete
+	// MaxBits is the largest sampled occupancy in bits.
+	MaxBits float64
+	// Limit, when positive, is the session's buffer allocation at this
+	// node in bits: an arriving packet that would push Bits past it is
+	// dropped. Provisioning Limit at the paper's buffer bound makes
+	// the session provably loss-free.
+	Limit float64
+	// DroppedPackets and DroppedBits count packets lost to the limit.
+	DroppedPackets int64
+	DroppedBits    float64
+}
+
+// TrackBuffer enables buffer-occupancy sampling for the session at this
+// port and returns the probe.
+func (p *Port) TrackBuffer(session int) *BufferProbe {
+	if p.trackBuf == nil {
+		p.trackBuf = make(map[int]*BufferProbe)
+	}
+	probe := &BufferProbe{}
+	p.trackBuf[session] = probe
+	return probe
+}
+
+// LimitBuffer allocates a finite buffer of the given size (bits) to the
+// session at this port; arrivals exceeding it are dropped and counted.
+// It returns the probe, which also samples occupancy like TrackBuffer.
+func (p *Port) LimitBuffer(session int, bits float64) *BufferProbe {
+	probe := p.TrackBuffer(session)
+	probe.Limit = bits
+	return probe
+}
+
+// Arrive delivers a packet to this port at time now (the instant its
+// last bit arrives, per the paper's convention).
+func (p *Port) Arrive(pkt *packet.Packet, now float64) {
+	pkt.NodeArrive = now
+	if probe, ok := p.trackBuf[pkt.Session]; ok {
+		if probe.Limit > 0 && probe.Bits+pkt.Length > probe.Limit+1e-9 {
+			probe.DroppedPackets++
+			probe.DroppedBits += pkt.Length
+			return
+		}
+		probe.Bits += pkt.Length
+		if probe.Bits > probe.MaxBits {
+			probe.MaxBits = probe.Bits
+		}
+		// Occupancy in packets, counting this packet: the experiments
+		// use fixed-length packets so this is exact; for variable
+		// lengths it is occupancy normalized by the arriving length.
+		probe.Dist.Add(int(math.Round(probe.Bits / pkt.Length)))
+	}
+	p.net.trace(trace.Event{Time: now, Kind: trace.Arrive, Port: p.Name,
+		Session: pkt.Session, Seq: pkt.Seq, Hop: pkt.Hop})
+	p.Disc.Enqueue(pkt, now)
+	p.maybeStart(now)
+}
+
+// maybeStart begins a transmission if the link is idle and a packet is
+// eligible; otherwise it arms a wake-up for the next eligibility
+// instant.
+func (p *Port) maybeStart(now float64) {
+	if p.busy {
+		return
+	}
+	if p.waker != nil {
+		p.net.Sim.Cancel(p.waker)
+		p.waker = nil
+	}
+	pkt, ok := p.Disc.Dequeue(now)
+	if !ok {
+		if t, held := p.Disc.NextEligible(now); held {
+			if t < now {
+				t = now
+			}
+			p.waker = p.net.Sim.Schedule(t, func() {
+				p.waker = nil
+				p.maybeStart(p.net.Sim.Now())
+			})
+		}
+		return
+	}
+	p.busy = true
+	p.Util.SetBusy(now, true)
+	p.net.trace(trace.Event{Time: now, Kind: trace.TransmitStart, Port: p.Name,
+		Session: pkt.Session, Seq: pkt.Seq, Hop: pkt.Hop,
+		Eligible: pkt.Eligible, Deadline: pkt.Deadline})
+	finish := now + pkt.Length/p.C
+	p.net.Sim.Schedule(finish, func() { p.finish(pkt) })
+}
+
+func (p *Port) finish(pkt *packet.Packet) {
+	now := p.net.Sim.Now()
+	p.Disc.OnTransmit(pkt, now)
+	if pkt.Hold < 0 {
+		pkt.Hold = 0
+		p.HoldClamped++
+	}
+	if probe, ok := p.trackBuf[pkt.Session]; ok {
+		probe.Bits -= pkt.Length
+		if probe.Bits < 0 {
+			probe.Bits = 0
+		}
+	}
+	p.busy = false
+	p.Util.SetBusy(now, false)
+	p.net.trace(trace.Event{Time: now, Kind: trace.TransmitEnd, Port: p.Name,
+		Session: pkt.Session, Seq: pkt.Seq, Hop: pkt.Hop,
+		Eligible: pkt.Eligible, Deadline: pkt.Deadline})
+
+	h, ok := p.nextHop[pkt.Session]
+	if !ok {
+		panic(fmt.Sprintf("network: no route out of port %s for session %d", p.Name, pkt.Session))
+	}
+	arrive := now + p.Gamma
+	if h.port != nil {
+		pkt.Hop++
+		next := h.port
+		p.net.Sim.Schedule(arrive, func() { next.Arrive(pkt, arrive) })
+	} else if h.sink != nil {
+		sink := h.sink
+		p.net.Sim.Schedule(arrive, func() { sink.Deliver(pkt, arrive) })
+	}
+	p.maybeStart(now)
+}
+
+func (p *Port) setNext(session int, next *Port, sink Sink) {
+	if p.nextHop == nil {
+		p.nextHop = make(map[int]*hop)
+	}
+	p.nextHop[session] = &hop{port: next, sink: sink}
+}
+
+// Session is an established connection: a source, a route of ports, and
+// end-to-end measurement state.
+type Session struct {
+	ID    int
+	Rate  float64 // reserved rate r_s, bits/s
+	Route []*Port
+
+	// JitterControl selects delay-jitter-control mode at every node of
+	// the route.
+	JitterControl bool
+
+	// Source generates the packet stream. nil sessions inject packets
+	// only via InjectAt (used in tests).
+	Source traffic.Source
+
+	// Delays accumulates end-to-end packet delays: from arrival at the
+	// first node to arrival at the exit point (finish at last node plus
+	// its propagation delay), matching eq. (12)'s accounting.
+	Delays stats.Tracker
+
+	// Hist optionally buckets end-to-end delays; set with
+	// MeasureHistogram before starting.
+	Hist *stats.Histogram
+
+	// OnDeliver, if non-nil, observes every delivered packet.
+	OnDeliver func(p *packet.Packet, delay float64)
+
+	// Delivered counts packets that completed the route.
+	Delivered int64
+	// Emitted counts packets injected at the first node.
+	Emitted int64
+
+	net      *Network
+	stopEmit float64
+	seq      int64
+	started  bool
+}
+
+// Started reports whether Start has been called.
+func (s *Session) Started() bool { return s.started }
+
+// MeasureHistogram attaches an end-to-end delay histogram with the
+// given bin width (seconds) and bin count.
+func (s *Session) MeasureHistogram(binWidth float64, nbins int) *stats.Histogram {
+	s.Hist = stats.NewHistogram(binWidth, nbins)
+	return s.Hist
+}
+
+// Deliver implements Sink for the session's own exit point.
+func (s *Session) Deliver(p *packet.Packet, now float64) {
+	s.net.trace(trace.Event{Time: now, Kind: trace.Deliver,
+		Session: p.Session, Seq: p.Seq, Hop: p.Hop})
+	d := now - p.SourceTime
+	s.Delays.Add(d)
+	if s.Hist != nil {
+		s.Hist.Add(d)
+	}
+	s.Delivered++
+	if s.OnDeliver != nil {
+		s.OnDeliver(p, d)
+	}
+}
+
+// AddSession creates a session over the given route. cfgs configures
+// the session at each port of the route (len(cfgs) == len(route)); it
+// is what the admission control procedure produced per node. The
+// session is registered with every discipline on the route but emits
+// nothing until Start is called.
+func (n *Network) AddSession(id int, rate float64, jitterControl bool, route []*Port, cfgs []SessionPort, src traffic.Source) *Session {
+	if len(route) == 0 {
+		panic("network: empty route")
+	}
+	if len(cfgs) != len(route) {
+		panic("network: len(cfgs) must equal len(route)")
+	}
+	s := &Session{
+		ID:            id,
+		Rate:          rate,
+		JitterControl: jitterControl,
+		Route:         route,
+		Source:        src,
+		net:           n,
+	}
+	for i, port := range route {
+		cfg := cfgs[i]
+		cfg.Session = id
+		cfg.Rate = rate
+		cfg.JitterControl = jitterControl
+		port.Disc.AddSession(cfg)
+		if i+1 < len(route) {
+			port.setNext(id, route[i+1], nil)
+		} else {
+			port.setNext(id, nil, s)
+		}
+	}
+	n.sessions = append(n.sessions, s)
+	return s
+}
+
+// Start schedules the session's source beginning at time t0; the source
+// stops emitting after stopEmit (already-queued packets still drain).
+func (s *Session) Start(t0, stopEmit float64) {
+	s.started = true
+	if s.Source == nil {
+		return
+	}
+	s.stopEmit = stopEmit
+	gap, length := s.Source.Next()
+	s.scheduleEmit(t0+gap, length)
+}
+
+func (s *Session) scheduleEmit(t, length float64) {
+	if t > s.stopEmit {
+		return
+	}
+	s.net.Sim.Schedule(t, func() {
+		s.emit(t, length)
+		gap, l := s.Source.Next()
+		s.scheduleEmit(t+gap, l)
+	})
+}
+
+func (s *Session) emit(t, length float64) {
+	s.seq++
+	s.Emitted++
+	p := &packet.Packet{
+		Session:    s.ID,
+		Seq:        s.seq,
+		Length:     length,
+		SourceTime: t,
+	}
+	s.Route[0].Arrive(p, t)
+}
+
+// RemoveSession tears down a session's routing and scheduling state at
+// every port of its route. The session must be fully drained: its
+// source stopped and no packets of it anywhere in the network (a
+// packet of a removed session arriving at a port will panic inside the
+// discipline, surfacing the misuse). Call it a grace period after the
+// source's stop time.
+func (n *Network) RemoveSession(s *Session) {
+	for _, port := range s.Route {
+		if r, ok := port.Disc.(SessionRemover); ok {
+			r.RemoveSession(s.ID)
+		}
+		delete(port.nextHop, s.ID)
+		delete(port.trackBuf, s.ID)
+	}
+	for i, other := range n.sessions {
+		if other == s {
+			last := len(n.sessions) - 1
+			n.sessions[i] = n.sessions[last]
+			n.sessions[last] = nil
+			n.sessions = n.sessions[:last]
+			break
+		}
+	}
+}
+
+// InjectAt places a single packet of the given length at the session's
+// first node at time t (must be the current simulation time). It is
+// used by tests to drive hand-built arrival patterns.
+func (s *Session) InjectAt(t, length float64) {
+	s.seq++
+	s.Emitted++
+	p := &packet.Packet{
+		Session:    s.ID,
+		Seq:        s.seq,
+		Length:     length,
+		SourceTime: t,
+	}
+	s.Route[0].Arrive(p, t)
+}

@@ -1,0 +1,279 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"leaveintime/internal/event"
+	"leaveintime/internal/packet"
+	"leaveintime/internal/traffic"
+)
+
+// echoDisc is a minimal work-conserving FIFO discipline for driving the
+// port machinery in isolation.
+type echoDisc struct {
+	q         []*packet.Packet
+	hold      float64 // optional per-packet regulator delay
+	heldUntil []float64
+}
+
+func (e *echoDisc) AddSession(SessionPort) {}
+
+func (e *echoDisc) Enqueue(p *packet.Packet, now float64) {
+	e.q = append(e.q, p)
+	e.heldUntil = append(e.heldUntil, now+e.hold)
+}
+
+func (e *echoDisc) Dequeue(now float64) (*packet.Packet, bool) {
+	for i, p := range e.q {
+		if p != nil && e.heldUntil[i] <= now {
+			e.q[i] = nil
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+func (e *echoDisc) NextEligible(now float64) (float64, bool) {
+	best := math.Inf(1)
+	for i, p := range e.q {
+		if p != nil && e.heldUntil[i] < best {
+			best = e.heldUntil[i]
+		}
+	}
+	if math.IsInf(best, 1) {
+		return 0, false
+	}
+	return best, true
+}
+
+func (e *echoDisc) OnTransmit(p *packet.Packet, finish float64) { p.Hold = 0 }
+
+func (e *echoDisc) Len() int {
+	n := 0
+	for _, p := range e.q {
+		if p != nil {
+			n++
+		}
+	}
+	return n
+}
+
+func TestUncontendedDelay(t *testing.T) {
+	// One packet through two hops: delay = 2*(L/C + Gamma).
+	sim := event.New()
+	net := New(sim, 1000)
+	p1 := net.NewPort("a", 1000, 0.01, &echoDisc{})
+	p2 := net.NewPort("b", 1000, 0.01, &echoDisc{})
+	src := &traffic.Trace{Gaps: []float64{0.5}, Lengths: []float64{100}}
+	s := net.AddSession(1, 100, false, []*Port{p1, p2},
+		make([]SessionPort, 2), src)
+	s.Start(0, 10)
+	sim.Run(100)
+	if s.Delivered != 1 {
+		t.Fatalf("delivered %d packets", s.Delivered)
+	}
+	want := 2 * (100.0/1000 + 0.01)
+	if math.Abs(s.Delays.Max()-want) > 1e-12 {
+		t.Errorf("delay = %v, want %v", s.Delays.Max(), want)
+	}
+}
+
+func TestBackToBackQueueing(t *testing.T) {
+	// Two packets injected simultaneously on one hop: second waits for
+	// the first's transmission.
+	sim := event.New()
+	net := New(sim, 1000)
+	p1 := net.NewPort("a", 1000, 0, &echoDisc{})
+	src := &traffic.Trace{Gaps: []float64{1, 0}, Lengths: []float64{100, 100}}
+	s := net.AddSession(1, 100, false, []*Port{p1}, make([]SessionPort, 1), src)
+	s.Start(0, 10)
+	sim.Run(100)
+	if s.Delivered != 2 {
+		t.Fatalf("delivered %d", s.Delivered)
+	}
+	if math.Abs(s.Delays.Min()-0.1) > 1e-12 || math.Abs(s.Delays.Max()-0.2) > 1e-12 {
+		t.Errorf("delays [%v, %v], want [0.1, 0.2]", s.Delays.Min(), s.Delays.Max())
+	}
+}
+
+func TestNonWorkConservingWakeup(t *testing.T) {
+	// A discipline that holds packets 0.5 s: the port must sleep and
+	// wake rather than spin or serve early.
+	sim := event.New()
+	net := New(sim, 1000)
+	p1 := net.NewPort("a", 1000, 0, &echoDisc{hold: 0.5})
+	src := &traffic.Trace{Gaps: []float64{1}, Lengths: []float64{100}}
+	s := net.AddSession(1, 100, false, []*Port{p1}, make([]SessionPort, 1), src)
+	s.Start(0, 10)
+	sim.Run(100)
+	if s.Delivered != 1 {
+		t.Fatalf("delivered %d", s.Delivered)
+	}
+	want := 0.5 + 0.1 // hold + transmission
+	if math.Abs(s.Delays.Max()-want) > 1e-12 {
+		t.Errorf("delay = %v, want %v", s.Delays.Max(), want)
+	}
+}
+
+func TestUtilizationMeasured(t *testing.T) {
+	sim := event.New()
+	net := New(sim, 1000)
+	p1 := net.NewPort("a", 1000, 0, &echoDisc{})
+	// 5 packets of 100 bits over 10 s: busy 0.5 s.
+	src := &traffic.Trace{
+		Gaps:    []float64{1, 1, 1, 1, 1},
+		Lengths: []float64{100, 100, 100, 100, 100},
+	}
+	s := net.AddSession(1, 100, false, []*Port{p1}, make([]SessionPort, 1), src)
+	p1.Util.Start(0)
+	s.Start(0, 10)
+	sim.Run(10)
+	if got := p1.Util.Value(10); math.Abs(got-0.05) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.05", got)
+	}
+}
+
+func TestBufferProbeCountsTransmission(t *testing.T) {
+	sim := event.New()
+	net := New(sim, 1000)
+	p1 := net.NewPort("a", 1000, 0, &echoDisc{})
+	probe := p1.TrackBuffer(1)
+	src := &traffic.Trace{Gaps: []float64{1, 0, 0}, Lengths: []float64{100, 100, 100}}
+	s := net.AddSession(1, 100, false, []*Port{p1}, make([]SessionPort, 1), src)
+	s.Start(0, 10)
+	sim.Run(100)
+	// Third arrival sees 3 packets present (one transmitting, two
+	// queued).
+	if probe.Dist.Max() != 3 {
+		t.Errorf("max occupancy = %d packets, want 3", probe.Dist.Max())
+	}
+	if probe.Bits != 0 {
+		t.Errorf("residual bits = %v after drain", probe.Bits)
+	}
+	if math.Abs(probe.MaxBits-300) > 1e-9 {
+		t.Errorf("MaxBits = %v, want 300", probe.MaxBits)
+	}
+}
+
+func TestStopEmitRespected(t *testing.T) {
+	sim := event.New()
+	net := New(sim, 1000)
+	p1 := net.NewPort("a", 1000, 0, &echoDisc{})
+	src := &traffic.Deterministic{Interval: 1, Length: 100}
+	s := net.AddSession(1, 100, false, []*Port{p1}, make([]SessionPort, 1), src)
+	s.Start(0, 5.5) // packets at 1..5
+	sim.Run(100)
+	if s.Emitted != 5 {
+		t.Errorf("emitted %d, want 5", s.Emitted)
+	}
+	if !s.Started() {
+		t.Error("Started() false after Start")
+	}
+}
+
+func TestInjectAt(t *testing.T) {
+	sim := event.New()
+	net := New(sim, 1000)
+	p1 := net.NewPort("a", 1000, 0, &echoDisc{})
+	s := net.AddSession(1, 100, false, []*Port{p1}, make([]SessionPort, 1), nil)
+	s.InjectAt(0, 100)
+	sim.Run(10)
+	if s.Delivered != 1 {
+		t.Fatalf("delivered %d", s.Delivered)
+	}
+}
+
+func TestOnDeliverHookAndHistogram(t *testing.T) {
+	sim := event.New()
+	net := New(sim, 1000)
+	p1 := net.NewPort("a", 1000, 0, &echoDisc{})
+	s := net.AddSession(1, 100, false, []*Port{p1}, make([]SessionPort, 1), nil)
+	hist := s.MeasureHistogram(0.01, 100)
+	var hookDelay float64
+	s.OnDeliver = func(p *packet.Packet, d float64) { hookDelay = d }
+	s.InjectAt(0, 100)
+	sim.Run(10)
+	if hookDelay != 0.1 {
+		t.Errorf("hook delay = %v", hookDelay)
+	}
+	if hist.Count() != 1 {
+		t.Errorf("histogram count = %d", hist.Count())
+	}
+}
+
+func TestHoldClampCounter(t *testing.T) {
+	// A discipline that emits negative holds must be clamped and
+	// counted.
+	sim := event.New()
+	net := New(sim, 1000)
+	bad := &negHoldDisc{}
+	p1 := net.NewPort("a", 1000, 0, bad)
+	p2 := net.NewPort("b", 1000, 0, &echoDisc{})
+	s := net.AddSession(1, 100, false, []*Port{p1, p2}, make([]SessionPort, 2), nil)
+	s.InjectAt(0, 100)
+	sim.Run(10)
+	if p1.HoldClamped != 1 {
+		t.Errorf("HoldClamped = %d, want 1", p1.HoldClamped)
+	}
+	if s.Delivered != 1 {
+		t.Errorf("delivered %d", s.Delivered)
+	}
+}
+
+type negHoldDisc struct{ echoDisc }
+
+func (n *negHoldDisc) OnTransmit(p *packet.Packet, finish float64) { p.Hold = -1 }
+
+func TestValidationPanics(t *testing.T) {
+	sim := event.New()
+	for _, fn := range []func(){
+		func() { New(sim, 0) },
+		func() { New(sim, 10).NewPort("x", 0, 0, &echoDisc{}) },
+		func() {
+			n := New(sim, 10)
+			n.AddSession(1, 1, false, nil, nil, nil)
+		},
+		func() {
+			n := New(sim, 10)
+			p := n.NewPort("x", 1, 0, &echoDisc{})
+			n.AddSession(1, 1, false, []*Port{p}, nil, nil)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAccessorsAndLimitBuffer(t *testing.T) {
+	sim := event.New()
+	net := New(sim, 1000)
+	p1 := net.NewPort("a", 1000, 0, &echoDisc{})
+	if len(net.Ports()) != 1 || net.Ports()[0] != p1 {
+		t.Error("Ports accessor")
+	}
+	probe := p1.LimitBuffer(1, 150) // fits one 100-bit packet only
+	s := net.AddSession(1, 100, false, []*Port{p1}, make([]SessionPort, 1), nil)
+	if len(net.Sessions()) != 1 {
+		t.Error("Sessions accessor")
+	}
+	s.InjectAt(0, 100)
+	s.InjectAt(0, 100) // exceeds the 150-bit allocation: dropped
+	sim.Run(10)
+	if probe.DroppedPackets != 1 || probe.DroppedBits != 100 {
+		t.Errorf("drops = %d / %v", probe.DroppedPackets, probe.DroppedBits)
+	}
+	if s.Delivered != 1 {
+		t.Errorf("delivered %d", s.Delivered)
+	}
+	net.RemoveSession(s)
+	if len(net.Sessions()) != 0 {
+		t.Error("RemoveSession left the session registered")
+	}
+}

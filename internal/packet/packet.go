@@ -1,0 +1,60 @@
+// Package packet defines the packet representation shared by every
+// service discipline and network element in the simulator.
+//
+// Packet lengths are in bits and times in seconds, matching the units
+// used throughout the Leave-in-Time paper (SIGCOMM '95). A packet
+// carries the single header field the paper requires: the holding time
+// A computed at the upstream node for sessions under delay jitter
+// control (eq. 9), plus bookkeeping fields written by the discipline at
+// the node currently holding the packet.
+package packet
+
+// Packet is one packet in flight. Packets are allocated once at the
+// source and reused across all hops of their route.
+type Packet struct {
+	// Session identifies the session (connection) the packet belongs to.
+	Session int
+
+	// Seq is the per-session packet number, starting at 1 as in the
+	// paper's notation (packet i of session s).
+	Seq int64
+
+	// Length is the packet length L_{i,s} in bits.
+	Length float64
+
+	// SourceTime is the arrival time t^1_{i,s} of the packet at the
+	// first server node of its route (the instant the source emitted
+	// the last bit). End-to-end delay is measured from this instant.
+	SourceTime float64
+
+	// Hold is the holding time A^{n}_{i,s} carried in the packet header
+	// from node n-1 to node n (eq. 9). It is zero at the first node
+	// (eq. 8) and zero at every node for sessions without delay jitter
+	// control.
+	Hold float64
+
+	// Hop is the index (0-based) of the node the packet currently
+	// occupies along its route.
+	Hop int
+
+	// NodeArrive is the arrival time t^n of the packet at the current
+	// node, set by the port on reception.
+	NodeArrive float64
+
+	// Eligible is the eligibility time E^n assigned at the current
+	// node (eqs. 6-7).
+	Eligible float64
+
+	// Deadline is the transmission deadline F^n assigned at the current
+	// node (eq. 10). Packets are served in increasing Deadline order.
+	Deadline float64
+
+	// Delay is the per-node service parameter d^n_{i,s} used in the
+	// deadline computation at the current node, retained so the port
+	// can compute the downstream holding time (eq. 9 needs d^{n-1}).
+	Delay float64
+
+	// DelayMax is d^{n}_{max,s} at the current node, the maximum d over
+	// all packets of the session there, also needed by eq. 9.
+	DelayMax float64
+}

@@ -1,0 +1,150 @@
+// Package plot renders simple text plots of experiment series —
+// log-scale CCDF tails, delay histograms, sweep curves — so that
+// cmd/litsim can show the paper's figures directly in a terminal
+// without external tooling.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one curve: (x, y) points and the marker drawn for them.
+type Series struct {
+	Name   string
+	Marker rune
+	X, Y   []float64
+}
+
+// Plot is a character-grid chart.
+type Plot struct {
+	// Title is printed above the grid.
+	Title string
+	// XLabel / YLabel annotate the axes.
+	XLabel, YLabel string
+	// Width and Height are the grid size in characters (default 72x20).
+	Width, Height int
+	// LogY plots log10(y); nonpositive values are dropped.
+	LogY bool
+	// YMin, when LogY is set, clips the smallest decade shown
+	// (default: data minimum).
+	YMin float64
+
+	series []Series
+}
+
+// Add appends a curve.
+func (p *Plot) Add(s Series) {
+	if len(s.X) != len(s.Y) {
+		panic("plot: X and Y lengths differ")
+	}
+	if s.Marker == 0 {
+		markers := []rune{'*', '+', 'o', 'x', '#', '@'}
+		s.Marker = markers[len(p.series)%len(markers)]
+	}
+	p.series = append(p.series, s)
+}
+
+// Render draws the chart.
+func (p *Plot) Render() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 72
+	}
+	if h <= 0 {
+		h = 20
+	}
+
+	// Establish ranges.
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	any := false
+	for _, s := range p.series {
+		for i := range s.X {
+			y := s.Y[i]
+			if p.LogY {
+				if y <= 0 {
+					continue
+				}
+				if p.YMin > 0 && y < p.YMin {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			any = true
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, y)
+			ymax = math.Max(ymax, y)
+		}
+	}
+	var b strings.Builder
+	if p.Title != "" {
+		fmt.Fprintf(&b, "%s\n", p.Title)
+	}
+	if !any {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]rune, h)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", w))
+	}
+	for _, s := range p.series {
+		for i := range s.X {
+			y := s.Y[i]
+			if p.LogY {
+				if y <= 0 || (p.YMin > 0 && y < p.YMin) {
+					continue
+				}
+				y = math.Log10(y)
+			}
+			cx := int((s.X[i] - xmin) / (xmax - xmin) * float64(w-1))
+			cy := int((y - ymin) / (ymax - ymin) * float64(h-1))
+			row := h - 1 - cy
+			if row >= 0 && row < h && cx >= 0 && cx < w {
+				grid[row][cx] = s.Marker
+			}
+		}
+	}
+
+	yTop, yBot := ymax, ymin
+	format := func(v float64) string {
+		if p.LogY {
+			return fmt.Sprintf("1e%+.1f", v)
+		}
+		return fmt.Sprintf("%.4g", v)
+	}
+	if p.YLabel != "" {
+		fmt.Fprintf(&b, "%s\n", p.YLabel)
+	}
+	for r, row := range grid {
+		label := strings.Repeat(" ", 9)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%9s", format(yTop))
+		case h - 1:
+			label = fmt.Sprintf("%9s", format(yBot))
+		case (h - 1) / 2:
+			label = fmt.Sprintf("%9s", format((yTop+yBot)/2))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", 9), strings.Repeat("-", w))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", 9), w-8, fmt.Sprintf("%.4g", xmin), fmt.Sprintf("%.4g", xmax))
+	if p.XLabel != "" {
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", 9), p.XLabel)
+	}
+	for _, s := range p.series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", 9), s.Marker, s.Name)
+	}
+	return b.String()
+}

@@ -1,0 +1,87 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderBasics(t *testing.T) {
+	p := &Plot{Title: "test", Width: 40, Height: 10, XLabel: "x", YLabel: "y"}
+	p.Add(Series{Name: "line", Marker: '*', X: []float64{0, 1, 2}, Y: []float64{0, 1, 2}})
+	out := p.Render()
+	if !strings.Contains(out, "test") || !strings.Contains(out, "line") {
+		t.Fatalf("missing title/legend:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	gridLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines++
+		}
+	}
+	if gridLines != 10 {
+		t.Errorf("grid height = %d, want 10", gridLines)
+	}
+	// The max point lands in the top row, the min in the bottom.
+	var top, bottom string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			if top == "" {
+				top = l
+			}
+			bottom = l
+		}
+	}
+	if !strings.Contains(top, "*") || !strings.Contains(bottom, "*") {
+		t.Errorf("extremes not plotted:\n%s", out)
+	}
+	if !strings.HasSuffix(strings.TrimRight(bottom[strings.Index(bottom, "|"):], " "), "|*") && !strings.Contains(bottom, "*") {
+		t.Errorf("min point missing")
+	}
+}
+
+func TestRenderLogY(t *testing.T) {
+	p := &Plot{Width: 40, Height: 8, LogY: true}
+	p.Add(Series{Name: "tail", X: []float64{0, 1, 2, 3}, Y: []float64{1, 0.1, 0.01, 0}})
+	out := p.Render()
+	// The zero probability point is dropped, not plotted at -inf.
+	if !strings.Contains(out, "1e+0.0") {
+		t.Errorf("log labels missing:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	p := &Plot{}
+	p.Add(Series{Name: "nothing"})
+	if out := p.Render(); !strings.Contains(out, "no data") {
+		t.Errorf("empty plot: %q", out)
+	}
+}
+
+func TestRenderDefaultMarkers(t *testing.T) {
+	p := &Plot{Width: 20, Height: 5}
+	p.Add(Series{Name: "a", X: []float64{0}, Y: []float64{1}})
+	p.Add(Series{Name: "b", X: []float64{1}, Y: []float64{2}})
+	out := p.Render()
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "+ b") {
+		t.Errorf("default markers:\n%s", out)
+	}
+}
+
+func TestAddValidatesLengths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths did not panic")
+		}
+	}()
+	(&Plot{}).Add(Series{X: []float64{1}, Y: nil})
+}
+
+func TestFlatSeries(t *testing.T) {
+	p := &Plot{Width: 20, Height: 5}
+	p.Add(Series{Name: "flat", X: []float64{1, 2}, Y: []float64{3, 3}})
+	out := p.Render()
+	if !strings.Contains(out, "*") {
+		t.Errorf("flat series unplotted:\n%s", out)
+	}
+}

@@ -1,0 +1,90 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator and the distributions needed by the traffic models of the
+// Leave-in-Time simulations (exponential, geometric, uniform).
+//
+// The generator is SplitMix64 (Steele, Lea & Flood, "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014). It is used instead of
+// math/rand so that simulation runs are bit-reproducible across Go
+// releases and architectures: every experiment in EXPERIMENTS.md is
+// identified by an explicit seed.
+package rng
+
+import "math"
+
+// Rand is a deterministic pseudo-random number generator. The zero
+// value is a valid generator seeded with 0; use New to seed explicitly.
+// Rand is not safe for concurrent use; give each goroutine its own
+// stream via Split.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed. Distinct seeds yield
+// streams that are, for simulation purposes, statistically independent.
+func New(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Split derives a new, independent generator from r. It advances r, so
+// the order of Split calls matters for reproducibility.
+func (r *Rand) Split() *Rand {
+	return New(r.Uint64())
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	// 53 random bits scaled into [0,1); the standard conversion.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if
+// n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	// Modulo bias is negligible for the small n used here (n << 2^64),
+	// and determinism matters more than perfect uniformity.
+	return int(r.Uint64() % uint64(n))
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// It panics if mean <= 0.
+func (r *Rand) Exp(mean float64) float64 {
+	if mean <= 0 {
+		panic("rng: Exp called with mean <= 0")
+	}
+	u := r.Float64()
+	// 1-u is in (0,1], so the log is finite.
+	return -mean * math.Log(1-u)
+}
+
+// Geometric returns a geometrically distributed integer on {1, 2, ...}
+// with the given mean (mean must be >= 1): P(N = k) = (1-p)^(k-1) p
+// with p = 1/mean. This is the distribution the paper uses for the
+// number of packets generated during an ON period of an ON-OFF source.
+func (r *Rand) Geometric(mean float64) int64 {
+	if mean < 1 {
+		panic("rng: Geometric called with mean < 1")
+	}
+	if mean == 1 {
+		return 1
+	}
+	p := 1 / mean
+	u := r.Float64()
+	// Inverse transform: N = ceil(log(1-u) / log(1-p)).
+	n := int64(math.Ceil(math.Log(1-u) / math.Log(1-p)))
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

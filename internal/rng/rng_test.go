@@ -1,0 +1,173 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+	c := New(43)
+	same := 0
+	a = New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestZeroValueUsable(t *testing.T) {
+	var r Rand
+	r.Uint64()
+	r.Float64()
+}
+
+func TestFloat64Range(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := New(seed)
+		for i := 0; i < 100; i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(7)
+	const n = 200000
+	for _, mean := range []float64{0.001, 1, 650} {
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := r.Exp(mean)
+			if v < 0 {
+				t.Fatalf("negative exponential %v", v)
+			}
+			sum += v
+		}
+		got := sum / n
+		if math.Abs(got-mean)/mean > 0.02 {
+			t.Errorf("Exp(%v) sample mean %v, want within 2%%", mean, got)
+		}
+	}
+}
+
+func TestExpPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exp(0) did not panic")
+		}
+	}()
+	New(1).Exp(0)
+}
+
+func TestGeometricMeanAndSupport(t *testing.T) {
+	r := New(9)
+	const n = 200000
+	for _, mean := range []float64{1, 2.5, 26.566} { // 26.566 = aON/T in the paper
+		var sum float64
+		for i := 0; i < n; i++ {
+			v := r.Geometric(mean)
+			if v < 1 {
+				t.Fatalf("Geometric returned %d < 1", v)
+			}
+			sum += float64(v)
+		}
+		got := sum / n
+		if math.Abs(got-mean)/mean > 0.02 {
+			t.Errorf("Geometric(%v) sample mean %v, want within 2%%", mean, got)
+		}
+	}
+}
+
+func TestGeometricOne(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 100; i++ {
+		if v := r.Geometric(1); v != 1 {
+			t.Fatalf("Geometric(1) = %d, want 1 always", v)
+		}
+	}
+}
+
+func TestGeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Geometric(0.5) did not panic")
+		}
+	}()
+	New(1).Geometric(0.5)
+}
+
+func TestIntn(t *testing.T) {
+	r := New(3)
+	counts := make([]int, 7)
+	for i := 0; i < 70000; i++ {
+		counts[r.Intn(7)]++
+	}
+	for v, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(7) value %d count %d, want ~10000", v, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(5)
+	a := r.Split()
+	b := r.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("split streams collided %d times", same)
+	}
+}
+
+// TestExpMemoryless spot-checks P(X > a+b | X > a) ~ P(X > b).
+func TestExpMemoryless(t *testing.T) {
+	r := New(11)
+	const n = 300000
+	mean := 1.0
+	var gtA, gtAB, gtB int
+	for i := 0; i < n; i++ {
+		v := r.Exp(mean)
+		if v > 0.5 {
+			gtA++
+			if v > 1.2 {
+				gtAB++
+			}
+		}
+		if v > 0.7 {
+			gtB++
+		}
+	}
+	cond := float64(gtAB) / float64(gtA)
+	uncond := float64(gtB) / float64(n)
+	if math.Abs(cond-uncond) > 0.02 {
+		t.Errorf("memorylessness: conditional %v vs unconditional %v", cond, uncond)
+	}
+}

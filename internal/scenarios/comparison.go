@@ -1,0 +1,194 @@
+package scenarios
+
+import (
+	"fmt"
+	"strings"
+
+	"leaveintime/internal/admission"
+	"leaveintime/internal/calculus"
+	"leaveintime/internal/core"
+	"leaveintime/internal/event"
+	"leaveintime/internal/network"
+	"leaveintime/internal/rng"
+	"leaveintime/internal/sched"
+	"leaveintime/internal/traffic"
+)
+
+// ComparisonRow is one discipline's measured behavior for the tagged
+// session, with the discipline's own analytic delay bound where one
+// exists for this scenario.
+type ComparisonRow struct {
+	Name      string
+	MaxDelay  float64
+	MeanDelay float64
+	Jitter    float64
+	Packets   int64
+	// Bound is the discipline's end-to-end delay bound for the tagged
+	// session (0 when the discipline offers none, e.g. FCFS without a
+	// burstiness characterization of the cross traffic).
+	Bound float64
+	// BoundNote names the bound's origin.
+	BoundNote string
+}
+
+// ComparisonResult is the Section 4 comparison run live: the same CROSS
+// scenario under every discipline in the repository.
+type ComparisonResult struct {
+	Duration float64
+	AOff     float64
+	Rows     []ComparisonRow
+}
+
+// RunComparison runs the paper's CROSS scenario (five-hop 32 kbit/s
+// ON-OFF session against 1472 kbit/s Poisson cross traffic per hop)
+// under each discipline with identical traffic (same seeds), measuring
+// the tagged session and computing each discipline's own bound.
+func RunComparison(duration float64, seed uint64, aOff float64) *ComparisonResult {
+	const (
+		tagRate  = VoiceRate
+		frame    = OnSpacing // 13.25 ms: one tagged packet per frame
+		eddDelay = 2.5e-3    // per-node budget granted to cross traffic
+	)
+	res := &ComparisonResult{Duration: duration, AOff: aOff}
+
+	// Bounds for the tagged session. It conforms to a token bucket
+	// (r, one cell), so D_ref_max = L/r = 13.25 ms.
+	dRef := CellBits / tagRate
+	litRoute := fig6RouteForRate(tagRate, NumNodes)
+	litBound := litRoute.DelayBound(dRef)
+	// Stop-and-Go: alpha*H*T + T with alpha in [1,2): worst case
+	// 2*H*T (+ propagation, excluded consistently below for all).
+	sgBound := 2*float64(NumNodes)*frame + float64(NumNodes)*PropDelay
+	// HRR offers Stop-and-Go's bound.
+	hrrBound := sgBound
+	// Delay-EDD's bound (sum of local delays) holds only when the
+	// Ferrari-Verma schedulability test passes; this scenario's cross
+	// budgets deliberately do not satisfy it (the test would reject
+	// them), so EDD variants get no bound here — the coupling the
+	// paper discusses in Section 4.
+	// Cruz FCFS bound needs the cross traffic's envelope; Poisson has
+	// none, so FCFS gets no bound — exactly the paper's point. For
+	// WFQ/PGPS the tagged bound equals eq. 15 = the LiT bound.
+	type entry struct {
+		name       string
+		mk         func() network.Discipline
+		jitterCtrl bool
+		bound      float64
+		note       string
+	}
+	entries := []entry{
+		{"Leave-in-Time", func() network.Discipline {
+			return core.New(core.Config{Capacity: T1Rate, LMax: CellBits})
+		}, false, litBound, "eq. 12"},
+		{"Leave-in-Time+jitterctl", func() network.Discipline {
+			return core.New(core.Config{Capacity: T1Rate, LMax: CellBits})
+		}, true, litBound, "eq. 12"},
+		{"VirtualClock", func() network.Discipline { return sched.NewVirtualClock() }, false, litBound, "eq. 12 (special case)"},
+		{"WFQ (PGPS)", func() network.Discipline { return sched.NewWFQ(T1Rate) }, false, litBound, "PGPS = eq. 15"},
+		{"WF2Q", func() network.Discipline { return sched.NewWF2Q(T1Rate) }, false, litBound, "PGPS = eq. 15"},
+		{"SCFQ", func() network.Discipline { return sched.NewSCFQ() }, false, 0, ""},
+		{"FCFS", func() network.Discipline { return sched.NewFCFS() }, false, 0, "no cross envelope"},
+		{"Stop-and-Go", func() network.Discipline { return sched.NewStopAndGo(frame) }, false, sgBound, "2HT"},
+		{"HRR", func() network.Discipline { return sched.NewHRR(CellBits, frame) }, false, hrrBound, "2HT"},
+		{"Delay-EDD", func() network.Discipline { return sched.NewDelayEDD() }, false, 0, "schedulability test fails"},
+		{"Jitter-EDD", func() network.Discipline { return sched.NewJitterEDD() }, false, 0, "schedulability test fails"},
+		{"RCSP (2 levels)", func() network.Discipline { return newRCSPByRate() }, false, 0, "level test not run"},
+	}
+	for _, e := range entries {
+		tag := runComparisonScenario(e.mk, e.jitterCtrl, duration, seed, aOff, eddDelay)
+		res.Rows = append(res.Rows, ComparisonRow{
+			Name:      e.name,
+			MaxDelay:  tag.Delays.Max(),
+			MeanDelay: tag.Delays.Mean(),
+			Jitter:    tag.Delays.Jitter(),
+			Packets:   tag.Delays.Count(),
+			Bound:     e.bound,
+			BoundNote: e.note,
+		})
+	}
+	return res
+}
+
+// fig6RouteForRate builds the eq. 12 route for a session of the given
+// rate over n Figure 6 hops with d = L/r.
+func fig6RouteForRate(rate float64, n int) admission.Route {
+	hops := make([]admission.Hop, n)
+	for i := range hops {
+		hops[i] = admission.Hop{C: T1Rate, Gamma: PropDelay, DMax: CellBits / rate}
+	}
+	return admission.Route{Hops: hops, LMax: CellBits}
+}
+
+func runComparisonScenario(mk func() network.Discipline, jitterCtrl bool, duration float64, seed uint64, aOff, eddDelay float64) *network.Session {
+	sim := event.New()
+	net := network.New(sim, CellBits)
+	r := rng.New(seed)
+
+	ports := make([]*network.Port, NumNodes)
+	for i := range ports {
+		ports[i] = net.NewPort(fmt.Sprintf("node%d", i+1), T1Rate, PropDelay, mk())
+	}
+	tagCfg := make([]network.SessionPort, NumNodes)
+	for i := range tagCfg {
+		tagCfg[i] = network.SessionPort{LocalDelay: CellBits / VoiceRate, XMin: OnSpacing}
+	}
+	tag := net.AddSession(1, VoiceRate, jitterCtrl, ports, tagCfg,
+		NewOnOff(aOff, r.Split()))
+	for i := range ports {
+		cfg := []network.SessionPort{{LocalDelay: eddDelay, XMin: Fig8CrossMean / 4}}
+		net.AddSession(2+i, Fig8CrossRate, false, ports[i:i+1], cfg,
+			&traffic.Poisson{Mean: Fig8CrossMean, Length: CellBits, Rng: r.Split()})
+	}
+	for _, s := range net.Sessions() {
+		s.Start(0, duration)
+	}
+	sim.Run(duration)
+	return tag
+}
+
+// newRCSPByRate is RCSP with voice-like sessions at level 1.
+func newRCSPByRate() network.Discipline { return rcspByRate{sched.NewRCSP(2)} }
+
+type rcspByRate struct{ *sched.RCSP }
+
+func (r rcspByRate) AddSession(cfg network.SessionPort) {
+	level := 2
+	if cfg.Rate <= 64e3 {
+		level = 1
+	}
+	r.AddSessionLevel(cfg, level)
+}
+
+// CruzFCFSBound computes, for contrast, what the Cruz calculus would
+// bound FCFS at if the cross traffic were token-bucket constrained
+// with the given per-hop burst (bits).
+func CruzFCFSBound(crossSigma float64) (float64, error) {
+	flow := calculus.FromTokenBucket(VoiceRate, CellBits)
+	hops := make([]calculus.TandemHop, NumNodes)
+	for i := range hops {
+		hops[i] = calculus.TandemHop{
+			Server: calculus.FCFSServer{C: T1Rate, LMax: CellBits},
+			Cross:  calculus.Envelope{Sigma: crossSigma, Rho: Fig8CrossRate},
+			Gamma:  PropDelay,
+		}
+	}
+	return calculus.TandemDelayBound(flow, hops)
+}
+
+// Format renders the comparison table.
+func (r *ComparisonResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "CROSS scenario under every discipline (aOFF=%.3gs, %.0f s run):\n\n", r.AOff, r.Duration)
+	fmt.Fprintf(&b, "%-24s %10s %10s %10s %8s %12s  %s\n",
+		"discipline", "max(ms)", "mean(ms)", "jitter(ms)", "pkts", "bound(ms)", "bound origin")
+	for _, row := range r.Rows {
+		bound := "-"
+		if row.Bound > 0 {
+			bound = fmt.Sprintf("%.2f", row.Bound*1e3)
+		}
+		fmt.Fprintf(&b, "%-24s %10.2f %10.2f %10.2f %8d %12s  %s\n",
+			row.Name, row.MaxDelay*1e3, row.MeanDelay*1e3, row.Jitter*1e3,
+			row.Packets, bound, row.BoundNote)
+	}
+	return b.String()
+}

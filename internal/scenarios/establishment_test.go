@@ -1,0 +1,28 @@
+package scenarios
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEstablishmentAllMixAccepted(t *testing.T) {
+	res := RunEstablishment(4, 0.5e-3)
+	if res.Requested != 116 || res.Accepted != 116 {
+		t.Fatalf("accepted %d of %d", res.Accepted, res.Requested)
+	}
+	if !res.ExtraRejected {
+		t.Error("117th call was not refused")
+	}
+	// One-hop setups: 1 processing + 1 Gamma back = 1.5 ms. Five-hop:
+	// 5 processing + 4 forward + 5 back = 11.5 ms.
+	if got := res.ByHops[1].Min(); math.Abs(got-1.5e-3) > 1e-9 {
+		t.Errorf("1-hop latency = %v, want 1.5 ms", got)
+	}
+	if got := res.ByHops[5].Min(); math.Abs(got-11.5e-3) > 1e-9 {
+		t.Errorf("5-hop latency = %v, want 11.5 ms", got)
+	}
+	if !strings.Contains(res.Format(), "117th call rejected: true") {
+		t.Errorf("Format output:\n%s", res.Format())
+	}
+}

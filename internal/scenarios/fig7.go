@@ -1,0 +1,109 @@
+package scenarios
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"leaveintime/internal/network"
+	"leaveintime/internal/rng"
+)
+
+// Fig7Row is one point of Figure 7: the maximum delay and delay jitter
+// of a five-hop ON-OFF session in the MIX configuration, as a function
+// of the sources' mean OFF period.
+type Fig7Row struct {
+	AOff        float64 // mean OFF period, s
+	Utilization float64 // measured busy fraction of the first link
+	MaxDelay    float64 // max end-to-end delay of the measured session, s
+	Jitter      float64 // max - min end-to-end delay, s
+	MeanDelay   float64
+	Packets     int64
+	DelayBound  float64 // eq. 12 with D_ref_max = T (b0 = one packet)
+	JitterBound float64 // no-jitter-control bound
+}
+
+// Fig7Result is the full sweep.
+type Fig7Result struct {
+	Duration float64
+	Rows     []Fig7Row
+}
+
+// RunFig7 reproduces Figure 7: the MIX traffic configuration with every
+// session an ON-OFF source of the given mean OFF period, admission
+// control procedure 1 with one class (d = L/r), no jitter control, a
+// run of the given duration (the paper uses 300 s). The measured
+// session is the first five-hop (a-j) session.
+//
+// The sweep points are independent simulations (each with its own
+// simulator and random streams), so they run concurrently; results are
+// deterministic in (duration, seed) regardless of parallelism.
+func RunFig7(duration float64, seed uint64) Fig7Result {
+	res := Fig7Result{Duration: duration, Rows: make([]Fig7Row, len(AOffValues))}
+	var wg sync.WaitGroup
+	for i, aOff := range AOffValues {
+		wg.Add(1)
+		go func(i int, aOff float64) {
+			defer wg.Done()
+			res.Rows[i] = runFig7Point(aOff, duration, seed)
+		}(i, aOff)
+	}
+	wg.Wait()
+	return res
+}
+
+func runFig7Point(aOff, duration float64, seed uint64) Fig7Row {
+	t := NewTandem(TandemOptions{})
+	r := rng.New(seed)
+
+	var measured *network.Session
+	var bounds Fig7Row
+	for _, mr := range MixRoutes {
+		for i := 0; i < mr.Count; i++ {
+			def := SessionDef{
+				Entrance: mr.Entrance,
+				Exit:     mr.Exit,
+				Rate:     VoiceRate,
+				Src:      NewOnOff(aOff, r.Split()),
+			}
+			s, assigns := t.Establish(def)
+			if measured == nil && mr.Entrance == 1 && mr.Exit == 5 {
+				measured = s
+				rt := t.Route(def, assigns)
+				// The ON-OFF source never exceeds its reserved rate, so
+				// it conforms to a token bucket (r, one packet):
+				// D_ref_max = L/r = T.
+				dRef := CellBits / VoiceRate
+				bounds.DelayBound = rt.DelayBound(dRef)
+				bounds.JitterBound = rt.JitterBoundNoControl(dRef, CellBits)
+			}
+		}
+	}
+	for _, s := range t.Net.Sessions() {
+		s.Start(0, duration)
+	}
+	t.Ports[0].Util.Start(0)
+	t.Sim.Run(duration)
+
+	bounds.AOff = aOff
+	bounds.Utilization = t.Ports[0].Util.Value(t.Sim.Now())
+	bounds.MaxDelay = measured.Delays.Max()
+	bounds.Jitter = measured.Delays.Jitter()
+	bounds.MeanDelay = measured.Delays.Mean()
+	bounds.Packets = measured.Delays.Count()
+	return bounds
+}
+
+// Format renders the sweep as an aligned text table.
+func (r Fig7Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 7: five-hop ON-OFF session, MIX configuration, %.0f s run\n", r.Duration)
+	fmt.Fprintf(&b, "%10s %8s %12s %12s %12s %8s %12s %12s\n",
+		"aOFF(ms)", "util(%)", "maxDelay(ms)", "jitter(ms)", "mean(ms)", "pkts", "Dbound(ms)", "Jbound(ms)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%10.1f %8.1f %12.2f %12.2f %12.2f %8d %12.2f %12.2f\n",
+			row.AOff*1e3, row.Utilization*100, row.MaxDelay*1e3, row.Jitter*1e3,
+			row.MeanDelay*1e3, row.Packets, row.DelayBound*1e3, row.JitterBound*1e3)
+	}
+	return b.String()
+}

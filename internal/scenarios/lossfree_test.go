@@ -1,0 +1,79 @@
+package scenarios
+
+import (
+	"fmt"
+	"testing"
+
+	"leaveintime/internal/admission"
+	"leaveintime/internal/core"
+	"leaveintime/internal/event"
+	"leaveintime/internal/network"
+	"leaveintime/internal/rng"
+	"leaveintime/internal/traffic"
+)
+
+// TestLossFreeProvisioning: buffers sized at the paper's buffer bound
+// drop nothing; buffers sized well below it do. This turns the
+// "upper bound on buffer space requirements" commitment into the
+// loss-free guarantee it exists for.
+func TestLossFreeProvisioning(t *testing.T) {
+	run := func(fraction float64) (dropped int64, delivered int64) {
+		sim := event.New()
+		net := network.New(sim, CellBits)
+		var ports []*network.Port
+		for i := 0; i < 5; i++ {
+			ports = append(ports, net.NewPort(fmt.Sprintf("n%d", i), T1Rate, PropDelay,
+				core.New(core.Config{Capacity: T1Rate, LMax: CellBits})))
+		}
+		r := rng.New(31)
+
+		// The tagged bursty session: token bucket of 6 packets.
+		const b0 = 6 * CellBits
+		rate := VoiceRate
+		cfgs := make([]network.SessionPort, 5)
+		hops := make([]admission.Hop, 5)
+		for h := range hops {
+			cfgs[h] = network.SessionPort{DMax: CellBits / rate}
+			hops[h] = admission.Hop{C: T1Rate, Gamma: PropDelay, DMax: CellBits / rate}
+		}
+		src := traffic.NewShaped(
+			&traffic.Poisson{Mean: CellBits / rate * 0.8, Length: CellBits, Rng: r.Split()},
+			rate, b0)
+		tagged := net.AddSession(1, rate, false, ports, cfgs, src)
+
+		route := admission.Route{Hops: hops, LMax: CellBits}
+		dRef := b0 / rate
+		var probes []*network.BufferProbe
+		for n := 1; n <= 5; n++ {
+			q := route.BufferBoundNoControl(rate, dRef, CellBits, n)
+			probes = append(probes, ports[n-1].LimitBuffer(1, q*fraction))
+		}
+
+		// Poisson cross traffic filling the links.
+		for i := range ports {
+			cfg := []network.SessionPort{{}}
+			s := net.AddSession(2+i, T1Rate-rate, false, ports[i:i+1], cfg,
+				&traffic.Poisson{Mean: CellBits / (T1Rate - rate) / 0.9, Length: CellBits, Rng: r.Split()})
+			s.Start(0, 30)
+		}
+		tagged.Start(0, 30)
+		sim.Run(35)
+
+		for _, pr := range probes {
+			dropped += pr.DroppedPackets
+		}
+		return dropped, tagged.Delivered
+	}
+
+	drops, delivered := run(1.0)
+	if delivered == 0 {
+		t.Fatal("no traffic")
+	}
+	if drops != 0 {
+		t.Errorf("buffers at the bound dropped %d packets — the loss-free guarantee failed", drops)
+	}
+	tightDrops, _ := run(0.12)
+	if tightDrops == 0 {
+		t.Error("buffers at 12% of the bound dropped nothing; the experiment is not discriminating")
+	}
+}

@@ -1,0 +1,34 @@
+package scenarios
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSaturation: with admissible d the deadline-to-finish gap stays
+// within one maximum packet time; with d five times too small it grows
+// far beyond it (the scheduler is saturated).
+func TestSaturation(t *testing.T) {
+	res := RunSaturation(10, 1, 8, 5)
+	onePkt := CellBits / T1Rate
+	if res.Admissible.Max() > onePkt+1e-9 {
+		t.Errorf("admissible run late by %v, want <= one packet time %v",
+			res.Admissible.Max(), onePkt)
+	}
+	if res.Saturated.Max() < 5*onePkt {
+		t.Errorf("saturated run late by only %v — expected gross lateness", res.Saturated.Max())
+	}
+	out := res.Format()
+	if !strings.Contains(out, "saturation") {
+		t.Error("Format output")
+	}
+}
+
+func TestSaturationValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad args did not panic")
+		}
+	}()
+	RunSaturation(1, 1, 1, 2)
+}

@@ -1,0 +1,111 @@
+package scenarios
+
+import (
+	"fmt"
+	"strings"
+
+	"leaveintime/internal/admission"
+)
+
+// Section4StopAndGo evaluates the paper's Section 4 worked comparison
+// between Leave-in-Time and Stop-and-Go. The session generates at most
+// 10 packets of length 0.01*T*C in any interval of T seconds (average
+// rate 0.1*C) and both schemes allocate bandwidth 0.1*C.
+//
+//   - Stop-and-Go's end-to-end delay is alpha*H*T (+-T) with
+//     alpha in [1, 2); the per-link increase is alpha*T.
+//   - Leave-in-Time (AC 1, one class, d = L/r = 0.1*T) has bound
+//     D_ref_max + beta = T + beta; the per-link increase is
+//     L_MAX/C + 0.1*T.
+type Section4StopAndGo struct {
+	T, C   float64
+	N      int
+	LMax   float64 // packet length of the session: 0.01*T*C
+	DRef   float64 // T (token bucket (0.1C, 0.1CT))
+	LiT    float64 // Leave-in-Time end-to-end bound, propagation excluded
+	SGLow  float64 // Stop-and-Go bound with alpha = 1, i.e. H*T
+	SGHigh float64 // Stop-and-Go bound with alpha -> 2, i.e. 2*H*T
+	// PerLinkLiT and PerLinkSG are the per-link increases of the two
+	// bounds.
+	PerLinkLiT float64
+	PerLinkSG  [2]float64
+	// JitterLiT is the Leave-in-Time jitter bound (ineq. 17) for the
+	// jitter-controlled session; JitterSG is Stop-and-Go's 2T.
+	JitterLiT float64
+	JitterSG  float64
+}
+
+// RunSection4StopAndGo computes the comparison for frame time t, link
+// capacity c and a route of n hops.
+func RunSection4StopAndGo(t, c float64, n int) Section4StopAndGo {
+	lPkt := 0.01 * t * c
+	rate := 0.1 * c
+	d := lPkt / rate // 0.1*T
+	hops := make([]admission.Hop, n)
+	for i := range hops {
+		hops[i] = admission.Hop{C: c, Gamma: 0, DMax: d}
+	}
+	route := admission.Route{Hops: hops, LMax: lPkt, Alpha: 0}
+	dRef := t // D_ref_max = b0/r = 0.1CT / 0.1C
+	return Section4StopAndGo{
+		T: t, C: c, N: n, LMax: lPkt,
+		DRef:       dRef,
+		LiT:        route.DelayBound(dRef),
+		SGLow:      float64(n) * t,
+		SGHigh:     2 * float64(n) * t,
+		PerLinkLiT: lPkt/c + d,
+		PerLinkSG:  [2]float64{t, 2 * t},
+		JitterLiT:  route.JitterBoundControl(dRef, lPkt),
+		JitterSG:   2 * t,
+	}
+}
+
+// Format renders the comparison.
+func (s Section4StopAndGo) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Section 4: Leave-in-Time vs Stop-and-Go (T=%.3gs, C=%.3g bit/s, %d hops, session rate 0.1C)\n",
+		s.T, s.C, s.N)
+	fmt.Fprintf(&b, "  end-to-end delay bound:  LiT %.4gs   Stop-and-Go [%.4gs, %.4gs)\n", s.LiT, s.SGLow, s.SGHigh)
+	fmt.Fprintf(&b, "  per-link increase:       LiT %.4gs   Stop-and-Go [%.4gs, %.4gs)\n", s.PerLinkLiT, s.PerLinkSG[0], s.PerLinkSG[1])
+	fmt.Fprintf(&b, "  jitter bound:            LiT %.4gs   Stop-and-Go %.4gs\n", s.JitterLiT, s.JitterSG)
+	return b.String()
+}
+
+// PGPSBound computes Parekh & Gallager's PGPS end-to-end delay bound
+// for a token-bucket (rate, b0) session of maximum packet length lMax
+// across n hops of capacity c (propagation excluded):
+//
+//	D <= b0/r + (N-1)*LMax/r + sum_n L_MAX/C_n.
+//
+// The paper's eq. (15) shows Leave-in-Time under admission control
+// procedure 1 with one class attains exactly this bound; a unit test
+// checks the two formulas coincide on the Figure 6 route.
+func PGPSBound(rate, b0, lMaxSession, lMaxNet float64, hops []admission.Hop) float64 {
+	d := b0 / rate
+	d += float64(len(hops)-1) * lMaxSession / rate
+	for _, h := range hops {
+		d += lMaxNet/h.C + h.Gamma
+	}
+	return d
+}
+
+// Section4PGPS checks eq. (15) against the PGPS bound on an n-hop route
+// with the given link capacity.
+type Section4PGPS struct {
+	LiT, PGPS float64
+}
+
+// RunSection4PGPS computes both bounds for a (rate, b0) session of
+// fixed packet length lPkt over n hops of capacity c with propagation
+// gamma.
+func RunSection4PGPS(rate, b0, lPkt, c, gamma float64, n int) Section4PGPS {
+	hops := make([]admission.Hop, n)
+	for i := range hops {
+		hops[i] = admission.Hop{C: c, Gamma: gamma, DMax: lPkt / rate}
+	}
+	route := admission.Route{Hops: hops, LMax: lPkt, Alpha: 0}
+	return Section4PGPS{
+		LiT:  route.DelayBoundTokenBucket(rate, b0),
+		PGPS: PGPSBound(rate, b0, lPkt, lPkt, hops),
+	}
+}

@@ -1,0 +1,246 @@
+// Package scenarios reconstructs the simulated experiments of Section 3
+// of the Leave-in-Time paper: the five-node tandem topology of Figure 6,
+// the MIX and CROSS traffic configurations, and one runner per figure
+// (7 through 17) plus the Section 4 analytic comparisons. Each runner
+// returns a result value whose Format method prints the same series the
+// paper plots.
+package scenarios
+
+import (
+	"fmt"
+
+	"leaveintime/internal/admission"
+	"leaveintime/internal/core"
+	"leaveintime/internal/event"
+	"leaveintime/internal/network"
+	"leaveintime/internal/rng"
+	"leaveintime/internal/traffic"
+)
+
+// Paper-wide constants (Section 3).
+const (
+	// T1Rate is the capacity of every link in Figure 6: 1536 kbit/s.
+	T1Rate = 1536e3
+	// PropDelay is the 1 ms propagation delay of every link.
+	PropDelay = 1e-3
+	// CellBits is the packet length of every traffic source: 424 bits,
+	// the length of an ATM cell. It is also L_MAX for the network.
+	CellBits = 424
+	// VoiceRate is the 32 kbit/s reserved rate of the ON-OFF and
+	// Deterministic sessions.
+	VoiceRate = 32e3
+	// OnMean is a_ON = 352 ms, the mean ON duration of ON-OFF sources.
+	OnMean = 0.352
+	// OnSpacing is T = 13.25 ms, the packet spacing in the ON state
+	// (424 bits / 13.25 ms = 32 kbit/s).
+	OnSpacing = 0.01325
+	// DetInterval is a_D = 13.25 ms, the constant interarrival of
+	// Deterministic sources.
+	DetInterval = 0.01325
+	// NumNodes is the tandem length of Figure 6.
+	NumNodes = 5
+)
+
+// AOffValues are the seven mean OFF durations swept in Figures 7 and
+// 14-17 (seconds), from near-deterministic to standard voice.
+var AOffValues = []float64{0.0065, 0.0185, 0.0391, 0.0880, 0.1509, 0.2880, 0.650}
+
+// Tandem is the instantiated Figure 6 network: five Leave-in-Time
+// servers in tandem. Ports[n] is the outgoing link of server node n+1.
+type Tandem struct {
+	Sim   *event.Simulator
+	Net   *network.Network
+	Ports []*network.Port
+	// AC2 holds the per-node admission-control-procedure-2 state when
+	// the tandem was built with classes; nil for the one-class AC1
+	// experiments.
+	AC2 []*admission.Procedure2
+	// AC1 likewise for procedure 1 with classes.
+	AC1 []*admission.Procedure1
+
+	nextID int
+}
+
+// TandemOptions tune the construction of the tandem.
+type TandemOptions struct {
+	// Approximate selects the calendar-queue transmission queue.
+	Approximate bool
+	// Classes, when non-nil, creates an admission controller per node
+	// with these classes; Proc selects which procedure (1 or 2).
+	Classes []admission.Class
+	Proc    int
+}
+
+// NewTandem builds the Figure 6 network with a Leave-in-Time server on
+// every link.
+func NewTandem(opt TandemOptions) *Tandem {
+	sim := event.New()
+	net := network.New(sim, CellBits)
+	t := &Tandem{Sim: sim, Net: net}
+	for n := 1; n <= NumNodes; n++ {
+		disc := core.New(core.Config{
+			Capacity:    T1Rate,
+			LMax:        CellBits,
+			Approximate: opt.Approximate,
+		})
+		t.Ports = append(t.Ports, net.NewPort(fmt.Sprintf("node%d", n), T1Rate, PropDelay, disc))
+	}
+	classes := opt.Classes
+	proc := opt.Proc
+	if classes == nil {
+		// Default: admission control procedure 1 with one class — the
+		// VirtualClock special case d = L/r — still enforcing the
+		// cumulative rate test (ineq. 18) per node.
+		classes = []admission.Class{{R: T1Rate, Sigma: 1}}
+		proc = 1
+	}
+	switch proc {
+	case 1:
+		for range t.Ports {
+			ac, err := admission.NewProcedure1(T1Rate, classes)
+			if err != nil {
+				panic(err)
+			}
+			t.AC1 = append(t.AC1, ac)
+		}
+	case 2:
+		for range t.Ports {
+			ac, err := admission.NewProcedure2(T1Rate, classes)
+			if err != nil {
+				panic(err)
+			}
+			t.AC2 = append(t.AC2, ac)
+		}
+	default:
+		panic("scenarios: Proc must be 1 or 2")
+	}
+	return t
+}
+
+// SessionDef describes one session to establish on the tandem.
+type SessionDef struct {
+	// Entrance and Exit are 1-based node numbers: the session traverses
+	// servers Entrance..Exit. Route a-j is (1, 5); route c-h is (3, 3).
+	Entrance, Exit int
+	Rate           float64
+	JitterCtrl     bool
+	// Class is the delay class for tandems built with admission
+	// classes; ignored (treated as the single class) otherwise.
+	Class int
+	Src   traffic.Source
+	// LMax/LMin default to CellBits when zero.
+	LMax, LMin float64
+}
+
+// Establish admits and wires the session, returning the network session
+// and the per-node service-parameter assignments used (one per hop).
+// Without admission classes the session gets the VirtualClock special
+// case d = L/r (AC1, one class, eps = 0).
+func (t *Tandem) Establish(def SessionDef) (*network.Session, []admission.Assignment) {
+	if def.Entrance < 1 || def.Exit > NumNodes || def.Entrance > def.Exit {
+		panic(fmt.Sprintf("scenarios: bad route %d-%d", def.Entrance, def.Exit))
+	}
+	if def.LMax == 0 {
+		def.LMax = CellBits
+	}
+	if def.LMin == 0 {
+		def.LMin = CellBits
+	}
+	t.nextID++
+	id := t.nextID
+	spec := admission.SessionSpec{ID: id, Rate: def.Rate, LMax: def.LMax, LMin: def.LMin}
+	class := def.Class
+	if class == 0 {
+		class = 1
+	}
+
+	route := t.Ports[def.Entrance-1 : def.Exit]
+	cfgs := make([]network.SessionPort, len(route))
+	assigns := make([]admission.Assignment, len(route))
+	for i := range route {
+		node := def.Entrance - 1 + i
+		var a admission.Assignment
+		var err error
+		if t.AC1 != nil {
+			a, err = t.AC1[node].Admit(spec, class, admission.Options{PerPacket: true})
+		} else {
+			a, err = t.AC2[node].Admit(spec, class, admission.Options{PerPacket: true})
+		}
+		if err != nil {
+			panic(fmt.Sprintf("scenarios: session %d rejected at node %d: %v", id, node+1, err))
+		}
+		assigns[i] = a
+		cfgs[i] = network.SessionPort{D: a.D, DMax: a.DMax}
+	}
+	s := t.Net.AddSession(id, def.Rate, def.JitterCtrl, route, cfgs, def.Src)
+	return s, assigns
+}
+
+// Route builds the admission.Route (bounds input) for a session
+// established over Entrance..Exit with the given per-hop assignments.
+func (t *Tandem) Route(def SessionDef, assigns []admission.Assignment) admission.Route {
+	hops := make([]admission.Hop, len(assigns))
+	for i, a := range assigns {
+		hops[i] = admission.Hop{C: T1Rate, Gamma: PropDelay, DMax: a.DMax}
+	}
+	spec := admission.SessionSpec{Rate: def.Rate, LMax: defOr(def.LMax), LMin: defOr(def.LMin)}
+	return admission.Route{
+		Hops:  hops,
+		LMax:  CellBits,
+		Alpha: assigns[len(assigns)-1].Alpha(spec),
+	}
+}
+
+func defOr(v float64) float64 {
+	if v == 0 {
+		return CellBits
+	}
+	return v
+}
+
+// NewOnOff builds a paper ON-OFF source with the given mean OFF time
+// and its own random stream.
+func NewOnOff(aOff float64, r *rng.Rand) *traffic.OnOff {
+	return &traffic.OnOff{
+		T:       OnSpacing,
+		Length:  CellBits,
+		MeanOn:  OnMean,
+		MeanOff: aOff,
+		Rng:     r,
+	}
+}
+
+// MixDef is one route entry of the MIX traffic configuration.
+type MixDef struct {
+	Entrance, Exit, Count int
+}
+
+// MixRoutes is the MIX traffic configuration of Section 3: 116 sessions
+// booking every link at exactly 48 x 32 kbit/s = 1536 kbit/s.
+//
+// (The paper's prose says the counts total "8 four-hop sessions", but
+// the per-route counts it gives — 6 sessions in each of a-i and b-j —
+// total 12 four-hop sessions; the per-route counts are the consistent
+// ones, since they book every link at exactly its capacity, so we use
+// them.)
+var MixRoutes = []MixDef{
+	{1, 5, 10}, // a-j, five-hop
+	{2, 2, 10}, // b-g
+	{3, 3, 10}, // c-h
+	{4, 4, 10}, // d-i
+	{1, 1, 16}, // a-f
+	{5, 5, 16}, // e-j
+	{1, 3, 8},  // a-h
+	{3, 5, 8},  // c-j
+	{1, 2, 8},  // a-g
+	{4, 5, 8},  // d-j
+	{1, 4, 6},  // a-i
+	{2, 5, 6},  // b-j
+}
+
+// CrossRoutes lists the one-hop routes of the CROSS configuration
+// (a-f, b-g, c-h, d-i, e-j); the five-hop route a-j carries the
+// measured sessions.
+var CrossRoutes = []MixDef{
+	{1, 1, 1}, {2, 2, 1}, {3, 3, 1}, {4, 4, 1}, {5, 5, 1},
+}

@@ -1,0 +1,132 @@
+package scenarios
+
+import (
+	"fmt"
+	"testing"
+
+	"leaveintime/internal/admission"
+	"leaveintime/internal/core"
+	"leaveintime/internal/event"
+	"leaveintime/internal/network"
+	"leaveintime/internal/rng"
+	"leaveintime/internal/traffic"
+)
+
+// TestVariableLengthBounds exercises the paths the paper's fixed-424-bit
+// experiments never reach: variable packet lengths with the per-packet
+// rule 1.3 (d proportional to L) and a nonzero alpha term. The delay
+// and jitter bounds must still hold.
+func TestVariableLengthBounds(t *testing.T) {
+	const (
+		lMaxNet  = 2000.0
+		lMin     = 200.0
+		capacity = 1e6
+		nHops    = 3
+	)
+	sim := event.New()
+	net := network.New(sim, lMaxNet)
+	var ports []*network.Port
+	for i := 0; i < nHops; i++ {
+		ports = append(ports, net.NewPort(fmt.Sprintf("n%d", i), capacity, 1e-4,
+			core.New(core.Config{Capacity: capacity, LMax: lMaxNet})))
+	}
+	r := rng.New(5)
+
+	type tagged struct {
+		s     *network.Session
+		bound float64
+		jb    float64
+	}
+	var all []tagged
+	// Two sessions with variable lengths, one with jitter control, plus
+	// a filler session.
+	for i, jc := range []bool{false, true} {
+		rate := 0.25 * capacity
+		b0 := 3 * lMaxNet
+		spec := admission.SessionSpec{ID: i + 1, Rate: rate, LMax: lMaxNet, LMin: lMin}
+		// Per-packet rule d(L) = L/r (one class), alpha = 0... make it
+		// interesting: fixed d = LMax/r (rule 1.3a), so alpha > 0.
+		d := lMaxNet / rate
+		assign := admission.Assignment{
+			D:    func(float64) float64 { return d },
+			DMax: d,
+			DMin: d,
+		}
+		lr := r.Split()
+		src := traffic.NewShaped(&traffic.VariableLength{
+			Src: &traffic.Poisson{Mean: lMaxNet / rate, Length: lMaxNet, Rng: lr},
+			Fn: func(int64) float64 {
+				return lMin + lr.Float64()*(lMaxNet-lMin)
+			},
+		}, rate, b0)
+		cfgs := make([]network.SessionPort, nHops)
+		hops := make([]admission.Hop, nHops)
+		for h := 0; h < nHops; h++ {
+			cfgs[h] = network.SessionPort{D: assign.D, DMax: assign.DMax}
+			hops[h] = admission.Hop{C: capacity, Gamma: 1e-4, DMax: d}
+		}
+		sess := net.AddSession(i+1, rate, jc, ports, cfgs, src)
+		route := admission.Route{Hops: hops, LMax: lMaxNet, Alpha: assign.Alpha(spec)}
+		if route.Alpha <= 0 {
+			t.Fatalf("expected positive alpha with fixed d and variable lengths, got %v", route.Alpha)
+		}
+		dRef := b0 / rate
+		var jb float64
+		if jc {
+			jb = route.JitterBoundControl(dRef, lMin)
+		} else {
+			jb = route.JitterBoundNoControl(dRef, lMin)
+		}
+		all = append(all, tagged{sess, route.DelayBound(dRef), jb})
+	}
+	// Filler taking the remaining capacity.
+	fillerCfg := make([]network.SessionPort, nHops)
+	filler := net.AddSession(9, 0.5*capacity, false, ports, fillerCfg,
+		&traffic.Poisson{Mean: lMaxNet / (0.5 * capacity), Length: lMaxNet, Rng: r.Split()})
+	filler.Start(0, 30)
+
+	for _, tg := range all {
+		tg.s.Start(0, 30)
+	}
+	sim.Run(35)
+
+	for i, tg := range all {
+		if tg.s.Delivered == 0 {
+			t.Fatalf("session %d starved", i+1)
+		}
+		if tg.s.Delays.Max() >= tg.bound {
+			t.Errorf("session %d: delay %v >= bound %v", i+1, tg.s.Delays.Max(), tg.bound)
+		}
+		if tg.s.Delays.Jitter() >= tg.jb {
+			t.Errorf("session %d: jitter %v >= bound %v", i+1, tg.s.Delays.Jitter(), tg.jb)
+		}
+	}
+}
+
+// TestPerPacketRuleReducesShortPacketDelay: under rule 1.3 short
+// packets get proportionally earlier deadlines than under rule 1.3a at
+// the same node.
+func TestPerPacketRuleReducesShortPacketDelay(t *testing.T) {
+	c := 1e6
+	ac1, err := admission.NewProcedure1(c, []admission.Class{{R: c, Sigma: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := admission.SessionSpec{ID: 1, Rate: 1e5, LMax: 2000, LMin: 200}
+	perPkt, err := ac1.Admit(spec, 1, admission.Options{PerPacket: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac2, _ := admission.NewProcedure1(c, []admission.Class{{R: c, Sigma: 1}})
+	fixed, err := ac2.Admit(spec, 1, admission.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perPkt.D(200) >= fixed.D(200) {
+		t.Errorf("rule 1.3 short-packet d %v should beat rule 1.3a's %v",
+			perPkt.D(200), fixed.D(200))
+	}
+	if perPkt.D(2000) != fixed.D(2000) {
+		t.Errorf("at LMax both rules coincide: %v vs %v", perPkt.D(2000), fixed.D(2000))
+	}
+}

@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"fmt"
+
+	"leaveintime/internal/network"
+	"leaveintime/internal/packet"
+)
+
+// DelayEDD is the Delay-EDD (earliest-due-date) discipline of Ferrari &
+// Verma (JSAC 1990). Each session declares a minimum packet
+// interarrival time x_min and receives a per-node delay budget d; a
+// packet's deadline is its *expected* arrival time plus d, where the
+// expected arrival enforces the declared spacing:
+//
+//	ExpArr_i = max{t_i, ExpArr_{i-1} + x_min},  Deadline_i = ExpArr_i + d.
+//
+// Deadlines are therefore decoupled from the reserved rate (unlike
+// Leave-in-Time's eq. 11), which is why Delay-EDD needs a separate
+// schedulability test at establishment time.
+type DelayEDD struct {
+	sessions map[int]*eddState
+	ready    pktHeap
+	stamp    uint64
+}
+
+type eddState struct {
+	cfg     network.SessionPort
+	expArr  float64
+	started bool
+}
+
+// NewDelayEDD returns an empty Delay-EDD server.
+func NewDelayEDD() *DelayEDD {
+	return &DelayEDD{sessions: make(map[int]*eddState)}
+}
+
+// AddSession implements network.Discipline. The session's LocalDelay
+// and XMin fields of SessionPort configure the deadline computation.
+func (d *DelayEDD) AddSession(cfg network.SessionPort) {
+	if cfg.LocalDelay <= 0 {
+		panic(fmt.Sprintf("sched: Delay-EDD session %d needs positive LocalDelay", cfg.Session))
+	}
+	d.sessions[cfg.Session] = &eddState{cfg: cfg}
+}
+
+// Enqueue implements network.Discipline.
+func (d *DelayEDD) Enqueue(p *packet.Packet, now float64) {
+	s, ok := d.sessions[p.Session]
+	if !ok {
+		panic(fmt.Sprintf("sched: Delay-EDD packet for unregistered session %d", p.Session))
+	}
+	exp := d.expectedArrival(s, now)
+	p.Eligible = now
+	p.Deadline = exp + s.cfg.LocalDelay
+	p.Delay = s.cfg.LocalDelay
+	d.stamp++
+	d.ready.push(p, p.Deadline, d.stamp)
+}
+
+func (d *DelayEDD) expectedArrival(s *eddState, t float64) float64 {
+	exp := t
+	if s.started && s.expArr+s.cfg.XMin > exp {
+		exp = s.expArr + s.cfg.XMin
+	}
+	s.expArr = exp
+	s.started = true
+	return exp
+}
+
+// Dequeue implements network.Discipline.
+func (d *DelayEDD) Dequeue(now float64) (*packet.Packet, bool) { return d.ready.popMin() }
+
+// NextEligible implements network.Discipline; Delay-EDD is
+// work-conserving.
+func (d *DelayEDD) NextEligible(now float64) (float64, bool) { return 0, false }
+
+// OnTransmit implements network.Discipline.
+func (d *DelayEDD) OnTransmit(p *packet.Packet, finish float64) { p.Hold = 0 }
+
+// Len implements network.Discipline.
+func (d *DelayEDD) Len() int { return d.ready.len() }
+
+// JitterEDD is Verma, Zhang & Ferrari's Jitter-EDD (TriCom 1991):
+// Delay-EDD extended with delay regulators. When a packet finishes at a
+// node ahead of its deadline, the slack (deadline - actual finish) is
+// carried in the packet header, and the next node holds the packet for
+// that long before computing its deadline. This reconstructs the fully
+// regulated arrival pattern at every hop and bounds delay jitter — the
+// mechanism Leave-in-Time's regulators (eq. 9) build on.
+type JitterEDD struct {
+	inner     DelayEDD
+	regulator pktHeap
+	stamp     uint64
+}
+
+// NewJitterEDD returns an empty Jitter-EDD server.
+func NewJitterEDD() *JitterEDD {
+	return &JitterEDD{inner: DelayEDD{sessions: make(map[int]*eddState)}}
+}
+
+// AddSession implements network.Discipline.
+func (j *JitterEDD) AddSession(cfg network.SessionPort) { j.inner.AddSession(cfg) }
+
+// Enqueue implements network.Discipline. p.Hold carries the upstream
+// slack; the packet is held until now + Hold.
+func (j *JitterEDD) Enqueue(p *packet.Packet, now float64) {
+	e := now + p.Hold
+	if e > now {
+		p.Eligible = e
+		j.stamp++
+		j.regulator.push(p, e, j.stamp)
+		return
+	}
+	j.inner.Enqueue(p, now)
+}
+
+// Dequeue implements network.Discipline.
+func (j *JitterEDD) Dequeue(now float64) (*packet.Packet, bool) {
+	j.release(now)
+	return j.inner.Dequeue(now)
+}
+
+// NextEligible implements network.Discipline.
+func (j *JitterEDD) NextEligible(now float64) (float64, bool) {
+	j.release(now)
+	if j.inner.ready.len() > 0 {
+		return now, true
+	}
+	return j.regulator.peekKey()
+}
+
+func (j *JitterEDD) release(now float64) {
+	for {
+		k, ok := j.regulator.peekKey()
+		if !ok || k > now {
+			return
+		}
+		p, _ := j.regulator.popMin()
+		// The deadline computation sees the eligibility time, as in the
+		// regulated Delay-EDD definition.
+		j.inner.Enqueue(p, k)
+	}
+}
+
+// OnTransmit implements network.Discipline: the slack deadline - finish
+// becomes the downstream holding time.
+func (j *JitterEDD) OnTransmit(p *packet.Packet, finish float64) {
+	p.Hold = p.Deadline - finish
+	if p.Hold < 0 {
+		p.Hold = 0
+	}
+}
+
+// Len implements network.Discipline.
+func (j *JitterEDD) Len() int { return j.inner.Len() + j.regulator.len() }

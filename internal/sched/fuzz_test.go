@@ -1,0 +1,63 @@
+package sched
+
+import (
+	"testing"
+
+	"leaveintime/internal/network"
+	"leaveintime/internal/packet"
+)
+
+// FuzzWFQConservation drives WFQ with an arbitrary interleaving of
+// arrivals and service completions decoded from fuzz bytes: every
+// enqueued packet must come out exactly once, per-session FIFO order
+// must hold, and the GPS bookkeeping must never wedge.
+func FuzzWFQConservation(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0, 0, 0, 0, 255, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		w := NewWFQ(1000)
+		rates := []float64{100, 300, 600}
+		for s, rate := range rates {
+			w.AddSession(network.SessionPort{Session: s + 1, Rate: rate})
+		}
+		now := 0.0
+		sent, got := 0, 0
+		seq := map[int]int64{}
+		lastOut := map[int]int64{}
+		for i := 0; i+1 < len(data); i += 2 {
+			now += float64(data[i]) / 200
+			if data[i+1]%4 != 0 || w.Len() == 0 {
+				s := 1 + int(data[i+1])%3
+				seq[s]++
+				w.Enqueue(&packet.Packet{Session: s, Seq: seq[s],
+					Length: 50 + float64(data[i+1])}, now)
+				sent++
+			} else {
+				p, ok := w.Dequeue(now)
+				if !ok {
+					t.Fatal("dequeue failed with Len > 0")
+				}
+				got++
+				if p.Seq <= lastOut[p.Session] {
+					t.Fatalf("session %d FIFO violated: %d after %d",
+						p.Session, p.Seq, lastOut[p.Session])
+				}
+				lastOut[p.Session] = p.Seq
+			}
+		}
+		for {
+			p, ok := w.Dequeue(now + 1e6)
+			if !ok {
+				break
+			}
+			got++
+			if p.Seq <= lastOut[p.Session] {
+				t.Fatal("FIFO violated in drain")
+			}
+			lastOut[p.Session] = p.Seq
+		}
+		if got != sent {
+			t.Fatalf("conservation: %d in, %d out", sent, got)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package sched
+
+import (
+	"container/heap"
+
+	"leaveintime/internal/packet"
+)
+
+// pktHeap is a deterministic min-heap of packets keyed by (key, stamp):
+// the shared sorted-priority-queue building block of the deadline-based
+// baselines.
+type pktHeap struct{ h pentryHeap }
+
+type pentry struct {
+	p     *packet.Packet
+	key   float64
+	stamp uint64
+}
+
+func (q *pktHeap) push(p *packet.Packet, key float64, stamp uint64) {
+	heap.Push(&q.h, pentry{p: p, key: key, stamp: stamp})
+}
+
+func (q *pktHeap) popMin() (*packet.Packet, bool) {
+	if len(q.h) == 0 {
+		return nil, false
+	}
+	return heap.Pop(&q.h).(pentry).p, true
+}
+
+func (q *pktHeap) peekKey() (float64, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].key, true
+}
+
+func (q *pktHeap) peekMin() (*packet.Packet, bool) {
+	if len(q.h) == 0 {
+		return nil, false
+	}
+	return q.h[0].p, true
+}
+
+func (q *pktHeap) len() int { return len(q.h) }
+
+type pentryHeap []pentry
+
+func (h pentryHeap) Len() int { return len(h) }
+func (h pentryHeap) Less(i, j int) bool {
+	if h[i].key != h[j].key {
+		return h[i].key < h[j].key
+	}
+	return h[i].stamp < h[j].stamp
+}
+func (h pentryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pentryHeap) Push(x any)   { *h = append(*h, x.(pentry)) }
+func (h *pentryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,178 @@
+package sched
+
+import (
+	"fmt"
+
+	"leaveintime/internal/network"
+	"leaveintime/internal/packet"
+)
+
+// RCSP is Zhang & Ferrari's Rate-Controlled Static-Priority queueing
+// (INFOCOM 1993), the discipline the paper credits with avoiding both
+// framing strategies and sorted priority queues. Each node separates
+// rate control from delay control:
+//
+//   - a per-session *rate controller* (regulator) reshapes the session
+//     to its declared minimum interarrival x_min by holding early
+//     packets until Eligible_i = max(t_i, Eligible_{i-1} + x_min);
+//   - eligible packets enter one of a small number of static-priority
+//     FIFO queues; the server always takes the head of the
+//     highest-priority (lowest-numbered) nonempty queue.
+//
+// A session's priority level carries a per-node delay bound; the
+// schedulability test at establishment time (not re-implemented here —
+// sessions declare their level) ensures each level's bound holds.
+type RCSP struct {
+	levels   int
+	sessions map[int]*rcspState
+	queues   []fifoQ
+	// held packets ordered by eligibility.
+	regulator pktHeap
+	stamp     uint64
+}
+
+type rcspState struct {
+	cfg      network.SessionPort
+	level    int
+	eligible float64 // Eligible_{i-1}
+	started  bool
+}
+
+// fifoQ is a FIFO of packets.
+type fifoQ struct {
+	items []*packet.Packet
+	head  int
+}
+
+func (f *fifoQ) push(p *packet.Packet) { f.items = append(f.items, p) }
+
+func (f *fifoQ) pop() (*packet.Packet, bool) {
+	if f.head >= len(f.items) {
+		return nil, false
+	}
+	p := f.items[f.head]
+	f.items[f.head] = nil
+	f.head++
+	if f.head == len(f.items) {
+		f.items = f.items[:0]
+		f.head = 0
+	}
+	return p, true
+}
+
+func (f *fifoQ) len() int { return len(f.items) - f.head }
+
+// NewRCSP returns an RCSP server with the given number of priority
+// levels (level 1 is served first).
+func NewRCSP(levels int) *RCSP {
+	if levels <= 0 {
+		panic("sched: RCSP needs at least one priority level")
+	}
+	return &RCSP{
+		levels:   levels,
+		sessions: make(map[int]*rcspState),
+		queues:   make(fifoQSlice, levels),
+	}
+}
+
+type fifoQSlice = []fifoQ
+
+// AddSessionLevel registers a session at the given priority level
+// (1-based). The session's XMin field of SessionPort configures its
+// rate controller; LocalDelay documents the level's delay bound (used
+// only for the packet's Deadline stamp).
+func (r *RCSP) AddSessionLevel(cfg network.SessionPort, level int) {
+	if level < 1 || level > r.levels {
+		panic(fmt.Sprintf("sched: RCSP level %d out of range 1..%d", level, r.levels))
+	}
+	r.sessions[cfg.Session] = &rcspState{cfg: cfg, level: level}
+}
+
+// AddSession implements network.Discipline; sessions registered this
+// way join the lowest-priority level. Use AddSessionLevel for real
+// level assignment.
+func (r *RCSP) AddSession(cfg network.SessionPort) {
+	r.AddSessionLevel(cfg, r.levels)
+}
+
+// Enqueue implements network.Discipline.
+func (r *RCSP) Enqueue(p *packet.Packet, now float64) {
+	s, ok := r.sessions[p.Session]
+	if !ok {
+		panic(fmt.Sprintf("sched: RCSP packet for unregistered session %d", p.Session))
+	}
+	// Jitter-controlling RCSP holds the packet for the slack carried
+	// from the upstream node (p.Hold is 0 otherwise), then applies the
+	// x_min rate control.
+	e := now + p.Hold
+	if s.started && s.cfg.XMin > 0 && s.eligible+s.cfg.XMin > e {
+		e = s.eligible + s.cfg.XMin
+	}
+	s.eligible = e
+	s.started = true
+	p.Eligible = e
+	p.Deadline = e + s.cfg.LocalDelay
+	r.stamp++
+	if e > now {
+		r.regulator.push(p, e, r.stamp)
+		return
+	}
+	r.queues[s.level-1].push(p)
+}
+
+// Dequeue implements network.Discipline.
+func (r *RCSP) Dequeue(now float64) (*packet.Packet, bool) {
+	r.release(now)
+	for i := range r.queues {
+		if p, ok := r.queues[i].pop(); ok {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// NextEligible implements network.Discipline.
+func (r *RCSP) NextEligible(now float64) (float64, bool) {
+	r.release(now)
+	for i := range r.queues {
+		if r.queues[i].len() > 0 {
+			return now, true
+		}
+	}
+	return r.regulator.peekKey()
+}
+
+func (r *RCSP) release(now float64) {
+	for {
+		k, ok := r.regulator.peekKey()
+		if !ok || k > now {
+			return
+		}
+		p, _ := r.regulator.popMin()
+		r.queues[r.sessions[p.Session].level-1].push(p)
+	}
+}
+
+// OnTransmit implements network.Discipline. RCSP's jitter-controlling
+// variant carries the slack to the next node's regulator like
+// Jitter-EDD; sessions opt in via JitterControl.
+func (r *RCSP) OnTransmit(p *packet.Packet, finish float64) {
+	s := r.sessions[p.Session]
+	if s != nil && s.cfg.JitterControl {
+		p.Hold = p.Deadline - finish
+		if p.Hold < 0 {
+			p.Hold = 0
+		}
+		return
+	}
+	p.Hold = 0
+}
+
+// Len implements network.Discipline.
+func (r *RCSP) Len() int {
+	n := r.regulator.len()
+	for i := range r.queues {
+		n += r.queues[i].len()
+	}
+	return n
+}

@@ -1,0 +1,88 @@
+package sched
+
+import (
+	"math"
+
+	"leaveintime/internal/network"
+	"leaveintime/internal/packet"
+)
+
+// StopAndGo is Golestani's Stop-and-Go queueing (SIGCOMM 1990), a
+// framing-based non-work-conserving discipline. Time on the outgoing
+// link is divided into frames of length T. A packet arriving during one
+// frame becomes eligible only at the start of the next frame; eligible
+// packets are served FCFS. Admission requires every session to be
+// (r_s, T)-smooth — at most r_s*T bits per frame — which the
+// sessions' token-bucket shaping provides.
+//
+// This implementation uses a single frame size per port with frame
+// boundaries at multiples of T (phase offsets between links are
+// absorbed into the per-link frame delay, which the delay bound's alpha
+// in [1,2) accounts for).
+type StopAndGo struct {
+	// T is the frame length in seconds.
+	T float64
+
+	ready   pktHeap // keyed by eligibility (frame start), FCFS within
+	pending pktHeap // packets waiting for their frame boundary
+	stamp   uint64
+}
+
+// NewStopAndGo returns a Stop-and-Go server with frame length t.
+func NewStopAndGo(t float64) *StopAndGo {
+	if t <= 0 {
+		panic("sched: Stop-and-Go needs positive frame length")
+	}
+	return &StopAndGo{T: t}
+}
+
+// AddSession implements network.Discipline (per-session smoothness is
+// the admission procedure's concern, not the scheduler's).
+func (g *StopAndGo) AddSession(network.SessionPort) {}
+
+// Enqueue implements network.Discipline.
+func (g *StopAndGo) Enqueue(p *packet.Packet, now float64) {
+	// Eligible at the start of the frame after the arrival frame.
+	e := (math.Floor(now/g.T) + 1) * g.T
+	p.Eligible = e
+	p.Deadline = e + g.T // must leave within its departure frame
+	g.stamp++
+	if e > now {
+		g.pending.push(p, e, g.stamp)
+		return
+	}
+	g.ready.push(p, e, g.stamp)
+}
+
+// Dequeue implements network.Discipline.
+func (g *StopAndGo) Dequeue(now float64) (*packet.Packet, bool) {
+	g.release(now)
+	return g.ready.popMin()
+}
+
+// NextEligible implements network.Discipline.
+func (g *StopAndGo) NextEligible(now float64) (float64, bool) {
+	g.release(now)
+	if g.ready.len() > 0 {
+		return now, true
+	}
+	return g.pending.peekKey()
+}
+
+func (g *StopAndGo) release(now float64) {
+	for {
+		k, ok := g.pending.peekKey()
+		if !ok || k > now {
+			return
+		}
+		p, _ := g.pending.popMin()
+		g.stamp++
+		g.ready.push(p, k, g.stamp)
+	}
+}
+
+// OnTransmit implements network.Discipline.
+func (g *StopAndGo) OnTransmit(p *packet.Packet, finish float64) { p.Hold = 0 }
+
+// Len implements network.Discipline.
+func (g *StopAndGo) Len() int { return g.ready.len() + g.pending.len() }

@@ -1,0 +1,140 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"leaveintime/internal/network"
+	"leaveintime/internal/packet"
+)
+
+// WF2Q is Worst-case Fair Weighted Fair Queueing (Bennett & Zhang,
+// INFOCOM 1996) — the refinement of WFQ published the year after the
+// Leave-in-Time paper, included here as the natural "future work"
+// comparison point. WF2Q keeps WFQ's GPS virtual time and finish tags
+// but considers a packet eligible for service only once its GPS service
+// has *started* (virtual start tag <= V(now)). This removes WFQ's
+// ability to run up to one round ahead of GPS and achieves worst-case
+// fairness, at the cost of a non-work-conserving-looking eligibility
+// check (the discipline is still work-conserving: some queued packet is
+// always eligible whenever the GPS system is backlogged).
+type WF2Q struct {
+	wfq *WFQ // reuses the exact GPS virtual-time machinery
+
+	// queued packets with their (start, finish) tags.
+	pending wf2qHeap
+	stamp   uint64
+}
+
+type wf2qEntry struct {
+	p     *packet.Packet
+	start float64
+	fin   float64
+	stamp uint64
+}
+
+// NewWF2Q returns a WF2Q server for a link of the given capacity.
+func NewWF2Q(capacity float64) *WF2Q {
+	return &WF2Q{wfq: NewWFQ(capacity)}
+}
+
+// AddSession implements network.Discipline.
+func (w *WF2Q) AddSession(cfg network.SessionPort) { w.wfq.AddSession(cfg) }
+
+// Enqueue implements network.Discipline.
+func (w *WF2Q) Enqueue(p *packet.Packet, now float64) {
+	s := w.wfq.sessions[p.Session]
+	if s == nil {
+		panic(fmt.Sprintf("sched: WF2Q packet for unregistered session %d", p.Session))
+	}
+	w.wfq.advance(now)
+	start := w.wfq.v
+	if s.inB && s.fPrev > start {
+		start = s.fPrev
+	}
+	fin := start + p.Length/s.weight
+	s.fPrev = fin
+	if !s.inB {
+		s.inB = true
+		w.wfq.weightSum += s.weight
+	}
+	heap.Push(&w.wfq.backlog, tagEntry{tag: fin, s: s})
+	p.Eligible = now
+	p.Deadline = fin
+	w.stamp++
+	heap.Push(&w.pending, wf2qEntry{p: p, start: start, fin: fin, stamp: w.stamp})
+}
+
+// Dequeue implements network.Discipline: among packets whose GPS
+// service has begun (start tag <= V), pick the smallest finish tag.
+func (w *WF2Q) Dequeue(now float64) (*packet.Packet, bool) {
+	w.wfq.advance(now)
+	// The heap orders by finish tag; scan from the top for the first
+	// eligible entry. The number of skips is bounded by the number of
+	// sessions (at most one ineligible head-of-line packet each).
+	var skipped []wf2qEntry
+	for len(w.pending) > 0 {
+		e := heap.Pop(&w.pending).(wf2qEntry)
+		if e.start <= w.wfq.v+1e-12 {
+			for _, sk := range skipped {
+				heap.Push(&w.pending, sk)
+			}
+			return e.p, true
+		}
+		skipped = append(skipped, e)
+	}
+	for _, sk := range skipped {
+		heap.Push(&w.pending, sk)
+	}
+	// GPS backlogged but nothing eligible cannot happen when the link
+	// has been busy; after idle gaps V may trail arrivals, so nudge V
+	// to the smallest start tag and retry once.
+	if len(w.pending) > 0 {
+		minStart := w.pending[0].start
+		for _, e := range w.pending {
+			if e.start < minStart {
+				minStart = e.start
+			}
+		}
+		if minStart > w.wfq.v {
+			w.wfq.v = minStart
+			return w.Dequeue(now)
+		}
+	}
+	return nil, false
+}
+
+// NextEligible implements network.Discipline; WF2Q always has an
+// eligible packet while backlogged (see Dequeue), so it never asks for
+// a wake-up.
+func (w *WF2Q) NextEligible(now float64) (float64, bool) {
+	if len(w.pending) > 0 {
+		return now, true
+	}
+	return 0, false
+}
+
+// OnTransmit implements network.Discipline.
+func (w *WF2Q) OnTransmit(p *packet.Packet, finish float64) { p.Hold = 0 }
+
+// Len implements network.Discipline.
+func (w *WF2Q) Len() int { return len(w.pending) }
+
+type wf2qHeap []wf2qEntry
+
+func (h wf2qHeap) Len() int { return len(h) }
+func (h wf2qHeap) Less(i, j int) bool {
+	if h[i].fin != h[j].fin {
+		return h[i].fin < h[j].fin
+	}
+	return h[i].stamp < h[j].stamp
+}
+func (h wf2qHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *wf2qHeap) Push(x any)   { *h = append(*h, x.(wf2qEntry)) }
+func (h *wf2qHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

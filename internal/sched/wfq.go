@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+
+	"leaveintime/internal/network"
+	"leaveintime/internal/packet"
+)
+
+// WFQ is Weighted Fair Queueing (Demers, Keshav & Shenker, SIGCOMM
+// 1989), the packet-by-packet emulation of Generalized Processor
+// Sharing that Parekh & Gallager analyzed as PGPS. Each packet is
+// stamped with the GPS virtual finishing time
+//
+//	S_i = max{V(a_i), F_{i-1}},  F_i = S_i + L_i/w_s,
+//
+// where w_s is the session weight (its reserved rate) and V is the GPS
+// virtual time, which advances at rate C / (sum of weights of
+// GPS-backlogged sessions). Packets are served in increasing F order.
+//
+// Unlike Leave-in-Time and VirtualClock — whose deadlines depend only
+// on the session's own past (paper, Section 4) — V(t) couples every
+// stamp to the instantaneous set of backlogged sessions, which is what
+// makes WFQ both "fair" and more expensive to compute. This
+// implementation tracks the exact GPS fluid system: a session stays
+// GPS-backlogged until V reaches its last finishing tag.
+type WFQ struct {
+	// C is the link capacity in bits/s, needed to advance virtual time.
+	C float64
+
+	sessions map[int]*wfqState
+	ready    pktHeap
+	stamp    uint64
+
+	v          float64 // current virtual time V
+	lastUpdate float64 // real time at which v was computed
+	weightSum  float64 // sum of weights of GPS-backlogged sessions
+	backlog    tagHeap // (finish tag, session) entries, lazily deleted
+}
+
+type wfqState struct {
+	id     int
+	weight float64
+	fPrev  float64 // last assigned virtual finish tag
+	inB    bool    // GPS-backlogged
+}
+
+// NewWFQ returns a WFQ server for a link of the given capacity.
+func NewWFQ(capacity float64) *WFQ {
+	if capacity <= 0 {
+		panic("sched: WFQ needs positive capacity")
+	}
+	return &WFQ{C: capacity, sessions: make(map[int]*wfqState)}
+}
+
+// AddSession implements network.Discipline; the session weight is its
+// reserved rate.
+func (w *WFQ) AddSession(cfg network.SessionPort) {
+	if cfg.Rate <= 0 {
+		panic(fmt.Sprintf("sched: WFQ session %d needs positive rate", cfg.Session))
+	}
+	w.sessions[cfg.Session] = &wfqState{id: cfg.Session, weight: cfg.Rate}
+}
+
+// Enqueue implements network.Discipline.
+func (w *WFQ) Enqueue(p *packet.Packet, now float64) {
+	s, ok := w.sessions[p.Session]
+	if !ok {
+		panic(fmt.Sprintf("sched: WFQ packet for unregistered session %d", p.Session))
+	}
+	w.advance(now)
+	start := w.v
+	if s.inB && s.fPrev > start {
+		start = s.fPrev
+	}
+	f := start + p.Length/s.weight
+	s.fPrev = f
+	if !s.inB {
+		s.inB = true
+		w.weightSum += s.weight
+	}
+	heap.Push(&w.backlog, tagEntry{tag: f, s: s})
+	p.Eligible = now
+	p.Deadline = f // virtual units; ordering is what matters
+	w.stamp++
+	w.ready.push(p, f, w.stamp)
+}
+
+// advance moves the GPS fluid system from lastUpdate to real time t,
+// processing virtual-time breakpoints where sessions drain out of the
+// GPS backlog.
+func (w *WFQ) advance(t float64) {
+	for t > w.lastUpdate {
+		if w.weightSum <= 0 {
+			// GPS system idle: virtual time is frozen.
+			w.lastUpdate = t
+			return
+		}
+		e, ok := w.peekBacklog()
+		if !ok {
+			// No live tags: the GPS system is empty; clear any
+			// floating-point residue in the weight sum.
+			w.weightSum = 0
+			w.lastUpdate = t
+			return
+		}
+		// Real time needed to reach the next departure tag.
+		need := (e.tag - w.v) * w.weightSum / w.C
+		if w.lastUpdate+need > t {
+			w.v += (t - w.lastUpdate) * w.C / w.weightSum
+			w.lastUpdate = t
+			return
+		}
+		w.lastUpdate += need
+		w.v = e.tag
+		heap.Pop(&w.backlog)
+		// The session leaves the GPS backlog only if this tag is still
+		// its latest packet's tag.
+		if e.s.inB && e.s.fPrev == e.tag {
+			e.s.inB = false
+			w.weightSum -= e.s.weight
+			if w.weightSum < 1e-9 {
+				w.weightSum = 0
+			}
+		}
+	}
+}
+
+// peekBacklog returns the smallest live finish tag, discarding stale
+// entries (tags superseded by later packets of the same session).
+func (w *WFQ) peekBacklog() (tagEntry, bool) {
+	for len(w.backlog) > 0 {
+		e := w.backlog[0]
+		if e.s.inB && e.tag <= e.s.fPrev {
+			return e, true
+		}
+		heap.Pop(&w.backlog)
+	}
+	return tagEntry{}, false
+}
+
+// Dequeue implements network.Discipline.
+func (w *WFQ) Dequeue(now float64) (*packet.Packet, bool) {
+	w.advance(now)
+	return w.ready.popMin()
+}
+
+// NextEligible implements network.Discipline; WFQ is work-conserving.
+func (w *WFQ) NextEligible(now float64) (float64, bool) { return 0, false }
+
+// OnTransmit implements network.Discipline.
+func (w *WFQ) OnTransmit(p *packet.Packet, finish float64) { p.Hold = 0 }
+
+// Len implements network.Discipline.
+func (w *WFQ) Len() int { return w.ready.len() }
+
+// RemoveSession implements network.SessionRemover. The session must be
+// drained (not GPS-backlogged).
+func (w *WFQ) RemoveSession(id int) {
+	if s := w.sessions[id]; s != nil && s.inB {
+		panic("sched: WFQ.RemoveSession while session is backlogged")
+	}
+	delete(w.sessions, id)
+}
+
+// tagEntry pairs a GPS finish tag with its session for the backlog
+// heap.
+type tagEntry struct {
+	tag float64
+	s   *wfqState
+}
+
+type tagHeap []tagEntry
+
+func (h tagHeap) Len() int           { return len(h) }
+func (h tagHeap) Less(i, j int) bool { return h[i].tag < h[j].tag }
+func (h tagHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *tagHeap) Push(x any)        { *h = append(*h, x.(tagEntry)) }
+func (h *tagHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}

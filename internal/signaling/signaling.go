@@ -1,0 +1,212 @@
+// Package signaling simulates connection establishment and teardown in
+// a Leave-in-Time network. The paper assumes a connection-oriented
+// substrate — "a session's connection is established if the admission
+// control tests are satisfied in all the nodes along the session's
+// route" — and this package provides it: a SETUP message travels the
+// route hop by hop, running the admission test at each node and
+// accumulating the per-node service-parameter assignments; an ACCEPT
+// travels back confirming the reservation, or a REJECT releases
+// everything reserved so far. Signaling messages experience the same
+// link propagation delays as data, plus a configurable per-node
+// processing time, so establishment latency is part of the simulation.
+package signaling
+
+import (
+	"errors"
+	"fmt"
+
+	"leaveintime/internal/admission"
+	"leaveintime/internal/event"
+)
+
+// Admitter is the per-node admission interface the signaling layer
+// drives. Both admission.Procedure1 and admission.Procedure2 satisfy it
+// via thin adapters (see Proc1Admitter / Proc2Admitter); custom
+// policies can implement it directly.
+type Admitter interface {
+	// Admit runs the node's admission test for the session, reserving
+	// on success.
+	Admit(spec admission.SessionSpec, class int, opts admission.Options) (admission.Assignment, error)
+	// Release frees a previously admitted session's reservation.
+	Release(id int) bool
+}
+
+// Proc1Admitter adapts admission.Procedure1.
+type Proc1Admitter struct{ P *admission.Procedure1 }
+
+// Admit implements Admitter.
+func (a Proc1Admitter) Admit(spec admission.SessionSpec, class int, opts admission.Options) (admission.Assignment, error) {
+	return a.P.Admit(spec, class, opts)
+}
+
+// Release implements Admitter.
+func (a Proc1Admitter) Release(id int) bool { return a.P.Remove(id) }
+
+// Proc2Admitter adapts admission.Procedure2.
+type Proc2Admitter struct{ P *admission.Procedure2 }
+
+// Admit implements Admitter.
+func (a Proc2Admitter) Admit(spec admission.SessionSpec, class int, opts admission.Options) (admission.Assignment, error) {
+	return a.P.Admit(spec, class, opts)
+}
+
+// Release implements Admitter.
+func (a Proc2Admitter) Release(id int) bool { return a.P.Remove(id) }
+
+// Node is one switching node on a signaling path.
+type Node struct {
+	Name string
+	// Admit guards the node's outgoing link.
+	Admit Admitter
+	// Gamma is the propagation delay of the outgoing link, seconds
+	// (SETUP to the next node and ACCEPT/REJECT back both pay it).
+	Gamma float64
+	// Processing is the admission-test processing time at this node.
+	Processing float64
+}
+
+// Request describes a connection to establish.
+type Request struct {
+	Spec  admission.SessionSpec
+	Class int
+	Opts  admission.Options
+}
+
+// Result is the outcome of an establishment attempt.
+type Result struct {
+	// Accepted reports whether the connection was established.
+	Accepted bool
+	// Err carries the rejecting node's admission error (nil when
+	// accepted).
+	Err error
+	// RejectedAt is the index of the rejecting node (-1 when
+	// accepted).
+	RejectedAt int
+	// Assignments are the per-node service parameters (accepted only).
+	Assignments []admission.Assignment
+	// SetupLatency is the simulated time from request to the
+	// source learning the outcome (round trip of SETUP + ACCEPT or
+	// partial trip + REJECT).
+	SetupLatency float64
+}
+
+// Signaler establishes and tears down connections over a path of
+// nodes, using simulated time for message propagation and processing.
+type Signaler struct {
+	Sim  *event.Simulator
+	Path []*Node
+
+	established map[int][]int // session -> node indexes holding reservations
+}
+
+// New returns a signaler over the given path.
+func New(sim *event.Simulator, path []*Node) *Signaler {
+	if len(path) == 0 {
+		panic("signaling: empty path")
+	}
+	return &Signaler{Sim: sim, Path: path, established: make(map[int][]int)}
+}
+
+// ErrAlreadyEstablished is returned when a session id is reused before
+// teardown.
+var ErrAlreadyEstablished = errors.New("signaling: session already established")
+
+// Establish runs the SETUP/ACCEPT exchange, invoking done (in simulated
+// time) when the source learns the outcome. It returns immediately; the
+// exchange plays out as simulator events.
+func (s *Signaler) Establish(req Request, done func(Result)) {
+	if _, ok := s.established[req.Spec.ID]; ok {
+		done(Result{Accepted: false, Err: ErrAlreadyEstablished, RejectedAt: -1})
+		return
+	}
+	start := s.Sim.Now()
+	assigns := make([]admission.Assignment, 0, len(s.Path))
+	var walk func(i int, t float64)
+	walk = func(i int, t float64) {
+		node := s.Path[i]
+		s.Sim.Schedule(t+node.Processing, func() {
+			now := s.Sim.Now()
+			a, err := node.Admit.Admit(req.Spec, req.Class, req.Opts)
+			if err != nil {
+				// REJECT travels back over the i upstream links.
+				back := now + backhaul(s.Path[:i])
+				i := i
+				s.Sim.Schedule(back, func() {
+					s.releaseUpTo(req.Spec.ID, i)
+					done(Result{
+						Accepted:     false,
+						Err:          err,
+						RejectedAt:   i,
+						SetupLatency: s.Sim.Now() - start,
+					})
+				})
+				return
+			}
+			assigns = append(assigns, a)
+			s.established[req.Spec.ID] = append(s.established[req.Spec.ID], i)
+			if i+1 < len(s.Path) {
+				walk(i+1, now+node.Gamma)
+				return
+			}
+			// ACCEPT travels back over every link.
+			back := now + backhaul(s.Path)
+			s.Sim.Schedule(back, func() {
+				done(Result{
+					Accepted:     true,
+					RejectedAt:   -1,
+					Assignments:  assigns,
+					SetupLatency: s.Sim.Now() - start,
+				})
+			})
+		})
+	}
+	walk(0, start)
+}
+
+// backhaul sums the propagation delays of the given nodes' links (the
+// return trip of an ACCEPT/REJECT).
+func backhaul(nodes []*Node) float64 {
+	var sum float64
+	for _, n := range nodes {
+		sum += n.Gamma
+	}
+	return sum
+}
+
+// releaseUpTo frees reservations the SETUP made before being rejected.
+func (s *Signaler) releaseUpTo(id, upTo int) {
+	for _, i := range s.established[id] {
+		if i < upTo {
+			s.Path[i].Admit.Release(id)
+		}
+	}
+	delete(s.established, id)
+}
+
+// Teardown releases an established connection at every node, invoking
+// done when the RELEASE message has traversed the path.
+func (s *Signaler) Teardown(id int, done func()) error {
+	nodes, ok := s.established[id]
+	if !ok {
+		return fmt.Errorf("signaling: session %d not established", id)
+	}
+	var t float64 = s.Sim.Now()
+	for _, i := range nodes {
+		node := s.Path[i]
+		t += node.Processing
+		i := i
+		s.Sim.Schedule(t, func() { s.Path[i].Admit.Release(id) })
+		t += node.Gamma
+	}
+	delete(s.established, id)
+	if done != nil {
+		s.Sim.Schedule(t, done)
+	}
+	return nil
+}
+
+// Established reports whether the session currently holds reservations.
+func (s *Signaler) Established(id int) bool {
+	_, ok := s.established[id]
+	return ok
+}

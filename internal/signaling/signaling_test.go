@@ -1,0 +1,182 @@
+package signaling
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"leaveintime/internal/admission"
+	"leaveintime/internal/event"
+)
+
+func newPath(t *testing.T, sim *event.Simulator, n int, capacity float64) []*Node {
+	t.Helper()
+	var path []*Node
+	for i := 0; i < n; i++ {
+		ac, err := admission.NewProcedure1(capacity, []admission.Class{{R: capacity, Sigma: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		path = append(path, &Node{
+			Name:       string(rune('A' + i)),
+			Admit:      Proc1Admitter{ac},
+			Gamma:      1e-3,
+			Processing: 0.5e-3,
+		})
+	}
+	return path
+}
+
+func spec(id int, rate float64) admission.SessionSpec {
+	return admission.SessionSpec{ID: id, Rate: rate, LMax: 424, LMin: 424}
+}
+
+func TestEstablishAccept(t *testing.T) {
+	sim := event.New()
+	path := newPath(t, sim, 3, 1e6)
+	sig := New(sim, path)
+	var res Result
+	sig.Establish(Request{Spec: spec(1, 1e5), Class: 1}, func(r Result) { res = r })
+	sim.RunAll()
+	if !res.Accepted {
+		t.Fatalf("rejected: %v", res.Err)
+	}
+	if len(res.Assignments) != 3 {
+		t.Fatalf("assignments = %d", len(res.Assignments))
+	}
+	// Latency: 3 processing (0.5 ms) + forward 2 links + return 3
+	// links = 1.5 + 2 + 3 = 6.5 ms.
+	want := 3*0.5e-3 + 2*1e-3 + 3*1e-3
+	if math.Abs(res.SetupLatency-want) > 1e-12 {
+		t.Errorf("setup latency = %v, want %v", res.SetupLatency, want)
+	}
+	if !sig.Established(1) {
+		t.Error("not recorded as established")
+	}
+}
+
+func TestEstablishRejectReleasesUpstream(t *testing.T) {
+	sim := event.New()
+	path := newPath(t, sim, 3, 1e6)
+	// Fill the LAST node so the SETUP reserves at nodes 0 and 1, then
+	// fails at 2.
+	if _, err := path[2].Admit.Admit(spec(99, 1e6), 1, admission.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	sig := New(sim, path)
+	var res Result
+	sig.Establish(Request{Spec: spec(1, 1e5), Class: 1}, func(r Result) { res = r })
+	sim.RunAll()
+	if res.Accepted {
+		t.Fatal("accepted through a full node")
+	}
+	if res.RejectedAt != 2 {
+		t.Errorf("RejectedAt = %d", res.RejectedAt)
+	}
+	if !errors.Is(res.Err, admission.ErrRejected) {
+		t.Errorf("err = %v", res.Err)
+	}
+	if sig.Established(1) {
+		t.Error("rejected session recorded as established")
+	}
+	// Upstream budgets must be whole again: a full-rate session fits
+	// at nodes 0 and 1.
+	for i := 0; i < 2; i++ {
+		if _, err := path[i].Admit.Admit(spec(100+i, 1e6), 1, admission.Options{}); err != nil {
+			t.Errorf("node %d budget leaked: %v", i, err)
+		}
+	}
+	// Reject latency: processing at 3 nodes + forward 2 + back 2.
+	want := 3*0.5e-3 + 2*1e-3 + 2*1e-3
+	if math.Abs(res.SetupLatency-want) > 1e-12 {
+		t.Errorf("reject latency = %v, want %v", res.SetupLatency, want)
+	}
+}
+
+func TestTeardownFreesEverything(t *testing.T) {
+	sim := event.New()
+	path := newPath(t, sim, 2, 1e6)
+	sig := New(sim, path)
+	sig.Establish(Request{Spec: spec(1, 1e6), Class: 1}, func(Result) {})
+	sim.RunAll()
+	done := false
+	if err := sig.Teardown(1, func() { done = true }); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunAll()
+	if !done {
+		t.Fatal("teardown completion not signaled")
+	}
+	if sig.Established(1) {
+		t.Error("still recorded after teardown")
+	}
+	var res Result
+	sig.Establish(Request{Spec: spec(2, 1e6), Class: 1}, func(r Result) { res = r })
+	sim.RunAll()
+	if !res.Accepted {
+		t.Errorf("capacity not freed: %v", res.Err)
+	}
+}
+
+func TestTeardownUnknownSession(t *testing.T) {
+	sim := event.New()
+	sig := New(sim, newPath(t, sim, 1, 1e6))
+	if err := sig.Teardown(42, nil); err == nil {
+		t.Error("teardown of unknown session succeeded")
+	}
+}
+
+func TestDuplicateEstablish(t *testing.T) {
+	sim := event.New()
+	sig := New(sim, newPath(t, sim, 1, 1e6))
+	sig.Establish(Request{Spec: spec(1, 1e5), Class: 1}, func(Result) {})
+	sim.RunAll()
+	var res Result
+	sig.Establish(Request{Spec: spec(1, 1e5), Class: 1}, func(r Result) { res = r })
+	sim.RunAll()
+	if res.Accepted || !errors.Is(res.Err, ErrAlreadyEstablished) {
+		t.Errorf("duplicate establish: %+v", res)
+	}
+}
+
+// TestConcurrentSetupsRace: two SETUPs race for the last capacity; the
+// one processed first wins, the other is cleanly rejected, and no
+// budget leaks either way.
+func TestConcurrentSetupsRace(t *testing.T) {
+	sim := event.New()
+	path := newPath(t, sim, 2, 1e6)
+	sig := New(sim, path)
+	var r1, r2 Result
+	sig.Establish(Request{Spec: spec(1, 0.7e6), Class: 1}, func(r Result) { r1 = r })
+	sig.Establish(Request{Spec: spec(2, 0.7e6), Class: 1}, func(r Result) { r2 = r })
+	sim.RunAll()
+	if r1.Accepted == r2.Accepted {
+		t.Fatalf("exactly one should win: %+v %+v", r1, r2)
+	}
+	// The loser's partial reservations are gone: 0.3e6 more fits.
+	var r3 Result
+	sig.Establish(Request{Spec: spec(3, 0.3e6), Class: 1}, func(r Result) { r3 = r })
+	sim.RunAll()
+	if !r3.Accepted {
+		t.Errorf("leaked budget blocks the follow-up: %v", r3.Err)
+	}
+}
+
+func TestProc2Admitter(t *testing.T) {
+	sim := event.New()
+	ac, err := admission.NewProcedure2(1e6, []admission.Class{{R: 1e6, Sigma: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []*Node{{Name: "A", Admit: Proc2Admitter{ac}, Gamma: 1e-3}}
+	sig := New(sim, path)
+	var res Result
+	sig.Establish(Request{Spec: spec(1, 1e5), Class: 1}, func(r Result) { res = r })
+	sim.RunAll()
+	if !res.Accepted {
+		t.Fatalf("rejected: %v", res.Err)
+	}
+	if res.Assignments[0].DMax != 1.0 { // sigma_1
+		t.Errorf("d = %v", res.Assignments[0].DMax)
+	}
+}

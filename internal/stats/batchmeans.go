@@ -1,0 +1,82 @@
+package stats
+
+import "math"
+
+// BatchMeans estimates the steady-state mean of a correlated
+// simulation output series with a confidence interval, using the
+// method of non-overlapping batch means: the stream is cut into
+// batches of fixed size, batch averages are treated as approximately
+// independent samples, and a t-interval is formed over them. It gives
+// experiment outputs (mean delay, mean occupancy) an error bar without
+// storing the series.
+type BatchMeans struct {
+	batchSize int64
+
+	cur      float64
+	curCount int64
+
+	batches      int64
+	sum, sumSq   float64
+	totalSamples int64
+}
+
+// NewBatchMeans returns an estimator with the given batch size (the
+// number of observations averaged into one batch).
+func NewBatchMeans(batchSize int) *BatchMeans {
+	if batchSize <= 0 {
+		panic("stats: NewBatchMeans needs a positive batch size")
+	}
+	return &BatchMeans{batchSize: int64(batchSize)}
+}
+
+// Add records one observation.
+func (b *BatchMeans) Add(x float64) {
+	b.cur += x
+	b.curCount++
+	b.totalSamples++
+	if b.curCount == b.batchSize {
+		m := b.cur / float64(b.batchSize)
+		b.batches++
+		b.sum += m
+		b.sumSq += m * m
+		b.cur, b.curCount = 0, 0
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int64 { return b.batches }
+
+// Mean returns the grand mean over completed batches.
+func (b *BatchMeans) Mean() float64 {
+	if b.batches == 0 {
+		return 0
+	}
+	return b.sum / float64(b.batches)
+}
+
+// HalfWidth returns the approximate 95% confidence half-width of the
+// mean, using a normal critical value (adequate for the >= 30 batches
+// a sound experiment should accumulate; with fewer batches the
+// interval is widened by the small-sample t factor approximation).
+func (b *BatchMeans) HalfWidth() float64 {
+	if b.batches < 2 {
+		return math.Inf(1)
+	}
+	n := float64(b.batches)
+	mean := b.sum / n
+	variance := (b.sumSq - n*mean*mean) / (n - 1)
+	if variance < 0 {
+		variance = 0
+	}
+	crit := 1.96
+	if b.batches < 30 {
+		// Coarse t-quantile inflation for small batch counts.
+		crit = 1.96 + 6.0/float64(b.batches)
+	}
+	return crit * math.Sqrt(variance/n)
+}
+
+// Interval returns the mean and its 95% confidence half-width.
+func (b *BatchMeans) Interval() (mean, halfWidth float64) {
+	return b.Mean(), b.HalfWidth()
+}

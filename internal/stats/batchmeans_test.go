@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"leaveintime/internal/rng"
+)
+
+func TestBatchMeansIID(t *testing.T) {
+	r := rng.New(1)
+	b := NewBatchMeans(100)
+	const mean = 3.5
+	for i := 0; i < 100000; i++ {
+		b.Add(r.Exp(mean))
+	}
+	if b.Batches() != 1000 {
+		t.Fatalf("batches = %d", b.Batches())
+	}
+	m, hw := b.Interval()
+	if math.Abs(m-mean) > 3*hw {
+		t.Errorf("mean %v +- %v excludes true mean %v", m, hw, mean)
+	}
+	if hw <= 0 || hw > 0.2 {
+		t.Errorf("half width %v implausible", hw)
+	}
+}
+
+// TestBatchMeansCoverage: over many replications, the 95% interval
+// should contain the true mean most of the time (loose check: >= 85%).
+func TestBatchMeansCoverage(t *testing.T) {
+	r := rng.New(7)
+	hits, reps := 0, 60
+	for rep := 0; rep < reps; rep++ {
+		b := NewBatchMeans(50)
+		for i := 0; i < 5000; i++ {
+			b.Add(r.Exp(1))
+		}
+		m, hw := b.Interval()
+		if math.Abs(m-1) <= hw {
+			hits++
+		}
+	}
+	if hits < reps*85/100 {
+		t.Errorf("coverage %d/%d too low", hits, reps)
+	}
+}
+
+// TestBatchMeansCorrelated: an AR(1)-like correlated stream still gets
+// a sane interval when the batch dwarfs the correlation length.
+func TestBatchMeansCorrelated(t *testing.T) {
+	r := rng.New(3)
+	b := NewBatchMeans(500)
+	x := 0.0
+	for i := 0; i < 200000; i++ {
+		x = 0.9*x + r.Exp(0.1) // stationary mean = 0.1/(1-0.9) = 1
+		b.Add(x)
+	}
+	m, hw := b.Interval()
+	if math.Abs(m-1) > math.Max(3*hw, 0.05) {
+		t.Errorf("correlated mean %v +- %v, want ~1", m, hw)
+	}
+}
+
+func TestBatchMeansEdges(t *testing.T) {
+	b := NewBatchMeans(10)
+	if !math.IsInf(b.HalfWidth(), 1) {
+		t.Error("half width with no batches should be infinite")
+	}
+	for i := 0; i < 10; i++ {
+		b.Add(2)
+	}
+	if b.Mean() != 2 {
+		t.Errorf("Mean = %v", b.Mean())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("batch size 0 did not panic")
+		}
+	}()
+	NewBatchMeans(0)
+}

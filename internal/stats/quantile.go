@@ -1,0 +1,121 @@
+package stats
+
+// P2Quantile is the P² (piecewise-parabolic) streaming quantile
+// estimator of Jain & Chlamtac (CACM 1985): it tracks a single quantile
+// of an unbounded stream in O(1) space and time per observation,
+// without storing samples. The Leave-in-Time experiments use it to
+// monitor play-back-deadline percentiles of long runs where a
+// fixed-bin histogram's range is awkward to choose in advance.
+type P2Quantile struct {
+	p       float64
+	n       int64
+	heights [5]float64
+	pos     [5]float64
+	want    [5]float64
+	inc     [5]float64
+	init    []float64
+}
+
+// NewP2Quantile returns an estimator for the p-quantile (0 < p < 1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic("stats: NewP2Quantile requires 0 < p < 1")
+	}
+	q := &P2Quantile{p: p}
+	q.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	q.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return q
+}
+
+// Add records one observation.
+func (q *P2Quantile) Add(x float64) {
+	q.n++
+	if len(q.init) < 5 {
+		// Bootstrap phase: insertion sort the first five samples.
+		i := len(q.init)
+		q.init = append(q.init, x)
+		for i > 0 && q.init[i-1] > x {
+			q.init[i] = q.init[i-1]
+			i--
+		}
+		q.init[i] = x
+		if len(q.init) == 5 {
+			copy(q.heights[:], q.init)
+			q.pos = [5]float64{1, 2, 3, 4, 5}
+		}
+		return
+	}
+
+	// Find the cell containing x and update the marker heights.
+	var k int
+	switch {
+	case x < q.heights[0]:
+		q.heights[0] = x
+		k = 0
+	case x >= q.heights[4]:
+		q.heights[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < q.heights[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		q.pos[i]++
+	}
+	for i := range q.want {
+		q.want[i] += q.inc[i]
+	}
+	// Adjust the three interior markers toward their desired positions
+	// with the parabolic formula, falling back to linear moves.
+	for i := 1; i <= 3; i++ {
+		d := q.want[i] - q.pos[i]
+		if (d >= 1 && q.pos[i+1]-q.pos[i] > 1) || (d <= -1 && q.pos[i-1]-q.pos[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			h := q.parabolic(i, sign)
+			if q.heights[i-1] < h && h < q.heights[i+1] {
+				q.heights[i] = h
+			} else {
+				q.heights[i] = q.linear(i, sign)
+			}
+			q.pos[i] += sign
+		}
+	}
+}
+
+func (q *P2Quantile) parabolic(i int, sign float64) float64 {
+	num1 := q.pos[i] - q.pos[i-1] + sign
+	num2 := q.pos[i+1] - q.pos[i] - sign
+	den := q.pos[i+1] - q.pos[i-1]
+	return q.heights[i] + sign/den*(num1*(q.heights[i+1]-q.heights[i])/(q.pos[i+1]-q.pos[i])+
+		num2*(q.heights[i]-q.heights[i-1])/(q.pos[i]-q.pos[i-1]))
+}
+
+func (q *P2Quantile) linear(i int, sign float64) float64 {
+	j := i + int(sign)
+	return q.heights[i] + sign*(q.heights[j]-q.heights[i])/(q.pos[j]-q.pos[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it returns the exact order statistic.
+func (q *P2Quantile) Value() float64 {
+	if q.n == 0 {
+		return 0
+	}
+	if len(q.init) < 5 {
+		idx := int(q.p * float64(len(q.init)))
+		if idx >= len(q.init) {
+			idx = len(q.init) - 1
+		}
+		return q.init[idx]
+	}
+	return q.heights[2]
+}
+
+// Count returns the number of observations.
+func (q *P2Quantile) Count() int64 { return q.n }

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"leaveintime/internal/rng"
+)
+
+func TestP2QuantileUniform(t *testing.T) {
+	r := rng.New(1)
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		q := NewP2Quantile(p)
+		for i := 0; i < 200000; i++ {
+			q.Add(r.Float64())
+		}
+		if got := q.Value(); math.Abs(got-p) > 0.01 {
+			t.Errorf("p=%v: estimate %v", p, got)
+		}
+	}
+}
+
+func TestP2QuantileExponential(t *testing.T) {
+	r := rng.New(2)
+	q := NewP2Quantile(0.95)
+	for i := 0; i < 300000; i++ {
+		q.Add(r.Exp(1))
+	}
+	want := -math.Log(0.05) // ~2.996
+	if got := q.Value(); math.Abs(got-want)/want > 0.03 {
+		t.Errorf("95th percentile of Exp(1): %v, want %v", got, want)
+	}
+}
+
+func TestP2QuantileSmallSamples(t *testing.T) {
+	q := NewP2Quantile(0.5)
+	if q.Value() != 0 {
+		t.Error("empty estimator")
+	}
+	for _, v := range []float64{5, 1, 3} {
+		q.Add(v)
+	}
+	if got := q.Value(); got != 3 {
+		t.Errorf("median of {1,3,5} = %v", got)
+	}
+	if q.Count() != 3 {
+		t.Errorf("Count = %d", q.Count())
+	}
+}
+
+// TestP2QuantileVersusExact compares against the exact sample quantile
+// on random streams.
+func TestP2QuantileVersusExact(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		q := NewP2Quantile(0.9)
+		var all []float64
+		for i := 0; i < 5000; i++ {
+			v := r.Exp(1) + 0.1*r.Float64()
+			q.Add(v)
+			all = append(all, v)
+		}
+		sort.Float64s(all)
+		exact := all[int(0.9*float64(len(all)))]
+		return math.Abs(q.Value()-exact)/exact < 0.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestP2QuantileValidation(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("p=%v did not panic", p)
+				}
+			}()
+			NewP2Quantile(p)
+		}()
+	}
+}

@@ -1,0 +1,186 @@
+// Package topo builds general network topologies on top of the port
+// substrate: named nodes connected by directed links, shortest-path
+// routing, and extraction of port routes for session establishment.
+// The paper's evaluation needs only the Figure 6 tandem, but a library
+// user deploying Leave-in-Time wants arbitrary graphs; this package
+// supplies them without touching the scheduling core.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"leaveintime/internal/network"
+)
+
+// Graph is a directed network topology under construction. Add nodes
+// and links, then Build to materialize ports.
+type Graph struct {
+	nodes map[string]bool
+	links []*Link
+}
+
+// Link is a directed edge with its link parameters.
+type Link struct {
+	From, To string
+	// Capacity is the link rate, bits/s; Gamma its propagation delay.
+	Capacity, Gamma float64
+	// Weight is the routing metric (default: Gamma, so shortest paths
+	// minimize propagation delay).
+	Weight float64
+
+	// Port is filled by Build.
+	Port *network.Port
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{nodes: make(map[string]bool)}
+}
+
+// AddNode declares a node. Nodes referenced by AddLink are declared
+// implicitly; explicit declaration documents intent.
+func (g *Graph) AddNode(name string) {
+	if name == "" {
+		panic("topo: empty node name")
+	}
+	g.nodes[name] = true
+}
+
+// AddLink adds a directed link and returns it. Weight 0 defaults to
+// Gamma, and to 1 if Gamma is also 0.
+func (g *Graph) AddLink(from, to string, capacity, gamma float64) *Link {
+	if from == "" || to == "" || from == to {
+		panic("topo: links need two distinct named endpoints")
+	}
+	if capacity <= 0 {
+		panic("topo: link capacity must be positive")
+	}
+	g.nodes[from] = true
+	g.nodes[to] = true
+	l := &Link{From: from, To: to, Capacity: capacity, Gamma: gamma, Weight: gamma}
+	if l.Weight == 0 {
+		l.Weight = 1
+	}
+	g.links = append(g.links, l)
+	return l
+}
+
+// AddDuplex adds both directions with the same parameters.
+func (g *Graph) AddDuplex(a, b string, capacity, gamma float64) (ab, ba *Link) {
+	return g.AddLink(a, b, capacity, gamma), g.AddLink(b, a, capacity, gamma)
+}
+
+// DisciplineFactory creates the scheduler for one link.
+type DisciplineFactory func(l *Link) network.Discipline
+
+// Build materializes one port per link on the given network.
+func (g *Graph) Build(net *network.Network, mk DisciplineFactory) {
+	for _, l := range g.links {
+		if l.Port != nil {
+			panic("topo: Build called twice")
+		}
+		l.Port = net.NewPort(fmt.Sprintf("%s->%s", l.From, l.To), l.Capacity, l.Gamma, mk(l))
+	}
+}
+
+// Route returns the ports of the minimum-weight path from src to dst
+// (Dijkstra; ties broken deterministically by node name, then by link
+// insertion order). It returns an error if no path exists.
+func (g *Graph) Route(src, dst string) ([]*network.Port, error) {
+	links, err := g.RouteLinks(src, dst)
+	if err != nil {
+		return nil, err
+	}
+	ports := make([]*network.Port, len(links))
+	for i, l := range links {
+		if l.Port == nil {
+			return nil, fmt.Errorf("topo: Route before Build")
+		}
+		ports[i] = l.Port
+	}
+	return ports, nil
+}
+
+// RouteLinks is Route returning the links themselves (useful before
+// Build, or for inspecting capacities along the path).
+func (g *Graph) RouteLinks(src, dst string) ([]*Link, error) {
+	if !g.nodes[src] || !g.nodes[dst] {
+		return nil, fmt.Errorf("topo: unknown node in %s -> %s", src, dst)
+	}
+	if src == dst {
+		return nil, fmt.Errorf("topo: src equals dst")
+	}
+	// Adjacency with deterministic ordering.
+	adj := map[string][]*Link{}
+	for _, l := range g.links {
+		adj[l.From] = append(adj[l.From], l)
+	}
+
+	dist := map[string]float64{src: 0}
+	prev := map[string]*Link{}
+	visited := map[string]bool{}
+	for {
+		// Extract the unvisited node with the smallest distance
+		// (ties by name for determinism). Linear scan: topologies are
+		// small.
+		cur := ""
+		best := math.Inf(1)
+		var names []string
+		for n := range dist {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			if !visited[n] && dist[n] < best {
+				best = dist[n]
+				cur = n
+			}
+		}
+		if cur == "" {
+			break
+		}
+		if cur == dst {
+			break
+		}
+		visited[cur] = true
+		for _, l := range adj[cur] {
+			nd := dist[cur] + l.Weight
+			if old, ok := dist[l.To]; !ok || nd < old {
+				dist[l.To] = nd
+				prev[l.To] = l
+			}
+		}
+	}
+	if _, ok := dist[dst]; !ok {
+		return nil, fmt.Errorf("topo: no path %s -> %s", src, dst)
+	}
+	var path []*Link
+	for at := dst; at != src; {
+		l := prev[at]
+		if l == nil {
+			return nil, fmt.Errorf("topo: no path %s -> %s", src, dst)
+		}
+		path = append(path, l)
+		at = l.From
+	}
+	// Reverse.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path, nil
+}
+
+// Links returns all links in insertion order.
+func (g *Graph) Links() []*Link { return g.links }
+
+// Nodes returns the node names, sorted.
+func (g *Graph) Nodes() []string {
+	var names []string
+	for n := range g.nodes {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

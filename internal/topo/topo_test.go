@@ -1,0 +1,135 @@
+package topo
+
+import (
+	"testing"
+
+	"leaveintime/internal/core"
+	"leaveintime/internal/event"
+	"leaveintime/internal/network"
+	"leaveintime/internal/traffic"
+)
+
+func litFactory(lMax float64) DisciplineFactory {
+	return func(l *Link) network.Discipline {
+		return core.New(core.Config{Capacity: l.Capacity, LMax: lMax})
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	g := New()
+	// A diamond: a-b-d is shorter (2 ms) than a-c-d (3 ms).
+	g.AddLink("a", "b", 1e6, 1e-3)
+	g.AddLink("b", "d", 1e6, 1e-3)
+	g.AddLink("a", "c", 1e6, 1e-3)
+	g.AddLink("c", "d", 1e6, 2e-3)
+	links, err := g.RouteLinks("a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 2 || links[0].To != "b" || links[1].To != "d" {
+		t.Fatalf("path = %v", links)
+	}
+}
+
+func TestTieBreakDeterministic(t *testing.T) {
+	g := New()
+	// Two equal-cost paths a-b-d and a-c-d: 'b' < 'c' must win, every
+	// time.
+	g.AddLink("a", "c", 1e6, 1e-3)
+	g.AddLink("c", "d", 1e6, 1e-3)
+	g.AddLink("a", "b", 1e6, 1e-3)
+	g.AddLink("b", "d", 1e6, 1e-3)
+	for i := 0; i < 10; i++ {
+		links, err := g.RouteLinks("a", "d")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if links[0].To != "b" {
+			t.Fatalf("nondeterministic tie-break: via %s", links[0].To)
+		}
+	}
+}
+
+func TestNoPath(t *testing.T) {
+	g := New()
+	g.AddLink("a", "b", 1e6, 1e-3)
+	g.AddNode("z")
+	if _, err := g.RouteLinks("a", "z"); err == nil {
+		t.Error("missing path not reported")
+	}
+	if _, err := g.RouteLinks("a", "nope"); err == nil {
+		t.Error("unknown node not reported")
+	}
+	if _, err := g.RouteLinks("a", "a"); err == nil {
+		t.Error("src == dst not reported")
+	}
+}
+
+func TestBuildAndRunTraffic(t *testing.T) {
+	g := New()
+	g.AddDuplex("edge1", "corex", 10e6, 1e-3)
+	g.AddDuplex("corex", "edge2", 10e6, 1e-3)
+	sim := event.New()
+	net := network.New(sim, 8000)
+	g.Build(net, litFactory(8000))
+
+	route, err := g.Route("edge1", "edge2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 2 {
+		t.Fatalf("route length %d", len(route))
+	}
+	s := net.AddSession(1, 1e6, false, route, make([]network.SessionPort, 2),
+		&traffic.Deterministic{Interval: 8e-3, Length: 8000})
+	s.Start(0, 2)
+	sim.Run(3)
+	if s.Delivered == 0 {
+		t.Fatal("no packets over the built topology")
+	}
+	// Reverse direction is a distinct pair of ports.
+	back, err := g.Route("edge2", "edge1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0] == route[1] || back[1] == route[0] {
+		t.Error("reverse route reuses forward ports")
+	}
+}
+
+func TestRouteBeforeBuild(t *testing.T) {
+	g := New()
+	g.AddLink("a", "b", 1e6, 1e-3)
+	if _, err := g.Route("a", "b"); err == nil {
+		t.Error("Route before Build did not error")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for i, fn := range []func(){
+		func() { New().AddLink("", "b", 1, 0) },
+		func() { New().AddLink("a", "a", 1, 0) },
+		func() { New().AddLink("a", "b", 0, 0) },
+		func() { New().AddNode("") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestNodesAndLinksAccessors(t *testing.T) {
+	g := New()
+	g.AddDuplex("b", "a", 1e6, 1e-3)
+	if n := g.Nodes(); len(n) != 2 || n[0] != "a" {
+		t.Errorf("Nodes = %v", n)
+	}
+	if len(g.Links()) != 2 {
+		t.Errorf("Links = %d", len(g.Links()))
+	}
+}

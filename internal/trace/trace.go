@@ -1,0 +1,185 @@
+// Package trace provides packet-level event tracing for the simulator:
+// every arrival, transmission and delivery can be recorded, filtered,
+// rendered as text, or reduced to per-hop delay statistics. Tracing is
+// opt-in (a nil tracer costs one branch per event) and is used by the
+// debugging CLI flags and by tests that assert on exact event
+// sequences.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"leaveintime/internal/stats"
+)
+
+// Kind classifies a packet event.
+type Kind uint8
+
+// The event kinds, in the order they occur at a node.
+const (
+	// Arrive: the packet's last bit arrived at a port.
+	Arrive Kind = iota
+	// TransmitStart: the port began transmitting the packet.
+	TransmitStart
+	// TransmitEnd: the packet's last bit left the port.
+	TransmitEnd
+	// Deliver: the packet reached its exit point (after the last
+	// link's propagation delay).
+	Deliver
+)
+
+// String returns the kind's name.
+func (k Kind) String() string {
+	switch k {
+	case Arrive:
+		return "arrive"
+	case TransmitStart:
+		return "start"
+	case TransmitEnd:
+		return "end"
+	case Deliver:
+		return "deliver"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one traced packet event.
+type Event struct {
+	Time    float64
+	Kind    Kind
+	Port    string // empty for Deliver
+	Session int
+	Seq     int64
+	Hop     int
+	// Eligible and Deadline echo the packet's scheduling stamps at the
+	// node (meaningful from TransmitStart on).
+	Eligible float64
+	Deadline float64
+}
+
+// Tracer consumes events. Implementations must be fast; they run
+// inline with the simulation.
+type Tracer interface {
+	Trace(Event)
+}
+
+// Recorder appends events to memory, optionally capped.
+type Recorder struct {
+	// Cap limits the number of retained events (0 = unlimited). When
+	// full, further events are counted but dropped.
+	Cap     int
+	Events  []Event
+	Dropped int64
+}
+
+// Trace implements Tracer.
+func (r *Recorder) Trace(e Event) {
+	if r.Cap > 0 && len(r.Events) >= r.Cap {
+		r.Dropped++
+		return
+	}
+	r.Events = append(r.Events, e)
+}
+
+// Filter returns the recorded events of one session, in order.
+func (r *Recorder) Filter(session int) []Event {
+	var out []Event
+	for _, e := range r.Events {
+		if e.Session == session {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// PerHopDelay summarizes one hop's contribution to a session's delay.
+type PerHopDelay struct {
+	Port    string
+	Hop     int
+	Queue   stats.Tracker // arrival -> transmit start (regulator + queue)
+	Transit stats.Tracker // arrival -> transmit end
+}
+
+// PerHopDelays reduces a session's trace to per-hop delay statistics,
+// ordered by hop. It pairs each Arrive with the following
+// TransmitStart/TransmitEnd of the same (seq, hop).
+func (r *Recorder) PerHopDelays(session int) []PerHopDelay {
+	type key struct {
+		seq int64
+		hop int
+	}
+	arr := make(map[key]float64)
+	start := make(map[key]float64)
+	hops := make(map[int]*PerHopDelay)
+	for _, e := range r.Events {
+		if e.Session != session {
+			continue
+		}
+		k := key{e.Seq, e.Hop}
+		switch e.Kind {
+		case Arrive:
+			arr[k] = e.Time
+		case TransmitStart:
+			start[k] = e.Time
+		case TransmitEnd:
+			a, ok := arr[k]
+			if !ok {
+				continue
+			}
+			h := hops[e.Hop]
+			if h == nil {
+				h = &PerHopDelay{Port: e.Port, Hop: e.Hop}
+				hops[e.Hop] = h
+			}
+			if s, ok := start[k]; ok {
+				h.Queue.Add(s - a)
+			}
+			h.Transit.Add(e.Time - a)
+			delete(arr, k)
+			delete(start, k)
+		}
+	}
+	out := make([]PerHopDelay, 0, len(hops))
+	for _, h := range hops {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Hop < out[j].Hop })
+	return out
+}
+
+// Writer streams events as text lines ("time kind port session/seq
+// hop deadline") to an io.Writer.
+type Writer struct {
+	W io.Writer
+	// Session filters to one session when nonzero.
+	Session int
+	// Err retains the first write error (events after it are dropped).
+	Err error
+}
+
+// Trace implements Tracer.
+func (w *Writer) Trace(e Event) {
+	if w.Err != nil {
+		return
+	}
+	if w.Session != 0 && e.Session != w.Session {
+		return
+	}
+	_, err := fmt.Fprintf(w.W, "%.9f %-8s %-8s s%d/%d hop%d F=%.9f\n",
+		e.Time, e.Kind, e.Port, e.Session, e.Seq, e.Hop, e.Deadline)
+	if err != nil {
+		w.Err = err
+	}
+}
+
+// Multi fans one event out to several tracers.
+type Multi []Tracer
+
+// Trace implements Tracer.
+func (m Multi) Trace(e Event) {
+	for _, t := range m {
+		t.Trace(e)
+	}
+}

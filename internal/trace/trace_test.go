@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderCapAndFilter(t *testing.T) {
+	r := &Recorder{Cap: 2}
+	r.Trace(Event{Session: 1, Kind: Arrive})
+	r.Trace(Event{Session: 2, Kind: Arrive})
+	r.Trace(Event{Session: 1, Kind: TransmitEnd})
+	if len(r.Events) != 2 || r.Dropped != 1 {
+		t.Fatalf("cap not enforced: %d events, %d dropped", len(r.Events), r.Dropped)
+	}
+	if got := r.Filter(1); len(got) != 1 || got[0].Session != 1 {
+		t.Fatalf("Filter = %v", got)
+	}
+}
+
+func TestPerHopDelays(t *testing.T) {
+	r := &Recorder{}
+	// Packet 1 through two hops.
+	evs := []Event{
+		{Time: 0, Kind: Arrive, Port: "a", Session: 1, Seq: 1, Hop: 0},
+		{Time: 0.2, Kind: TransmitStart, Port: "a", Session: 1, Seq: 1, Hop: 0},
+		{Time: 0.3, Kind: TransmitEnd, Port: "a", Session: 1, Seq: 1, Hop: 0},
+		{Time: 0.4, Kind: Arrive, Port: "b", Session: 1, Seq: 1, Hop: 1},
+		{Time: 0.4, Kind: TransmitStart, Port: "b", Session: 1, Seq: 1, Hop: 1},
+		{Time: 0.5, Kind: TransmitEnd, Port: "b", Session: 1, Seq: 1, Hop: 1},
+		{Time: 0.6, Kind: Deliver, Session: 1, Seq: 1, Hop: 1},
+		// Noise from another session.
+		{Time: 0.1, Kind: Arrive, Port: "a", Session: 2, Seq: 1, Hop: 0},
+	}
+	for _, e := range evs {
+		r.Trace(e)
+	}
+	hops := r.PerHopDelays(1)
+	if len(hops) != 2 {
+		t.Fatalf("hops = %v", hops)
+	}
+	if hops[0].Port != "a" || hops[1].Port != "b" {
+		t.Fatalf("hop order: %v %v", hops[0].Port, hops[1].Port)
+	}
+	if got := hops[0].Queue.Mean(); got != 0.2 {
+		t.Errorf("hop a queueing = %v, want 0.2", got)
+	}
+	if got := hops[0].Transit.Mean(); got != 0.3 {
+		t.Errorf("hop a transit = %v, want 0.3", got)
+	}
+	if got := hops[1].Transit.Mean(); got < 0.0999 || got > 0.1001 {
+		t.Errorf("hop b transit = %v, want 0.1", got)
+	}
+}
+
+func TestWriterFormatAndFilter(t *testing.T) {
+	var sb strings.Builder
+	w := &Writer{W: &sb, Session: 7}
+	w.Trace(Event{Time: 1.5, Kind: TransmitStart, Port: "x", Session: 7, Seq: 3, Hop: 2, Deadline: 2})
+	w.Trace(Event{Time: 1.6, Kind: Arrive, Port: "x", Session: 8})
+	out := sb.String()
+	if !strings.Contains(out, "start") || !strings.Contains(out, "s7/3") {
+		t.Errorf("output %q", out)
+	}
+	if strings.Contains(out, "s8") {
+		t.Error("session filter leaked")
+	}
+}
+
+func TestMulti(t *testing.T) {
+	a, b := &Recorder{}, &Recorder{}
+	m := Multi{a, b}
+	m.Trace(Event{Session: 1})
+	if len(a.Events) != 1 || len(b.Events) != 1 {
+		t.Error("Multi did not fan out")
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		Arrive: "arrive", TransmitStart: "start",
+		TransmitEnd: "end", Deliver: "deliver", Kind(9): "kind(9)",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q", k, k.String())
+		}
+	}
+}

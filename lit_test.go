@@ -1,0 +1,326 @@
+package lit_test
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	lit "leaveintime"
+)
+
+func newTwoHopSystem(t *testing.T) (*lit.System, []*lit.Server) {
+	t.Helper()
+	sys := lit.NewSystem(lit.SystemConfig{LMax: 1000})
+	a := sys.AddServer("A", 1e6, 1e-3)
+	b := sys.AddServer("B", 1e6, 1e-3)
+	return sys, []*lit.Server{a, b}
+}
+
+func TestSystemConnectBounds(t *testing.T) {
+	sys, route := newTwoHopSystem(t)
+	sess, bounds, err := sys.Connect(lit.ConnectRequest{
+		Rate:   1e5,
+		Route:  route,
+		B0:     2000,
+		Source: lit.NewShaped(&lit.Poisson{Mean: 0.008, Length: 1000, Rng: lit.NewRand(1)}, 1e5, 2000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounds.DRefMax != 0.02 {
+		t.Errorf("DRefMax = %v, want b0/r = 0.02", bounds.DRefMax)
+	}
+	// beta = 2*(1000/1e6 + 1e-3) + 1*(1000/1e5) = 0.004 + 0.01.
+	if math.Abs(bounds.Beta-0.014) > 1e-12 {
+		t.Errorf("Beta = %v, want 0.014", bounds.Beta)
+	}
+	if math.Abs(bounds.DelayBound-(0.02+0.014)) > 1e-12 {
+		t.Errorf("DelayBound = %v", bounds.DelayBound)
+	}
+	if len(bounds.BufferBoundBits) != 2 {
+		t.Fatalf("buffer bounds per hop: %v", bounds.BufferBoundBits)
+	}
+	sys.Run(30)
+	if sess.Delivered == 0 {
+		t.Fatal("no packets delivered")
+	}
+	if sess.Delays.Max() >= bounds.DelayBound {
+		t.Errorf("measured delay %v >= bound %v", sess.Delays.Max(), bounds.DelayBound)
+	}
+}
+
+func TestSystemRejectsOverbooking(t *testing.T) {
+	sys, route := newTwoHopSystem(t)
+	if _, _, err := sys.Connect(lit.ConnectRequest{Rate: 0.9e6, Route: route}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := sys.Connect(lit.ConnectRequest{Rate: 0.2e6, Route: route})
+	if err == nil {
+		t.Fatal("overbooking accepted")
+	}
+	if !errors.Is(err, lit.ErrRejected) {
+		t.Errorf("error %v does not wrap ErrRejected", err)
+	}
+}
+
+func TestSystemRollbackOnPartialRejection(t *testing.T) {
+	// Fill server B only; a route through A and B must fail at B and
+	// leave A's budget untouched.
+	sys := lit.NewSystem(lit.SystemConfig{LMax: 1000})
+	a := sys.AddServer("A", 1e6, 0)
+	b := sys.AddServer("B", 1e6, 0)
+	if _, _, err := sys.Connect(lit.ConnectRequest{Rate: 1e6, Route: []*lit.Server{b}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sys.Connect(lit.ConnectRequest{Rate: 0.5e6, Route: []*lit.Server{a, b}}); err == nil {
+		t.Fatal("expected rejection at B")
+	}
+	// A must still have its full capacity.
+	if _, _, err := sys.Connect(lit.ConnectRequest{Rate: 1e6, Route: []*lit.Server{a}}); err != nil {
+		t.Fatalf("rollback failed, A's budget leaked: %v", err)
+	}
+}
+
+func TestSystemTeardown(t *testing.T) {
+	sys, route := newTwoHopSystem(t)
+	sess, _, err := sys.Connect(lit.ConnectRequest{Rate: 1e6, Route: route})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Teardown(sess)
+	if _, _, err := sys.Connect(lit.ConnectRequest{Rate: 1e6, Route: route}); err != nil {
+		t.Fatalf("capacity not released: %v", err)
+	}
+}
+
+func TestSystemValidation(t *testing.T) {
+	sys, route := newTwoHopSystem(t)
+	if _, _, err := sys.Connect(lit.ConnectRequest{Rate: 1e5}); err == nil {
+		t.Error("empty route accepted")
+	}
+	if _, _, err := sys.Connect(lit.ConnectRequest{Route: route}); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, _, err := sys.Connect(lit.ConnectRequest{Rate: 1e5, Route: route, LMax: 5000}); err == nil {
+		t.Error("session LMax above network LMax accepted")
+	}
+}
+
+func TestSystemWithClasses(t *testing.T) {
+	sys := lit.NewSystem(lit.SystemConfig{
+		LMax:    400,
+		Classes: []lit.Class{{R: 10e6, Sigma: 0.2e-3}, {R: 100e6, Sigma: 4e-3}},
+		Proc:    2,
+	})
+	s := sys.AddServer("X", 100e6, 0)
+	_, bounds, err := sys.Connect(lit.ConnectRequest{
+		Rate: 100e3, Route: []*lit.Server{s}, Class: 1, B0: 400,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Procedure 2, class 1: d = sigma_1 = 0.2 ms.
+	if math.Abs(bounds.Assignments[0].DMax-0.2e-3) > 1e-12 {
+		t.Errorf("class-1 d = %v, want 0.2 ms", bounds.Assignments[0].DMax)
+	}
+}
+
+func TestPGPSEquality(t *testing.T) {
+	// eq. (15): LiT with AC1/one-class equals the PGPS bound, exactly.
+	for _, n := range []int{1, 2, 5, 9} {
+		got := lit.RunPGPSComparison(32e3, 3*424, 424, 1536e3, 1e-3, n)
+		if math.Abs(got.LiT-got.PGPS) > 1e-15 {
+			t.Errorf("n=%d: LiT bound %v != PGPS bound %v", n, got.LiT, got.PGPS)
+		}
+	}
+}
+
+func TestStopAndGoComparison(t *testing.T) {
+	// The Section 4 worked example: rate 0.1C, d = 0.1T. Per-link
+	// increase: LiT L_MAX/C + 0.1T vs Stop-and-Go's [T, 2T).
+	c := lit.RunStopAndGoComparison(0.01, 1536e3, 5)
+	wantPerLink := 0.01*0.01*1536e3/1536e3 + 0.1*0.01 // 0.0001 + 0.001
+	if math.Abs(c.PerLinkLiT-wantPerLink) > 1e-12 {
+		t.Errorf("per-link LiT = %v, want %v", c.PerLinkLiT, wantPerLink)
+	}
+	if c.PerLinkSG[0] != 0.01 || c.PerLinkSG[1] != 0.02 {
+		t.Errorf("per-link S&G = %v", c.PerLinkSG)
+	}
+	if c.PerLinkLiT >= c.PerLinkSG[0] {
+		t.Error("LiT per-link increase should beat Stop-and-Go's")
+	}
+	// End-to-end: LiT = T + beta; S&G in [NT, 2NT).
+	if c.LiT >= c.SGLow {
+		t.Errorf("LiT bound %v should be below S&G's %v here", c.LiT, c.SGLow)
+	}
+	if !strings.Contains(c.Format(), "Stop-and-Go") {
+		t.Error("Format output missing content")
+	}
+}
+
+func TestMD1Exported(t *testing.T) {
+	q := lit.MD1{Lambda: 0.7, Service: 1}
+	if math.Abs(q.WaitCDF(0)-0.3) > 1e-12 {
+		t.Errorf("WaitCDF(0) = %v", q.WaitCDF(0))
+	}
+}
+
+func TestRefServerExported(t *testing.T) {
+	rs := lit.NewRefServer(100)
+	fin, d := rs.Arrive(0, 100)
+	if fin != 1 || d != 1 {
+		t.Errorf("Arrive = (%v, %v)", fin, d)
+	}
+}
+
+func TestTracingEndToEnd(t *testing.T) {
+	sys, route := newTwoHopSystem(t)
+	rec := &lit.TraceRecorder{}
+	sys.Net.Tracer = rec
+	sess, _, err := sys.Connect(lit.ConnectRequest{
+		Rate:   1e5,
+		Route:  route,
+		Source: &lit.Deterministic{Interval: 0.05, Length: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(1)
+	if len(rec.Events) == 0 {
+		t.Fatal("no events traced")
+	}
+	hops := rec.PerHopDelays(sess.ID)
+	if len(hops) != 2 {
+		t.Fatalf("per-hop delays for %d hops", len(hops))
+	}
+	// Uncontended: each hop's transit is exactly one transmission time.
+	for _, h := range hops {
+		if math.Abs(h.Transit.Mean()-1000/1e6) > 1e-12 {
+			t.Errorf("hop %d transit %v, want 1 ms", h.Hop, h.Transit.Mean())
+		}
+		if h.Queue.Max() != 0 {
+			t.Errorf("hop %d unexpected queueing %v", h.Hop, h.Queue.Max())
+		}
+	}
+	// A delivery event exists for every delivered packet.
+	var delivers int
+	for _, e := range rec.Events {
+		if e.Kind == lit.TraceDeliver {
+			delivers++
+		}
+	}
+	if int64(delivers) != sess.Delivered {
+		t.Errorf("deliver events %d != delivered %d", delivers, sess.Delivered)
+	}
+}
+
+// TestFacadeRunnersShort drives every exported experiment runner at
+// tiny durations, checking structure rather than statistics.
+func TestFacadeRunnersShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs skipped in -short")
+	}
+	if rows := lit.RunFig7(1, 5).Rows; len(rows) != 7 {
+		t.Errorf("RunFig7 rows = %d", len(rows))
+	}
+	if r := lit.RunFig10(1, 5); r.Summary.Packets == 0 {
+		t.Error("RunFig10 empty")
+	}
+	if r := lit.RunFig11(1, 5); r.Summary.Packets == 0 {
+		t.Error("RunFig11 empty")
+	}
+	if r := lit.RunFig14to17(1, 5, 2); r.Sessions[0].DPerNode == 0 {
+		t.Error("RunFig14to17 missing d")
+	}
+	if r := lit.RunPerHop(2, 5); len(r.Ctrl) != 5 {
+		t.Error("RunPerHop hops")
+	}
+	if r := lit.RunCallBlocking(20, 5, 30, 1); r.Arrivals == 0 {
+		t.Error("RunCallBlocking empty")
+	}
+	if r := lit.RunEstablishment(5, 1e-3); r.Accepted != 116 {
+		t.Errorf("RunEstablishment accepted %d", r.Accepted)
+	}
+	if r := lit.RunSaturation(3, 5, 4, 5); r.Saturated.Max() <= r.Admissible.Max() {
+		t.Error("RunSaturation shape")
+	}
+	if r := lit.RunComparison(2, 5, 0.65); len(r.Rows) != 12 {
+		t.Errorf("RunComparison rows = %d", len(r.Rows))
+	}
+	if data, err := lit.ResultJSON(lit.RunFig10(1, 5)); err != nil || len(data) == 0 {
+		t.Errorf("ResultJSON: %v", err)
+	}
+}
+
+func TestCalculusFacade(t *testing.T) {
+	flow := lit.EnvelopeFromTokenBucket(32e3, 424)
+	agg := lit.SumEnvelopes(flow, lit.Envelope{Sigma: 1000, Rho: 1e5})
+	if agg.Rho != 132e3 {
+		t.Errorf("SumEnvelopes = %+v", agg)
+	}
+	hops := []lit.TandemHop{{
+		Server: lit.FCFSServer{C: 1536e3, LMax: 424},
+		Cross:  lit.Envelope{Sigma: 2120, Rho: 1e6},
+		Gamma:  1e-3,
+	}}
+	if d, err := lit.TandemDelayBound(flow, hops); err != nil || d <= 0 {
+		t.Errorf("TandemDelayBound = %v, %v", d, err)
+	}
+}
+
+func TestDisciplineConstructors(t *testing.T) {
+	cfg := lit.SessionPort{Session: 1, Rate: 1e5, LocalDelay: 1e-3, XMin: 1e-3}
+	for name, d := range map[string]lit.Discipline{
+		"fcfs": lit.NewFCFS(),
+		"vc":   lit.NewVirtualClock(),
+		"wfq":  lit.NewWFQ(1e6),
+		"wf2q": lit.NewWF2Q(1e6),
+		"sng":  lit.NewStopAndGo(1e-3),
+		"dedd": lit.NewDelayEDD(),
+		"jedd": lit.NewJitterEDD(),
+		"rcsp": lit.NewRCSP(2),
+		"hrr":  lit.NewHRR(424, 1e-2),
+		"scfq": lit.NewSCFQ(),
+		"lit":  lit.NewLeaveInTime(lit.LeaveInTimeConfig{Capacity: 1e6, LMax: 424}),
+	} {
+		d.AddSession(cfg)
+		if d.Len() != 0 {
+			t.Errorf("%s: fresh discipline nonempty", name)
+		}
+	}
+	edd := lit.NewEDDAdmission(1e6, 424)
+	if err := edd.Admit(1, 1e-2, 424, 1e-2); err != nil {
+		t.Errorf("EDDAdmission: %v", err)
+	}
+	if lit.NewP2Quantile(0.5) == nil || lit.ErlangB(10, 5) <= 0 {
+		t.Error("misc constructors")
+	}
+	l := lit.SolveLindleyMD1(0.5, 1, 10, 0.05)
+	if v := l.WaitCDF(1); v <= 0 || v > 1 {
+		t.Errorf("LindleyMD1 facade: %v", v)
+	}
+}
+
+func TestExperimentRunnersShort(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke runs skipped in -short")
+	}
+	res := lit.RunFig8(2, 5)
+	if res.NoCtrl.Packets == 0 {
+		t.Error("Fig8 produced no packets")
+	}
+	if !strings.Contains(res.Format(), "jitter control") {
+		t.Error("Fig8 Format output")
+	}
+	if !strings.Contains(res.FormatBuffers(), "node 5") {
+		t.Error("Fig8 FormatBuffers output")
+	}
+	d := lit.RunFig9(2, 5)
+	if d.Summary.Packets == 0 || len(d.Analytic) == 0 || len(d.SimRef) == 0 {
+		t.Error("Fig9 incomplete result")
+	}
+	if !strings.Contains(d.Format(), "rho") {
+		t.Error("Fig9 Format output")
+	}
+}

@@ -1,0 +1,38 @@
+package lit
+
+// ReferenceDistribution feeds n packets of src through a fixed-rate
+// reference server (eq. 1) and returns the empirical distribution of
+// the reference delays D_ref. For sources that are not amenable to
+// analysis, this is the ingredient of the paper's ineq. (16): shifting
+// the returned distribution right by Beta + Alpha bounds the session's
+// end-to-end delay distribution in the network — the "simulated upper
+// bound" of Figures 9-11.
+//
+// The histogram has nbins bins of binWidth seconds; exact extremes
+// remain available through its Tracker.
+func ReferenceDistribution(src Source, rate float64, n int, binWidth float64, nbins int) *Histogram {
+	if src == nil || rate <= 0 || n <= 0 {
+		panic("lit: ReferenceDistribution needs a source, positive rate and n")
+	}
+	rs := NewRefServer(rate)
+	h := NewHistogram(binWidth, nbins)
+	clock := 0.0
+	for i := 0; i < n; i++ {
+		gap, length := src.Next()
+		clock += gap
+		_, d := rs.Arrive(clock, length)
+		h.Add(d)
+	}
+	return h
+}
+
+// BoundedTail combines ReferenceDistribution with a session's Route
+// into the ineq. (16) network bound: it returns a function d ->
+// bound on P(delay > d) built from the empirical reference tail
+// shifted by Beta + Alpha.
+func BoundedTail(ref *Histogram, route Route) func(d float64) float64 {
+	shift := route.Beta() + route.Alpha
+	return func(d float64) float64 {
+		return ref.TailProb(d - shift)
+	}
+}

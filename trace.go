@@ -1,0 +1,37 @@
+package lit
+
+import "leaveintime/internal/trace"
+
+// Packet-level tracing. Attach a tracer to Network.Tracer (or
+// System.Net.Tracer) before running:
+//
+//	rec := &lit.TraceRecorder{}
+//	sys.Net.Tracer = rec
+//	sys.Run(60)
+//	for _, hop := range rec.PerHopDelays(sessID) { ... }
+type (
+	// Tracer consumes packet events inline with the simulation.
+	Tracer = trace.Tracer
+	// TraceEvent is one packet event (arrival, transmission start/end,
+	// delivery).
+	TraceEvent = trace.Event
+	// TraceKind classifies a TraceEvent.
+	TraceKind = trace.Kind
+	// TraceRecorder retains events in memory with an optional cap and
+	// reduces them to per-hop delay statistics.
+	TraceRecorder = trace.Recorder
+	// TraceWriter streams events as text lines.
+	TraceWriter = trace.Writer
+	// TraceMulti fans events out to several tracers.
+	TraceMulti = trace.Multi
+	// PerHopDelay summarizes one hop's delay contribution.
+	PerHopDelay = trace.PerHopDelay
+)
+
+// The trace event kinds.
+const (
+	TraceArrive        = trace.Arrive
+	TraceTransmitStart = trace.TransmitStart
+	TraceTransmitEnd   = trace.TransmitEnd
+	TraceDeliver       = trace.Deliver
+)
