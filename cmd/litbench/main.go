@@ -1,0 +1,120 @@
+// Command litbench runs the tracked benchmark suite
+// (internal/benchmarks — the same bodies `go test -bench` runs) via
+// testing.Benchmark and writes the results to a JSON file, so the
+// performance trajectory of the scheduling core is recorded in-repo
+// run over run.
+//
+// Usage:
+//
+//	litbench [-out BENCH_core.json] [-filter regex] [-benchtime 1s]
+//
+// For every case it records ns/op, allocs/op, B/op, the simulated time
+// one iteration advances, and the derived simulated-seconds-per-
+// wall-second — the repo's core scaling metric. Compare two files with
+// any JSON diff; the committed BENCH_core.json at the repo root is the
+// reference trajectory.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"testing"
+
+	"leaveintime/internal/benchmarks"
+)
+
+// Result is one benchmark case's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SimSecondsPerOp is the simulated time advanced per iteration
+	// (0 when the case has no simulated clock).
+	SimSecondsPerOp float64 `json:"sim_seconds_per_op"`
+	// SimSecondsPerWallSecond is SimSecondsPerOp divided by the
+	// wall-clock seconds per iteration.
+	SimSecondsPerWallSecond float64 `json:"sim_seconds_per_wall_second,omitempty"`
+}
+
+// File is the BENCH_core.json layout.
+type File struct {
+	Go      string   `json:"go"`
+	GOOS    string   `json:"goos"`
+	GOARCH  string   `json:"goarch"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_core.json", "output file (- for stdout only)")
+		filter    = flag.String("filter", "", "regex selecting cases to run (default all)")
+		benchtime = flag.String("benchtime", "", "per-case benchmark time (e.g. 2s, 100x); default 1s")
+	)
+	testing.Init()
+	flag.Parse()
+	if *benchtime != "" {
+		if err := flag.Set("test.benchtime", *benchtime); err != nil {
+			fmt.Fprintf(os.Stderr, "litbench: bad -benchtime: %v\n", err)
+			os.Exit(2)
+		}
+	}
+	var re *regexp.Regexp
+	if *filter != "" {
+		var err error
+		if re, err = regexp.Compile(*filter); err != nil {
+			fmt.Fprintf(os.Stderr, "litbench: bad -filter: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	file := File{Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH}
+	for _, c := range benchmarks.Suite() {
+		if re != nil && !re.MatchString(c.Name) {
+			continue
+		}
+		br := testing.Benchmark(c.F)
+		r := Result{
+			Name:            c.Name,
+			Iterations:      br.N,
+			NsPerOp:         float64(br.T.Nanoseconds()) / float64(br.N),
+			AllocsPerOp:     br.AllocsPerOp(),
+			BytesPerOp:      br.AllocedBytesPerOp(),
+			SimSecondsPerOp: c.SimSeconds,
+		}
+		if c.SimSeconds > 0 && r.NsPerOp > 0 {
+			r.SimSecondsPerWallSecond = c.SimSeconds / (r.NsPerOp * 1e-9)
+		}
+		file.Results = append(file.Results, r)
+		fmt.Printf("%-24s %12.1f ns/op %10d allocs/op %10d B/op",
+			c.Name, r.NsPerOp, r.AllocsPerOp, r.BytesPerOp)
+		if r.SimSecondsPerWallSecond > 0 {
+			fmt.Printf(" %10.0f sim-s/wall-s", r.SimSecondsPerWallSecond)
+		}
+		fmt.Println()
+	}
+	if len(file.Results) == 0 {
+		fmt.Fprintln(os.Stderr, "litbench: no cases matched")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "litbench: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "litbench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s (%d cases)\n", *out, len(file.Results))
+}

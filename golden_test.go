@@ -1,0 +1,32 @@
+package lit_test
+
+import (
+	"os"
+	"testing"
+
+	lit "leaveintime"
+)
+
+// TestFig7Golden pins the exact output of
+//
+//	litsim -experiment fig7 -duration 5 -seed 1
+//
+// against testdata/fig7_d5_s1.golden (the verbatim stdout of that
+// command: RunFig7(5, 1).Format() plus the trailing newline litsim
+// prints). The file was captured on the seed implementation — binary
+// heap event queue, map-based calendar queue — so this test proves the
+// pooled 4-ary engine and the ring calendar queue reproduce the seed's
+// event interleaving bit for bit. Regenerate only for a deliberate
+// semantic change:
+//
+//	go run ./cmd/litsim -experiment fig7 -duration 5 -seed 1 > testdata/fig7_d5_s1.golden
+func TestFig7Golden(t *testing.T) {
+	want, err := os.ReadFile("testdata/fig7_d5_s1.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lit.RunFig7(5, 1).Format() + "\n"
+	if got != string(want) {
+		t.Fatalf("fig7 output diverged from golden file\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

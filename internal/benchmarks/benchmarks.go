@@ -1,0 +1,159 @@
+// Package benchmarks defines the repo's tracked benchmark suite: the
+// benchmark bodies shared between `go test -bench` (bench_test.go at
+// the repo root wires them into the Benchmark* functions) and
+// cmd/litbench, which runs them via testing.Benchmark and records the
+// results in BENCH_core.json so the performance trajectory of the
+// scheduling core is versioned alongside the code.
+//
+// Every case reports, besides the standard ns/op and allocs/op, how
+// much simulated time one iteration advances; litbench divides the two
+// into simulated-seconds-per-wall-second — the repo's core scaling
+// metric (ROADMAP: "as fast as the hardware allows").
+package benchmarks
+
+import (
+	"fmt"
+	"testing"
+
+	lit "leaveintime"
+)
+
+// Duration is the simulated run length per iteration of the
+// system-level cases: long enough to exercise steady state, short
+// enough to iterate.
+const Duration = 10
+
+// Case is one tracked benchmark.
+type Case struct {
+	// Name as reported in BENCH_core.json (matches the corresponding
+	// Benchmark* function at the repo root where one exists).
+	Name string
+	// SimSeconds is the simulated time one iteration advances, or 0
+	// when the case has no simulated clock.
+	SimSeconds float64
+	F          func(b *testing.B)
+}
+
+// Suite returns the tracked cases in reporting order.
+func Suite() []Case {
+	cases := []Case{
+		{Name: "EventEngine", SimSeconds: 1, F: EventEngine},
+		{Name: "Fig07", SimSeconds: 7 * Duration, F: Fig07},
+		{Name: "Fig08", SimSeconds: Duration, F: Fig08},
+		{Name: "Fig14_17", SimSeconds: 7 * 2, F: Fig14to17},
+		{Name: "QueueAblation/heap", SimSeconds: Duration,
+			F: func(b *testing.B) { QueueAblation(b, false) }},
+		{Name: "QueueAblation/calendar", SimSeconds: Duration,
+			F: func(b *testing.B) { QueueAblation(b, true) }},
+	}
+	for _, n := range []int{12, 24, 48} {
+		n := n
+		cases = append(cases, Case{
+			Name:       fmt.Sprintf("Scale/voice%d", n),
+			SimSeconds: Duration,
+			F:          func(b *testing.B) { Scale(b, n) },
+		})
+	}
+	return cases
+}
+
+// EventEngine measures the raw event loop: a single self-rescheduling
+// event chain, one event per op. Allocation-free in steady state.
+func EventEngine(b *testing.B) {
+	sim := lit.NewSimulator()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			sim.After(1, tick)
+		}
+	}
+	b.ResetTimer()
+	sim.After(1, tick)
+	sim.RunAll()
+	if n < b.N {
+		b.Fatal("event chain broke")
+	}
+}
+
+// Fig07 runs the Figure 7 sweep (seven concurrent MIX simulations) per
+// iteration.
+func Fig07(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := lit.RunFig7(Duration, uint64(i+1))
+		if len(res.Rows) != 7 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
+// Fig08 runs the Figure 8/12/13 CROSS experiment per iteration.
+func Fig08(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := lit.RunFig8(Duration, uint64(i+1))
+		if res.NoCtrl.Packets == 0 {
+			b.Fatal("no packets")
+		}
+	}
+}
+
+// Fig14to17 runs the Figures 14-17 class sweep (short points) per
+// iteration.
+func Fig14to17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := lit.RunFig14to17(2, uint64(i+1), 2)
+		for _, cs := range res.Sessions {
+			if len(cs.Rows) != 7 {
+				b.Fatal("bad sweep")
+			}
+		}
+	}
+}
+
+// QueueAblation drives a loaded single-port Leave-in-Time server with
+// the exact heap (approx=false) or the O(1) calendar queue.
+func QueueAblation(b *testing.B, approx bool) {
+	for i := 0; i < b.N; i++ {
+		sys := lit.NewSystem(lit.SystemConfig{LMax: 424, Approximate: approx})
+		srv := sys.AddServer("X", 1536e3, 1e-3)
+		r := lit.NewRand(1)
+		// 48 voice sessions through one port.
+		for j := 0; j < 48; j++ {
+			_, _, err := sys.Connect(lit.ConnectRequest{
+				Rate:  32e3,
+				Route: []*lit.Server{srv},
+				Source: &lit.OnOff{T: 13.25e-3, Length: 424, MeanOn: 352e-3,
+					MeanOff: 6.5e-3, Rng: r.Split()},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.Run(Duration)
+	}
+}
+
+// Scale runs the Figure 6 five-hop tandem with the given number of
+// voice sessions per iteration.
+func Scale(b *testing.B, sessions int) {
+	for i := 0; i < b.N; i++ {
+		sys := lit.NewSystem(lit.SystemConfig{LMax: 424})
+		var route []*lit.Server
+		for h := 0; h < 5; h++ {
+			route = append(route, sys.AddServer(fmt.Sprintf("n%d", h), 1536e3, 1e-3))
+		}
+		r := lit.NewRand(uint64(i + 1))
+		for s := 0; s < sessions; s++ {
+			if _, _, err := sys.Connect(lit.ConnectRequest{
+				Rate:  32e3,
+				Route: route,
+				Source: &lit.OnOff{T: 13.25e-3, Length: 424,
+					MeanOn: 352e-3, MeanOff: 6.5e-3, Rng: r.Split()},
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		sys.Run(Duration)
+	}
+}

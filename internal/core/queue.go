@@ -1,7 +1,8 @@
 package core
 
 import (
-	"container/heap"
+	"fmt"
+	"math"
 
 	"leaveintime/internal/packet"
 )
@@ -27,19 +28,75 @@ type pqueue interface {
 	len() int
 }
 
-// binHeap is an exact binary min-heap keyed by (key, stamp).
-type binHeap struct{ h entryHeap }
+// binHeap is an exact 4-ary min-heap keyed by (key, stamp). It is
+// hand-rolled rather than built on container/heap: the interface-based
+// heap boxes every entry into an `any` on push and pop, which costs one
+// heap allocation per packet on the scheduling hot path.
+type binHeap struct{ h []entry }
 
 func newBinHeap() *binHeap { return &binHeap{} }
 
-func (b *binHeap) push(e entry) { heap.Push(&b.h, e) }
-func (b *binHeap) len() int     { return len(b.h) }
+func (b *binHeap) len() int { return len(b.h) }
+
+func entryLess(a, b entry) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.stamp < b.stamp
+}
+
+func (b *binHeap) push(e entry) {
+	b.h = append(b.h, e)
+	h := b.h
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !entryLess(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = e
+}
 
 func (b *binHeap) popMin() (entry, bool) {
-	if len(b.h) == 0 {
+	h := b.h
+	n := len(h)
+	if n == 0 {
 		return entry{}, false
 	}
-	return heap.Pop(&b.h).(entry), true
+	min := h[0]
+	e := h[n-1]
+	h[n-1] = entry{} // release the packet reference
+	h = h[:n-1]
+	b.h = h
+	if n := len(h); n > 0 {
+		i := 0
+		for {
+			c := i<<2 + 1
+			if c >= n {
+				break
+			}
+			m := c
+			end := c + 4
+			if end > n {
+				end = n
+			}
+			for j := c + 1; j < end; j++ {
+				if entryLess(h[j], h[m]) {
+					m = j
+				}
+			}
+			if !entryLess(h[m], e) {
+				break
+			}
+			h[i] = h[m]
+			i = m
+		}
+		h[i] = e
+	}
+	return min, true
 }
 
 func (b *binHeap) peekMin() (float64, bool) {
@@ -49,165 +106,225 @@ func (b *binHeap) peekMin() (float64, bool) {
 	return b.h[0].key, true
 }
 
-type entryHeap []entry
-
-func (h entryHeap) Len() int { return len(h) }
-func (h entryHeap) Less(i, j int) bool {
-	if h[i].key != h[j].key {
-		return h[i].key < h[j].key
-	}
-	return h[i].stamp < h[j].stamp
-}
-func (h entryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *entryHeap) Push(x any) { *h = append(*h, x.(entry)) }
-
-func (h *entryHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}
-
 // calendarQueue is the approximate sorted priority queue the paper
 // alludes to in Section 4 ("Leave-in-Time uses an approximate sorted
 // priority queue algorithm which runs in O(1) time with a small cost in
-// emulation error"). Deadlines are bucketed into bins of fixed width
-// anchored at absolute key 0; within a bin packets are served FIFO, so
+// emulation error"). Deadlines are bucketed into days of fixed width
+// anchored at absolute key 0; within a day packets are served FIFO, so
 // the emulation error — the amount by which service order can deviate
 // from exact deadline order — is strictly bounded by the bin width.
 //
-// Buckets are kept in a map keyed by bin index, with a lazily-cleaned
-// min-heap of active bin indices: pushes to an existing bin and pops
-// from the current bin are O(1); a heap operation is paid only when a
-// bin opens or drains.
+// The implementation is a classic ring-of-bins calendar queue (Brown
+// 1988): day d lives in physical bin d mod len(bins), so push and pop
+// are array indexing with no map hashing. The ring wraps — one bin can
+// hold entries of several days (different "years"); each element
+// carries its day so the scan serving day d skips entries of future
+// years. The search cursor (lastDay) only moves forward between pops,
+// so the ring is traversed at most once per day of key advance; if the
+// next occupied day is more than one full rotation ahead the queue
+// falls back to a direct minimum scan. The ring resizes by amortized
+// doubling/halving to keep O(1) entries per bin, and drained bins keep
+// their backing arrays so steady-state operation does not allocate.
 type calendarQueue struct {
 	width   float64
-	buckets map[int64]*fifo
-	active  int64Heap // bin indices, may contain stale (drained) bins
+	bins    []bin
+	mask    int64 // len(bins)-1; len is a power of two
 	count   int
+	lastDay int64 // <= the day of every queued entry
+	minBins int   // resize floor (from the construction-time hint)
 }
 
-// fifo is a simple queue of entries in insertion order.
-type fifo struct {
-	items []entry
+// binEntry is an entry plus its day index, computed once at push time.
+type binEntry struct {
+	entry
+	day int64
+}
+
+// bin is one physical slot of the ring: entries in insertion order,
+// possibly of several different days. Vacated slots are zeroed so
+// popped packets are not pinned by the backing array, and the array is
+// compacted when the popped prefix passes half of it.
+type bin struct {
+	items []binEntry
 	head  int
 }
 
-func (f *fifo) push(e entry) { f.items = append(f.items, e) }
+func (b *bin) push(e binEntry) { b.items = append(b.items, e) }
 
-func (f *fifo) pop() (entry, bool) {
-	if f.head >= len(f.items) {
-		return entry{}, false
+// takeAt removes and returns the element at position i (>= head),
+// preserving the order of the remaining elements.
+func (b *bin) takeAt(i int) binEntry {
+	e := b.items[i]
+	if i == b.head {
+		b.items[i] = binEntry{}
+		b.head++
+		switch {
+		case b.head == len(b.items):
+			b.items = b.items[:0]
+			b.head = 0
+		case b.head > len(b.items)/2:
+			n := copy(b.items, b.items[b.head:])
+			clearBinEntries(b.items[n:])
+			b.items = b.items[:n]
+			b.head = 0
+		}
+	} else {
+		copy(b.items[i:], b.items[i+1:])
+		last := len(b.items) - 1
+		b.items[last] = binEntry{}
+		b.items = b.items[:last]
 	}
-	e := f.items[f.head]
-	f.head++
-	if f.head == len(f.items) {
-		f.items = f.items[:0]
-		f.head = 0
-	}
-	return e, true
+	return e
 }
 
-func (f *fifo) peek() (entry, bool) {
-	if f.head >= len(f.items) {
-		return entry{}, false
+func (b *bin) len() int { return len(b.items) - b.head }
+
+func clearBinEntries(s []binEntry) {
+	for i := range s {
+		s[i] = binEntry{}
 	}
-	return f.items[f.head], true
 }
 
-func (f *fifo) len() int { return len(f.items) - f.head }
+// minCalendarBins is the smallest ring size; tiny hints are rounded up
+// so the resize floor stays meaningful.
+const minCalendarBins = 16
 
 // newCalendarQueue builds a calendar queue with the given bin width
 // (seconds of deadline). A natural width for a port of capacity C is
 // LMax/C: one maximum-size transmission time of emulation error.
-// hintBuckets presizes the bucket map (0 for the default).
+// hintBuckets sizes the initial ring (0 for the default) and acts as
+// the shrink floor.
 func newCalendarQueue(width float64, hintBuckets int) *calendarQueue {
-	if width <= 0 {
-		panic("core: calendar queue needs positive width")
+	if !(width > 0) || math.IsInf(width, 0) {
+		panic("core: calendar queue needs positive finite width")
 	}
 	if hintBuckets <= 0 {
 		hintBuckets = 64
 	}
-	return &calendarQueue{
-		width:   width,
-		buckets: make(map[int64]*fifo, hintBuckets),
+	nb := minCalendarBins
+	for nb < hintBuckets {
+		nb *= 2
 	}
+	c := &calendarQueue{width: width, minBins: nb}
+	c.setBins(nb)
+	return c
 }
 
-func (c *calendarQueue) bin(key float64) int64 {
-	return int64(mathFloor(key / c.width))
+func (c *calendarQueue) setBins(nb int) {
+	c.bins = make([]bin, nb)
+	c.mask = int64(nb - 1)
 }
+
+// dayOf maps a key to its day (virtual bin) index. Keys must be finite
+// and within int64 day range: a NaN or astronomically large deadline is
+// a bug upstream, and binning it silently (the old implementation sent
+// NaN to math.MinInt64) corrupts the service order, so it panics with a
+// clear message instead.
+func (c *calendarQueue) dayOf(key float64) int64 {
+	d := math.Floor(key / c.width)
+	if math.IsNaN(d) {
+		panic("core: calendar queue key is NaN")
+	}
+	if d < -(1<<62) || d > 1<<62 {
+		panic(fmt.Sprintf("core: calendar queue key %g out of range (bin %g overflows int64)", key, d))
+	}
+	return int64(d)
+}
+
+// slot maps a day to its physical bin. len(bins) is a power of two, so
+// masking is a correct floor-mod for negative days too.
+func (c *calendarQueue) slot(day int64) int { return int(day & c.mask) }
 
 func (c *calendarQueue) push(e entry) {
-	idx := c.bin(e.key)
-	b, ok := c.buckets[idx]
-	if !ok {
-		b = &fifo{}
-		c.buckets[idx] = b
-		heap.Push(&c.active, idx)
+	day := c.dayOf(e.key)
+	if c.count == 0 || day < c.lastDay {
+		c.lastDay = day
 	}
-	b.push(e)
+	c.bins[c.slot(day)].push(binEntry{entry: e, day: day})
 	c.count++
+	if c.count > 2*len(c.bins) {
+		c.resize(2 * len(c.bins))
+	}
 }
 
 func (c *calendarQueue) popMin() (entry, bool) {
-	b, ok := c.minBucket()
+	b, i, day, ok := c.search()
 	if !ok {
 		return entry{}, false
 	}
-	e, _ := b.pop()
+	be := b.takeAt(i)
+	c.lastDay = day
 	c.count--
-	return e, true
+	if len(c.bins) > c.minBins && c.count < len(c.bins)/4 {
+		c.resize(len(c.bins) / 2)
+	}
+	return be.entry, true
 }
 
 func (c *calendarQueue) peekMin() (float64, bool) {
-	b, ok := c.minBucket()
+	b, i, _, ok := c.search()
 	if !ok {
 		return 0, false
 	}
-	e, _ := b.peek()
-	return e.key, true
+	return b.items[i].key, true
 }
 
-// minBucket returns the nonempty bucket with the smallest bin index,
-// lazily discarding drained bins from the heap.
-func (c *calendarQueue) minBucket() (*fifo, bool) {
-	for len(c.active) > 0 {
-		idx := c.active[0]
-		b := c.buckets[idx]
-		if b != nil && b.len() > 0 {
-			return b, true
-		}
-		heap.Pop(&c.active)
-		delete(c.buckets, idx)
+// search locates the next entry to serve: the earliest-pushed entry of
+// the smallest occupied day. It relies on the invariant that lastDay
+// never exceeds the day of any queued entry.
+func (c *calendarQueue) search() (*bin, int, int64, bool) {
+	if c.count == 0 {
+		return nil, 0, 0, false
 	}
-	return nil, false
+	nb := int64(len(c.bins))
+	for d := c.lastDay; d < c.lastDay+nb; d++ {
+		b := &c.bins[c.slot(d)]
+		for i := b.head; i < len(b.items); i++ {
+			if b.items[i].day == d {
+				return b, i, d, true
+			}
+		}
+	}
+	// Nothing within one rotation: the next day is over a year ahead.
+	// Find the minimum day directly and serve its first entry.
+	best := int64(math.MaxInt64)
+	for s := range c.bins {
+		b := &c.bins[s]
+		for i := b.head; i < len(b.items); i++ {
+			if b.items[i].day < best {
+				best = b.items[i].day
+			}
+		}
+	}
+	b := &c.bins[c.slot(best)]
+	for i := b.head; i < len(b.items); i++ {
+		if b.items[i].day == best {
+			return b, i, best, true
+		}
+	}
+	panic("core: calendar queue lost an entry")
+}
+
+// resize redistributes all entries into a ring of nb bins. Entries of
+// one day are contiguous (in insertion order) in exactly one source
+// bin, so appending source bins in order preserves the FIFO-within-day
+// service order — pop results are identical across resizes.
+func (c *calendarQueue) resize(nb int) {
+	if nb < c.minBins {
+		nb = c.minBins
+	}
+	if nb == len(c.bins) {
+		return
+	}
+	old := c.bins
+	c.setBins(nb)
+	for s := range old {
+		b := &old[s]
+		for i := b.head; i < len(b.items); i++ {
+			be := b.items[i]
+			c.bins[c.slot(be.day)].push(be)
+		}
+	}
 }
 
 func (c *calendarQueue) len() int { return c.count }
-
-// mathFloor avoids importing math for one call site.
-func mathFloor(x float64) float64 {
-	i := float64(int64(x))
-	if x < 0 && x != i {
-		return i - 1
-	}
-	return i
-}
-
-// int64Heap is a min-heap of bin indices.
-type int64Heap []int64
-
-func (h int64Heap) Len() int           { return len(h) }
-func (h int64Heap) Less(i, j int) bool { return h[i] < h[j] }
-func (h int64Heap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *int64Heap) Push(x any)        { *h = append(*h, x.(int64)) }
-func (h *int64Heap) Pop() any {
-	old := *h
-	n := len(old)
-	v := old[n-1]
-	*h = old[:n-1]
-	return v
-}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"math"
 	"sort"
 	"testing"
 	"testing/quick"
 
+	"leaveintime/internal/packet"
 	"leaveintime/internal/rng"
 )
 
@@ -167,25 +169,109 @@ func TestCalendarQueuePanicsOnBadArgs(t *testing.T) {
 	newCalendarQueue(0, 8)
 }
 
-func TestFifo(t *testing.T) {
-	var f fifo
-	if _, ok := f.pop(); ok {
-		t.Fatal("empty fifo popped")
+func TestBinOrderAndRelease(t *testing.T) {
+	var b bin
+	for i := 1; i <= 4; i++ {
+		b.push(binEntry{entry: entry{stamp: uint64(i), p: &packet.Packet{Seq: int64(i)}}})
 	}
-	f.push(entry{stamp: 1})
-	f.push(entry{stamp: 2})
-	if f.len() != 2 {
-		t.Fatalf("len = %d", f.len())
+	if b.len() != 4 {
+		t.Fatalf("len = %d", b.len())
 	}
-	if e, ok := f.peek(); !ok || e.stamp != 1 {
-		t.Fatal("peek")
+	if e := b.takeAt(b.head); e.stamp != 1 {
+		t.Fatal("bin order")
 	}
-	e, _ := f.pop()
-	if e.stamp != 1 {
-		t.Fatal("fifo order")
+	// The vacated slot must not pin the popped packet.
+	if b.items[0].p != nil {
+		t.Fatal("popped slot still references its packet")
 	}
-	e, _ = f.pop()
-	if e.stamp != 2 || f.len() != 0 {
-		t.Fatal("fifo drain")
+	// Out-of-order removal (a future-year entry between current-day
+	// ones) preserves the order of the rest.
+	if e := b.takeAt(b.head + 1); e.stamp != 3 {
+		t.Fatal("takeAt middle")
+	}
+	if e := b.takeAt(b.head); e.stamp != 2 {
+		t.Fatal("order after middle removal")
+	}
+	if e := b.takeAt(b.head); e.stamp != 4 || b.len() != 0 {
+		t.Fatal("bin drain")
+	}
+}
+
+// TestBinCompaction: once the popped prefix passes half the backing
+// array, the bin compacts and zeroes the tail so drained entries are
+// unreachable without waiting for a full drain.
+func TestBinCompaction(t *testing.T) {
+	var b bin
+	const n = 64
+	for i := 0; i < n; i++ {
+		b.push(binEntry{entry: entry{stamp: uint64(i), p: &packet.Packet{}}})
+	}
+	for i := 0; i < n/2+1; i++ {
+		b.takeAt(b.head)
+	}
+	if b.head != 0 {
+		t.Fatalf("head = %d after passing half capacity, want compaction", b.head)
+	}
+	for i := b.len(); i < len(b.items[:cap(b.items)]); i++ {
+		if b.items[:cap(b.items)][i].p != nil {
+			t.Fatalf("tail slot %d still references a packet after compaction", i)
+		}
+	}
+	want := uint64(n/2 + 1)
+	for b.len() > 0 {
+		if e := b.takeAt(b.head); e.stamp != want {
+			t.Fatalf("stamp = %d after compaction, want %d", e.stamp, want)
+		}
+		want++
+	}
+}
+
+func TestCalendarQueueRejectsBadKeys(t *testing.T) {
+	c := newCalendarQueue(1e-3, 8)
+	for _, key := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 1e300} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("push(key=%v) did not panic", key)
+				}
+			}()
+			c.push(entry{key: key})
+		}()
+	}
+	// A large but in-range key is fine.
+	c.push(entry{key: 1e12})
+	if e, ok := c.popMin(); !ok || e.key != 1e12 {
+		t.Fatal("in-range large key lost")
+	}
+}
+
+// TestCalendarQueueResizeOrder forces ring growth and shrink and checks
+// the pop order (day asc, insertion order within day) is unaffected.
+func TestCalendarQueueResizeOrder(t *testing.T) {
+	c := newCalendarQueue(1, 0)
+	initial := len(c.bins)
+	r := rng.New(7)
+	type pushed struct {
+		day   int64
+		stamp uint64
+	}
+	var want []pushed
+	for i := 0; i < 10*initial; i++ { // well past the doubling threshold
+		k := r.Float64() * 50
+		c.push(entry{key: k, stamp: uint64(i)})
+		want = append(want, pushed{day: int64(k), stamp: uint64(i)})
+	}
+	if len(c.bins) <= initial {
+		t.Fatalf("ring did not grow: %d bins for %d entries", len(c.bins), c.len())
+	}
+	sort.SliceStable(want, func(i, j int) bool { return want[i].day < want[j].day })
+	for i, w := range want {
+		e, ok := c.popMin()
+		if !ok || e.stamp != w.stamp {
+			t.Fatalf("pop %d: got stamp %d ok=%v, want %d", i, e.stamp, ok, w.stamp)
+		}
+	}
+	if len(c.bins) != initial {
+		t.Fatalf("ring did not shrink back to the floor: %d bins", len(c.bins))
 	}
 }

@@ -1,27 +1,54 @@
 // Package event implements the deterministic discrete-event simulation
 // engine underneath every experiment in this repository.
 //
-// The engine is a single-threaded event loop over a binary min-heap of
+// The engine is a single-threaded event loop over a 4-ary min-heap of
 // timestamped events. Ties in time are broken by scheduling order
 // (a monotonically increasing sequence number), which makes every run
 // bit-reproducible: the same inputs always produce the same event
 // interleaving, independent of map iteration order or goroutine
 // scheduling.
+//
+// # Performance model
+//
+// The engine is allocation-free in steady state. Event structs come
+// from a per-simulator free list and return to it when they fire or
+// when their cancellation is collected, so a long run recycles a small
+// working set of structs instead of allocating one per occurrence.
+// Cancellation is lazy: Cancel only marks the event and drops its
+// handler; the struct stays in the heap until it surfaces at the root
+// and is skipped. That keeps Cancel O(1) and avoids the sift-down of a
+// mid-heap removal. The heap is 4-ary, which halves the tree depth of
+// a binary heap and touches fewer cache lines per operation on the
+// sift-down-heavy pop path.
 package event
-
-import "container/heap"
 
 // Handler is the action executed when an event fires.
 type Handler func()
 
+// Event states. A pooled Event cycles pending -> (canceled ->) free.
+const (
+	stateFree     uint8 = iota // in the free list, or fired
+	statePending               // scheduled, will fire
+	stateCanceled              // still in the heap, skipped on pop
+)
+
+// poolChunk is how many Event structs one free-list refill allocates.
+const poolChunk = 64
+
 // Event is a scheduled occurrence in simulated time. Events are created
 // by Simulator.Schedule and may be canceled before they fire.
+//
+// Event structs are pooled: once an event has fired, the simulator may
+// reuse its struct for a later Schedule call. Canceling an event after
+// it has fired is a no-op only until its struct is reused — do not
+// retain an *Event past the firing of its handler (clear the reference
+// inside the handler, as a wake-up timer naturally does).
 type Event struct {
-	time     float64
-	seq      uint64
-	fn       Handler
-	index    int // position in the heap, -1 once removed
-	canceled bool
+	time  float64
+	seq   uint64
+	fn    Handler
+	index int32 // position in the heap, -1 once out of it
+	state uint8
 }
 
 // Time returns the simulated time at which the event fires (or would
@@ -33,7 +60,9 @@ func (e *Event) Time() float64 { return e.time }
 type Simulator struct {
 	now     float64
 	seq     uint64
-	heap    eventHeap
+	heap    []*Event // 4-ary min-heap ordered by (time, seq)
+	free    []*Event // recycled Event structs
+	pending int      // scheduled and not canceled
 	stopped bool
 }
 
@@ -43,16 +72,9 @@ func New() *Simulator { return &Simulator{} }
 // Now returns the current simulated time in seconds.
 func (s *Simulator) Now() float64 { return s.now }
 
-// Pending returns the number of scheduled (non-canceled) events.
-func (s *Simulator) Pending() int {
-	n := 0
-	for _, e := range s.heap {
-		if !e.canceled {
-			n++
-		}
-	}
-	return n
-}
+// Pending returns the number of scheduled (non-canceled) events. It is
+// a live counter, O(1).
+func (s *Simulator) Pending() int { return s.pending }
 
 // Schedule registers fn to run at absolute time t. Scheduling in the
 // past (t < Now) panics: it would silently reorder causality. Events
@@ -61,9 +83,14 @@ func (s *Simulator) Schedule(t float64, fn Handler) *Event {
 	if t < s.now {
 		panic("event: scheduled in the past")
 	}
-	e := &Event{time: t, seq: s.seq, fn: fn}
+	e := s.alloc()
+	e.time = t
+	e.seq = s.seq
+	e.fn = fn
+	e.state = statePending
 	s.seq++
-	heap.Push(&s.heap, e)
+	s.pending++
+	s.heapPush(e)
 	return e
 }
 
@@ -73,32 +100,32 @@ func (s *Simulator) After(d float64, fn Handler) *Event {
 }
 
 // Cancel prevents e from firing. Canceling an already-fired or
-// already-canceled event is a no-op.
+// already-canceled event is a no-op. Cancellation is lazy: the event
+// stays in the heap (its handler already released) and is discarded
+// when it reaches the root.
 func (s *Simulator) Cancel(e *Event) {
-	if e == nil || e.canceled || e.index < 0 {
-		e.markCanceled()
+	if e == nil || e.state != statePending {
 		return
 	}
-	e.canceled = true
-	heap.Remove(&s.heap, e.index)
-}
-
-func (e *Event) markCanceled() {
-	if e != nil {
-		e.canceled = true
-	}
+	e.state = stateCanceled
+	e.fn = nil // release the closure now, not at pop time
+	s.pending--
 }
 
 // Step fires the earliest pending event. It reports false when no
 // events remain.
 func (s *Simulator) Step() bool {
 	for len(s.heap) > 0 {
-		e := heap.Pop(&s.heap).(*Event)
-		if e.canceled {
+		e := s.heapPop()
+		if e.state == stateCanceled {
+			s.recycle(e)
 			continue
 		}
 		s.now = e.time
-		e.fn()
+		s.pending--
+		fn := e.fn
+		s.recycle(e)
+		fn()
 		return true
 	}
 	return false
@@ -136,44 +163,107 @@ func (s *Simulator) Stop() { s.stopped = true }
 func (s *Simulator) peek() *Event {
 	for len(s.heap) > 0 {
 		e := s.heap[0]
-		if !e.canceled {
+		if e.state != stateCanceled {
 			return e
 		}
-		heap.Pop(&s.heap)
+		s.recycle(s.heapPop())
 	}
 	return nil
 }
 
-// eventHeap orders events by (time, seq). It implements heap.Interface.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].time != h[j].time {
-		return h[i].time < h[j].time
+// alloc takes an Event struct from the free list, refilling it with a
+// chunk when empty so allocations amortize to zero on the hot path.
+func (s *Simulator) alloc() *Event {
+	if n := len(s.free); n > 0 {
+		e := s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		return e
 	}
-	return h[i].seq < h[j].seq
+	chunk := make([]Event, poolChunk)
+	for i := poolChunk - 1; i > 0; i-- {
+		s.free = append(s.free, &chunk[i])
+	}
+	return &chunk[0]
 }
 
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
+func (s *Simulator) recycle(e *Event) {
+	e.fn = nil
+	e.state = stateFree
 	e.index = -1
-	*h = old[:n-1]
-	return e
+	s.free = append(s.free, e)
+}
+
+// less orders events by (time, seq): earlier first, ties in scheduling
+// order — the engine's determinism contract.
+func less(a, b *Event) bool {
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (s *Simulator) heapPush(e *Event) {
+	s.heap = append(s.heap, e)
+	s.siftUp(len(s.heap) - 1)
+}
+
+func (s *Simulator) heapPop() *Event {
+	h := s.heap
+	root := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	s.heap = h[:last]
+	if last > 0 {
+		s.siftDown(0)
+	}
+	root.index = -1
+	return root
+}
+
+func (s *Simulator) siftUp(i int) {
+	h := s.heap
+	e := h[i]
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !less(e, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		h[i].index = int32(i)
+		i = p
+	}
+	h[i] = e
+	e.index = int32(i)
+}
+
+func (s *Simulator) siftDown(i int) {
+	h := s.heap
+	n := len(h)
+	e := h[i]
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		m := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if less(h[j], h[m]) {
+				m = j
+			}
+		}
+		if !less(h[m], e) {
+			break
+		}
+		h[i] = h[m]
+		h[i].index = int32(i)
+		i = m
+	}
+	h[i] = e
+	e.index = int32(i)
 }

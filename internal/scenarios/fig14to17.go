@@ -3,7 +3,6 @@ package scenarios
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"leaveintime/internal/admission"
 	"leaveintime/internal/network"
@@ -65,15 +64,9 @@ func RunFig14to17(duration float64, seed uint64, proc int) *Fig14Result {
 	// Bounds and d values are sweep-independent: fill them once from a
 	// zero-length run's establishment phase (point index 0 does it
 	// below on first write).
-	var wg sync.WaitGroup
-	for pi, aOff := range AOffValues {
-		wg.Add(1)
-		go func(pi int, aOff float64) {
-			defer wg.Done()
-			runFig14Point(res, pi, aOff, duration, seed, proc)
-		}(pi, aOff)
-	}
-	wg.Wait()
+	forEachPoint(len(AOffValues), func(pi int) {
+		runFig14Point(res, pi, AOffValues[pi], duration, seed, proc)
+	})
 	return res
 }
 

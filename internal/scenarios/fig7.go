@@ -3,7 +3,6 @@ package scenarios
 import (
 	"fmt"
 	"strings"
-	"sync"
 
 	"leaveintime/internal/network"
 	"leaveintime/internal/rng"
@@ -40,15 +39,9 @@ type Fig7Result struct {
 // deterministic in (duration, seed) regardless of parallelism.
 func RunFig7(duration float64, seed uint64) Fig7Result {
 	res := Fig7Result{Duration: duration, Rows: make([]Fig7Row, len(AOffValues))}
-	var wg sync.WaitGroup
-	for i, aOff := range AOffValues {
-		wg.Add(1)
-		go func(i int, aOff float64) {
-			defer wg.Done()
-			res.Rows[i] = runFig7Point(aOff, duration, seed)
-		}(i, aOff)
-	}
-	wg.Wait()
+	forEachPoint(len(AOffValues), func(i int) {
+		res.Rows[i] = runFig7Point(AOffValues[i], duration, seed)
+	})
 	return res
 }
 

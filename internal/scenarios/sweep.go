@@ -1,0 +1,38 @@
+package scenarios
+
+import "sync"
+
+// sweepSerial forces sweep points to run sequentially on the calling
+// goroutine. Results are deterministic either way (every point owns its
+// simulator and random streams); the serial mode exists so tests can
+// prove that — see TestSweepDeterminism — and to simplify profiling.
+var sweepSerial bool
+
+// SetSerialSweeps toggles serial sweep execution and returns the
+// previous setting. It is not safe to call concurrently with a running
+// sweep.
+func SetSerialSweeps(v bool) bool {
+	old := sweepSerial
+	sweepSerial = v
+	return old
+}
+
+// forEachPoint runs f(i) for i in [0, n), one goroutine per point
+// unless serial mode is set.
+func forEachPoint(n int, f func(i int)) {
+	if sweepSerial {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
