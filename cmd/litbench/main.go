@@ -6,13 +6,22 @@
 //
 // Usage:
 //
-//	litbench [-out BENCH_core.json] [-filter regex] [-benchtime 1s]
+//	litbench [-out BENCH_core.json] [-filter regex] [-benchtime 1s] [-gate baseline.json]
 //
 // For every case it records ns/op, allocs/op, B/op, the simulated time
 // one iteration advances, and the derived simulated-seconds-per-
 // wall-second — the repo's core scaling metric. Compare two files with
 // any JSON diff; the committed BENCH_core.json at the repo root is the
 // reference trajectory.
+//
+// With -gate, litbench additionally loads the given baseline file and
+// exits nonzero if any measured case allocates more than its budget —
+// allocsGateFactor times the baseline's allocs_per_op plus a fixed
+// warm-up allowance. The slack absorbs run-to-run noise and the
+// warm-up-heavy counts of short -benchtime runs while still failing on
+// an order-of-magnitude regression (e.g. losing the packet pool or
+// reintroducing per-event closures). CI runs it over the paper-figure
+// cases against the committed BENCH_core.json.
 package main
 
 import (
@@ -50,11 +59,24 @@ type File struct {
 	Results []Result `json:"results"`
 }
 
+// Allocation-gate parameters: a case fails the gate when
+//
+//	measured allocs/op > allocsGateFactor*baseline + allocsGateSlack.
+//
+// The factor covers proportional noise, the constant covers one-shot
+// warm-up allocations (pool chunks, maps, slices) that dominate a
+// -benchtime 1x run but amortize away over longer ones.
+const (
+	allocsGateFactor = 4
+	allocsGateSlack  = 8192
+)
+
 func main() {
 	var (
 		out       = flag.String("out", "BENCH_core.json", "output file (- for stdout only)")
 		filter    = flag.String("filter", "", "regex selecting cases to run (default all)")
 		benchtime = flag.String("benchtime", "", "per-case benchmark time (e.g. 2s, 100x); default 1s")
+		gate      = flag.String("gate", "", "baseline JSON file; fail if allocs/op regress past its budgets")
 	)
 	testing.Init()
 	flag.Parse()
@@ -103,18 +125,60 @@ func main() {
 		os.Exit(1)
 	}
 
+	if *gate != "" {
+		if err := checkGate(*gate, file.Results); err != nil {
+			fmt.Fprintf(os.Stderr, "litbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("allocation gate ok against %s\n", *gate)
+	}
+
+	if *out == "-" {
+		return
+	}
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "litbench: %v\n", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if *out == "-" {
-		return
-	}
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "litbench: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("wrote %s (%d cases)\n", *out, len(file.Results))
+}
+
+// checkGate compares measured allocs/op against the baseline file's
+// budgets. Cases absent from the baseline pass (new benchmarks gate
+// only once their baseline is committed).
+func checkGate(path string, results []Result) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("gate baseline: %w", err)
+	}
+	var base File
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("gate baseline %s: %w", path, err)
+	}
+	budgets := make(map[string]int64, len(base.Results))
+	for _, r := range base.Results {
+		budgets[r.Name] = allocsGateFactor*r.AllocsPerOp + allocsGateSlack
+	}
+	var failed int
+	for _, r := range results {
+		budget, ok := budgets[r.Name]
+		if !ok {
+			continue
+		}
+		if r.AllocsPerOp > budget {
+			fmt.Fprintf(os.Stderr, "litbench: %s allocates %d/op, budget %d/op (baseline x%d + %d)\n",
+				r.Name, r.AllocsPerOp, budget, allocsGateFactor, allocsGateSlack)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d case(s) exceeded the allocation budget", failed)
+	}
+	return nil
 }

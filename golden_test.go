@@ -30,3 +30,32 @@ func TestFig7Golden(t *testing.T) {
 		t.Fatalf("fig7 output diverged from golden file\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
+
+// TestFig8Golden pins the exact output of
+//
+//	litsim -experiment fig8 -duration 5 -seed 1
+//
+// against testdata/fig8_d5_s1.golden (the verbatim stdout of that
+// command: RunFig8(5, 1).Format() followed by FormatBuffers() and the
+// trailing newline litsim prints). The file was captured before the
+// pooled packet lifecycle landed — per-packet heap allocation, one
+// closure per transmission/arrival/emission — so this test proves the
+// packet pool, the pre-bound port and source handlers, and the
+// hand-rolled scheduler heaps reproduce the original event
+// interleaving bit for bit. The CROSS topology exercises multi-hop
+// routes, jitter control, Poisson cross traffic, and buffer probes —
+// paths the fig7 golden does not cover. Regenerate only for a
+// deliberate semantic change:
+//
+//	go run ./cmd/litsim -experiment fig8 -duration 5 -seed 1 > testdata/fig8_d5_s1.golden
+func TestFig8Golden(t *testing.T) {
+	want, err := os.ReadFile("testdata/fig8_d5_s1.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := lit.RunFig8(5, 1)
+	got := res.Format() + res.FormatBuffers() + "\n"
+	if got != string(want) {
+		t.Fatalf("fig8 output diverged from golden file\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -98,6 +98,14 @@ type SessionRemover interface {
 }
 
 // Network is a simulated packet-switching network.
+//
+// Packet lifecycle: every packet lives in the network's pool. A session
+// takes one at emission (Session.send, via the source or InjectAt),
+// the packet flows through ports and disciplines by pointer, and it is
+// released exactly once — by the sink on delivery or by the port that
+// drops it at a buffer limit. Code observing packets (OnDeliver hooks,
+// tracers) must not retain the pointer past the callback: the struct
+// is recycled for a later emission.
 type Network struct {
 	Sim *event.Simulator
 	// LMax is the maximum packet length allowed in the network
@@ -111,6 +119,7 @@ type Network struct {
 
 	ports    []*Port
 	sessions []*Session
+	pool     pktPool
 }
 
 func (n *Network) trace(e trace.Event) {
@@ -143,6 +152,15 @@ func (n *Network) NewPort(name string, capacity, gamma float64, disc Discipline)
 		Gamma: gamma,
 		Disc:  disc,
 	}
+	// Pre-bind the port's event handlers once: the transmission-finish,
+	// link-delivery and wake-up events on the per-packet path reuse
+	// these closures instead of allocating a fresh one per occurrence.
+	p.txFn = p.txDone
+	p.linkFn = p.deliverHead
+	p.wakeFn = func() {
+		p.waker = nil
+		p.maybeStart(p.net.Sim.Now())
+	}
 	n.ports = append(n.ports, p)
 	return p
 }
@@ -171,6 +189,17 @@ type Port struct {
 	waker   *event.Event
 	nextHop map[int]*hop // session -> downstream
 
+	// Closure-free event plumbing: txPkt is the packet under
+	// transmission (one at a time per port), inflight the FIFO of
+	// packets traversing the outgoing link (same propagation delay for
+	// all, so arrivals happen in departure order). The pre-bound
+	// handlers are created once in NewPort.
+	txPkt    *packet.Packet
+	inflight flightQ
+	txFn     event.Handler
+	linkFn   event.Handler
+	wakeFn   event.Handler
+
 	// Buffer tracking (Figures 12-13): per-session bits currently at
 	// this node, counting the packet under transmission.
 	trackBuf map[int]*BufferProbe
@@ -184,6 +213,54 @@ type Port struct {
 type hop struct {
 	port *Port
 	sink Sink
+}
+
+// flight is one packet traversing the outgoing link: its destination
+// (next port or sink) and arrival instant, recorded at transmission
+// finish.
+type flight struct {
+	pkt  *packet.Packet
+	next *Port
+	sink Sink
+	at   float64
+}
+
+// flightQ is a FIFO of in-flight packets with an amortized
+// allocation-free ring: popped slots are zeroed and the backing array
+// is reused once drained.
+type flightQ struct {
+	items []flight
+	head  int
+}
+
+func (f *flightQ) push(x flight) {
+	if f.head > 0 && len(f.items) == cap(f.items) {
+		// About to grow: slide the live entries to the front first so
+		// a long busy period reuses the array instead of appending
+		// behind an ever-advancing head. Vacated slots are zeroed so
+		// popped packets are not pinned.
+		n := copy(f.items, f.items[f.head:])
+		for i := n; i < len(f.items); i++ {
+			f.items[i] = flight{}
+		}
+		f.items = f.items[:n]
+		f.head = 0
+	}
+	f.items = append(f.items, x)
+}
+
+func (f *flightQ) pop() (flight, bool) {
+	if f.head >= len(f.items) {
+		return flight{}, false
+	}
+	x := f.items[f.head]
+	f.items[f.head] = flight{}
+	f.head++
+	if f.head == len(f.items) {
+		f.items = f.items[:0]
+		f.head = 0
+	}
+	return x, true
 }
 
 // BufferProbe records the buffer space used by one session at one
@@ -236,6 +313,7 @@ func (p *Port) Arrive(pkt *packet.Packet, now float64) {
 		if probe.Limit > 0 && probe.Bits+pkt.Length > probe.Limit+1e-9 {
 			probe.DroppedPackets++
 			probe.DroppedBits += pkt.Length
+			p.net.pool.put(pkt) // dropped: the port releases it
 			return
 		}
 		probe.Bits += pkt.Length
@@ -270,10 +348,7 @@ func (p *Port) maybeStart(now float64) {
 			if t < now {
 				t = now
 			}
-			p.waker = p.net.Sim.Schedule(t, func() {
-				p.waker = nil
-				p.maybeStart(p.net.Sim.Now())
-			})
+			p.waker = p.net.Sim.Schedule(t, p.wakeFn)
 		}
 		return
 	}
@@ -283,7 +358,17 @@ func (p *Port) maybeStart(now float64) {
 		Session: pkt.Session, Seq: pkt.Seq, Hop: pkt.Hop,
 		Eligible: pkt.Eligible, Deadline: pkt.Deadline})
 	finish := now + pkt.Length/p.C
-	p.net.Sim.Schedule(finish, func() { p.finish(pkt) })
+	p.txPkt = pkt
+	p.net.Sim.Schedule(finish, p.txFn)
+}
+
+// txDone fires when the last bit of the current transmission leaves
+// the link; ports transmit one packet at a time, so the packet is
+// parked in txPkt rather than captured in a per-event closure.
+func (p *Port) txDone() {
+	pkt := p.txPkt
+	p.txPkt = nil
+	p.finish(pkt)
 }
 
 func (p *Port) finish(pkt *packet.Packet) {
@@ -312,13 +397,27 @@ func (p *Port) finish(pkt *packet.Packet) {
 	arrive := now + p.Gamma
 	if h.port != nil {
 		pkt.Hop++
-		next := h.port
-		p.net.Sim.Schedule(arrive, func() { next.Arrive(pkt, arrive) })
-	} else if h.sink != nil {
-		sink := h.sink
-		p.net.Sim.Schedule(arrive, func() { sink.Deliver(pkt, arrive) })
 	}
+	// Transmissions on one port finish at strictly increasing instants
+	// and every departure experiences the same propagation delay, so
+	// link arrivals happen in departure order: a FIFO plus one
+	// pre-bound handler replaces a per-packet closure.
+	p.inflight.push(flight{pkt: pkt, next: h.port, sink: h.sink, at: arrive})
+	p.net.Sim.Schedule(arrive, p.linkFn)
 	p.maybeStart(now)
+}
+
+// deliverHead lands the oldest in-flight packet at its destination.
+func (p *Port) deliverHead() {
+	f, ok := p.inflight.pop()
+	if !ok {
+		panic(fmt.Sprintf("network: port %s link delivery with empty in-flight queue", p.Name))
+	}
+	if f.next != nil {
+		f.next.Arrive(f.pkt, f.at)
+	} else if f.sink != nil {
+		f.sink.Deliver(f.pkt, f.at)
+	}
 }
 
 func (p *Port) setNext(session int, next *Port, sink Sink) {
@@ -364,6 +463,13 @@ type Session struct {
 	stopEmit float64
 	seq      int64
 	started  bool
+
+	// Closure-free emission: one persistent handler re-schedules
+	// itself from inside the event (created once in Start), with the
+	// pending packet's length parked in nextLen — at most one emission
+	// event is outstanding per session.
+	emitFn  event.Handler
+	nextLen float64
 }
 
 // Started reports whether Start has been called.
@@ -376,7 +482,10 @@ func (s *Session) MeasureHistogram(binWidth float64, nbins int) *stats.Histogram
 	return s.Hist
 }
 
-// Deliver implements Sink for the session's own exit point.
+// Deliver implements Sink for the session's own exit point. It is the
+// normal release point of the packet lifecycle: after the statistics
+// and the OnDeliver hook have observed the packet, it returns to the
+// network's pool (hooks must not retain the pointer).
 func (s *Session) Deliver(p *packet.Packet, now float64) {
 	s.net.trace(trace.Event{Time: now, Kind: trace.Deliver,
 		Session: p.Session, Seq: p.Seq, Hop: p.Hop})
@@ -389,6 +498,7 @@ func (s *Session) Deliver(p *packet.Packet, now float64) {
 	if s.OnDeliver != nil {
 		s.OnDeliver(p, d)
 	}
+	s.net.pool.put(p)
 }
 
 // AddSession creates a session over the given route. cfgs configures
@@ -435,6 +545,14 @@ func (s *Session) Start(t0, stopEmit float64) {
 		return
 	}
 	s.stopEmit = stopEmit
+	if s.emitFn == nil {
+		s.emitFn = func() {
+			t := s.net.Sim.Now() // == the scheduled emission instant
+			s.send(t, s.nextLen)
+			gap, l := s.Source.Next()
+			s.scheduleEmit(t+gap, l)
+		}
+	}
 	gap, length := s.Source.Next()
 	s.scheduleEmit(t0+gap, length)
 }
@@ -443,22 +561,22 @@ func (s *Session) scheduleEmit(t, length float64) {
 	if t > s.stopEmit {
 		return
 	}
-	s.net.Sim.Schedule(t, func() {
-		s.emit(t, length)
-		gap, l := s.Source.Next()
-		s.scheduleEmit(t+gap, l)
-	})
+	s.nextLen = length
+	s.net.Sim.Schedule(t, s.emitFn)
 }
 
-func (s *Session) emit(t, length float64) {
+// send is the single entry point of the packet lifecycle: it takes a
+// packet from the network's pool, stamps the per-session header fields,
+// and lands it at the first node of the route. Both source emission and
+// InjectAt go through it.
+func (s *Session) send(t, length float64) {
 	s.seq++
 	s.Emitted++
-	p := &packet.Packet{
-		Session:    s.ID,
-		Seq:        s.seq,
-		Length:     length,
-		SourceTime: t,
-	}
+	p := s.net.pool.get()
+	p.Session = s.ID
+	p.Seq = s.seq
+	p.Length = length
+	p.SourceTime = t
 	s.Route[0].Arrive(p, t)
 }
 
@@ -490,14 +608,4 @@ func (n *Network) RemoveSession(s *Session) {
 // InjectAt places a single packet of the given length at the session's
 // first node at time t (must be the current simulation time). It is
 // used by tests to drive hand-built arrival patterns.
-func (s *Session) InjectAt(t, length float64) {
-	s.seq++
-	s.Emitted++
-	p := &packet.Packet{
-		Session:    s.ID,
-		Seq:        s.seq,
-		Length:     length,
-		SourceTime: t,
-	}
-	s.Route[0].Arrive(p, t)
-}
+func (s *Session) InjectAt(t, length float64) { s.send(t, length) }

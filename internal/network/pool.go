@@ -1,0 +1,103 @@
+package network
+
+import (
+	"fmt"
+
+	"leaveintime/internal/packet"
+)
+
+// pktChunk is how many Packet structs one free-list refill allocates.
+const pktChunk = 64
+
+// pktPool is the per-Network packet free list. Ownership is explicit:
+// a packet is taken exactly once per lifetime (Session.send, i.e. a
+// source emission or InjectAt), flows through ports and disciplines by
+// pointer, and is released exactly once — at the sink when it leaves
+// the network, or at the port that drops it on a buffer overflow.
+// Between release and the next take the struct sits on the free list;
+// a long run recycles a working set bounded by the peak number of
+// packets simultaneously inside the network.
+//
+// The pool is not safe for concurrent use; it inherits the simulator's
+// single-threaded discipline (one pool per Network, one Network per
+// simulator, sweep points own disjoint simulators).
+type pktPool struct {
+	free     []*packet.Packet
+	taken    int64
+	released int64
+
+	// debug, when set before the first take, tracks live packets
+	// individually so a double release (or a release of a packet the
+	// pool never issued) panics at the faulty call site instead of
+	// silently corrupting the free list.
+	debug bool
+	live  map[*packet.Packet]struct{}
+}
+
+// get takes a zeroed packet from the pool, refilling the free list with
+// a chunk when empty so allocations amortize to zero on the hot path.
+func (pp *pktPool) get() *packet.Packet {
+	var p *packet.Packet
+	if n := len(pp.free); n > 0 {
+		p = pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+	} else {
+		chunk := make([]packet.Packet, pktChunk)
+		for i := pktChunk - 1; i > 0; i-- {
+			pp.free = append(pp.free, &chunk[i])
+		}
+		p = &chunk[0]
+	}
+	pp.taken++
+	if pp.debug {
+		if pp.live == nil {
+			pp.live = make(map[*packet.Packet]struct{})
+		}
+		pp.live[p] = struct{}{}
+	}
+	return p
+}
+
+// put releases a packet back to the pool. The caller must own the
+// packet (have received it from get, directly or through the network)
+// and must not touch it afterwards.
+func (pp *pktPool) put(p *packet.Packet) {
+	if pp.debug {
+		if _, ok := pp.live[p]; !ok {
+			panic(fmt.Sprintf("network: double release of packet (session %d, seq %d) or release of a packet not taken from this pool", p.Session, p.Seq))
+		}
+		delete(pp.live, p)
+	}
+	*p = packet.Packet{}
+	pp.released++
+	pp.free = append(pp.free, p)
+}
+
+// PoolStats is a snapshot of the packet pool's ownership counters.
+type PoolStats struct {
+	// Taken counts packets handed out since the network was created.
+	Taken int64
+	// Released counts packets returned (delivered or dropped).
+	Released int64
+	// Live is Taken - Released: packets currently inside the network
+	// (queued at a discipline, under transmission, or in flight on a
+	// link). After a fully drained run it must be zero — the
+	// pool-balance leak tests assert exactly that.
+	Live int64
+}
+
+// PoolStats returns the network's packet-pool counters.
+func (n *Network) PoolStats() PoolStats {
+	return PoolStats{
+		Taken:    n.pool.taken,
+		Released: n.pool.released,
+		Live:     n.pool.taken - n.pool.released,
+	}
+}
+
+// SetPoolDebug enables (or disables) per-packet ownership tracking:
+// with it on, releasing a packet twice panics instead of corrupting
+// the free list. Debug mode costs one map operation per packet take
+// and release; enable it in tests, not in measured runs.
+func (n *Network) SetPoolDebug(on bool) { n.pool.debug = on }

@@ -1,0 +1,170 @@
+package network
+
+import (
+	"strings"
+	"testing"
+
+	"leaveintime/internal/event"
+	"leaveintime/internal/packet"
+	"leaveintime/internal/traffic"
+)
+
+// TestPoolBalanceAfterDrain: every packet taken from the pool must be
+// released once the network has fully drained — delivery and the
+// buffer-limit drop path both count as releases.
+func TestPoolBalanceAfterDrain(t *testing.T) {
+	sim := event.New()
+	net := New(sim, 1000)
+	net.SetPoolDebug(true)
+	// The first link is 10x faster than the second, so back-to-back
+	// packets pile up at b's limited buffer and overflow it.
+	p1 := net.NewPort("a", 10000, 0.01, &echoDisc{})
+	p2 := net.NewPort("b", 1000, 0.01, &echoDisc{})
+	p2.LimitBuffer(1, 150)
+	src := &traffic.Trace{
+		Gaps:    []float64{0.5, 0, 0, 1, 0},
+		Lengths: []float64{100, 100, 100, 100, 100},
+	}
+	s := net.AddSession(1, 100, false, []*Port{p1, p2},
+		make([]SessionPort, 2), src)
+	s.Start(0, 10)
+	sim.RunAll()
+
+	st := net.PoolStats()
+	if st.Taken != s.Emitted {
+		t.Errorf("pool taken %d, emitted %d", st.Taken, s.Emitted)
+	}
+	if st.Taken != st.Released || st.Live != 0 {
+		t.Errorf("pool leak: taken %d released %d live %d", st.Taken, st.Released, st.Live)
+	}
+	if s.Delivered == 0 || s.Delivered == s.Emitted {
+		t.Fatalf("want a mix of deliveries and drops, got %d/%d", s.Delivered, s.Emitted)
+	}
+}
+
+// TestPoolLiveWhileQueued: packets still inside the network (queued,
+// transmitting, or in flight) are counted live, and draining releases
+// them.
+func TestPoolLiveWhileQueued(t *testing.T) {
+	sim := event.New()
+	net := New(sim, 1000)
+	p1 := net.NewPort("a", 1000, 0.01, &echoDisc{})
+	s := net.AddSession(1, 100, false, []*Port{p1}, make([]SessionPort, 1), nil)
+	s.InjectAt(0, 100)
+	s.InjectAt(0, 100)
+	s.InjectAt(0, 100)
+	if live := net.PoolStats().Live; live != 3 {
+		t.Errorf("live = %d before draining, want 3", live)
+	}
+	sim.RunAll()
+	if st := net.PoolStats(); st.Live != 0 || st.Released != 3 {
+		t.Errorf("after drain: %+v", st)
+	}
+}
+
+// TestPoolRecyclesPackets: a drained packet's struct is reused by a
+// later emission instead of allocating a new one, and recycled packets
+// come back fully zeroed.
+func TestPoolRecyclesPackets(t *testing.T) {
+	sim := event.New()
+	net := New(sim, 1000)
+	p1 := net.NewPort("a", 1000, 0, &echoDisc{})
+	s := net.AddSession(1, 100, false, []*Port{p1}, make([]SessionPort, 1), nil)
+
+	var first *packet.Packet
+	s.OnDeliver = func(p *packet.Packet, _ float64) {
+		if first == nil {
+			first = p
+		} else if p != first {
+			t.Error("second packet did not reuse the drained struct")
+		} else if p.Hold != 0 || p.Hop != 0 || p.Eligible != 0 {
+			t.Errorf("recycled packet not zeroed: %+v", *p)
+		}
+	}
+	s.InjectAt(0, 100)
+	sim.RunAll()
+	s.InjectAt(sim.Now(), 100)
+	sim.RunAll()
+	if s.Delivered != 2 || first == nil {
+		t.Fatalf("delivered %d", s.Delivered)
+	}
+}
+
+// TestPoolDoubleReleasePanics: with debug tracking on, releasing the
+// same packet twice must panic instead of corrupting the free list.
+func TestPoolDoubleReleasePanics(t *testing.T) {
+	sim := event.New()
+	net := New(sim, 1000)
+	net.SetPoolDebug(true)
+	p1 := net.NewPort("a", 1000, 0, &echoDisc{})
+	s := net.AddSession(1, 100, false, []*Port{p1}, make([]SessionPort, 1), nil)
+
+	var delivered *packet.Packet
+	s.OnDeliver = func(p *packet.Packet, _ float64) { delivered = p }
+	s.InjectAt(0, 100)
+	sim.RunAll()
+	if delivered == nil {
+		t.Fatal("no delivery")
+	}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("double release did not panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "release") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	net.pool.put(delivered) // second release of a delivered packet
+}
+
+// TestPoolDebugRejectsForeignPacket: debug mode also catches releases
+// of packets the pool never issued.
+func TestPoolDebugRejectsForeignPacket(t *testing.T) {
+	sim := event.New()
+	net := New(sim, 1000)
+	net.SetPoolDebug(true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign release did not panic")
+		}
+	}()
+	net.pool.put(&packet.Packet{Session: 9, Seq: 1})
+}
+
+// TestFlightQReusesArray: a long busy period — the queue never fully
+// drains — must reuse the backing array via compaction instead of
+// appending behind an ever-advancing head.
+func TestFlightQReusesArray(t *testing.T) {
+	var q flightQ
+	pkts := [3]packet.Packet{}
+	for i := 0; i < 10000; i++ {
+		q.push(flight{pkt: &pkts[i%3]})
+		if i >= 2 { // keep 3 entries live so the queue never drains
+			if _, ok := q.pop(); !ok {
+				t.Fatal("pop failed")
+			}
+		}
+	}
+	if c := cap(q.items); c > 64 {
+		t.Fatalf("flightQ grew to cap %d with only 3 live entries", c)
+	}
+}
+
+// TestFlightFIFOOrder: several packets in flight on one link must land
+// in departure order through the shared pre-bound delivery handler.
+func TestFlightFIFOOrder(t *testing.T) {
+	sim := event.New()
+	net := New(sim, 1000)
+	p1 := net.NewPort("a", 1000, 0.05, &echoDisc{}) // gamma >> L/C: 3 packets overlap in flight
+	s := net.AddSession(1, 100, false, []*Port{p1}, make([]SessionPort, 1), nil)
+	var seqs []int64
+	s.OnDeliver = func(p *packet.Packet, _ float64) { seqs = append(seqs, p.Seq) }
+	s.InjectAt(0, 10)
+	s.InjectAt(0, 10)
+	s.InjectAt(0, 10)
+	sim.RunAll()
+	if len(seqs) != 3 || seqs[0] != 1 || seqs[1] != 2 || seqs[2] != 3 {
+		t.Fatalf("delivery order %v, want [1 2 3]", seqs)
+	}
+}

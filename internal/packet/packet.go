@@ -9,8 +9,12 @@
 // the node currently holding the packet.
 package packet
 
-// Packet is one packet in flight. Packets are allocated once at the
-// source and reused across all hops of their route.
+// Packet is one packet in flight. One struct travels all hops of its
+// route by pointer. Packet structs are pooled per Network: taken from
+// the free list when the source emits, released back (and zeroed) on
+// delivery or drop, and reused by later emissions. Disciplines,
+// tracers, and delivery/drop hooks must therefore not retain a *Packet
+// past the callback that handed it to them — copy the fields instead.
 type Packet struct {
 	// Session identifies the session (connection) the packet belongs to.
 	Session int

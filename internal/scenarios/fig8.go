@@ -98,6 +98,12 @@ func RunFig8(duration float64, seed uint64) *Fig8Result {
 	probeNoN5 := t.Ports[4].TrackBuffer(noCtrl.ID)
 	probeCtN1 := t.Ports[0].TrackBuffer(ctrl.ID)
 	probeCtN5 := t.Ports[4].TrackBuffer(ctrl.ID)
+	// The occupancy support is known from the figure's rendering cap
+	// (fig12BufferCap packets): preallocate the distributions so the
+	// per-arrival sampling path never grows a slice mid-run.
+	for _, probe := range []*network.BufferProbe{probeNoN1, probeNoN5, probeCtN1, probeCtN5} {
+		probe.Dist.Reserve(fig12BufferCap)
+	}
 
 	for _, s := range t.Net.Sessions() {
 		s.Start(0, duration)

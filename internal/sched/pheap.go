@@ -1,15 +1,18 @@
 package sched
 
 import (
-	"container/heap"
-
 	"leaveintime/internal/packet"
 )
 
 // pktHeap is a deterministic min-heap of packets keyed by (key, stamp):
 // the shared sorted-priority-queue building block of the deadline-based
-// baselines.
-type pktHeap struct{ h pentryHeap }
+// baselines. It is hand-rolled rather than built on container/heap: the
+// interface-based heap boxes every pentry into an `any` on push and
+// pop, which costs one heap allocation per packet on the scheduling hot
+// path. The sift algorithm mirrors container/heap's binary up/down
+// exactly, and (key, stamp) is a total order, so the pop sequence is
+// identical to the boxed implementation's.
+type pktHeap struct{ h []pentry }
 
 type pentry struct {
 	p     *packet.Packet
@@ -17,15 +20,59 @@ type pentry struct {
 	stamp uint64
 }
 
+func pentryLess(a, b pentry) bool {
+	if a.key != b.key {
+		return a.key < b.key
+	}
+	return a.stamp < b.stamp
+}
+
 func (q *pktHeap) push(p *packet.Packet, key float64, stamp uint64) {
-	heap.Push(&q.h, pentry{p: p, key: key, stamp: stamp})
+	q.h = append(q.h, pentry{p: p, key: key, stamp: stamp})
+	h := q.h
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !pentryLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
 }
 
 func (q *pktHeap) popMin() (*packet.Packet, bool) {
-	if len(q.h) == 0 {
+	h := q.h
+	n := len(h) - 1
+	if n < 0 {
 		return nil, false
 	}
-	return heap.Pop(&q.h).(pentry).p, true
+	min := h[0]
+	h[0] = h[n]
+	h[n] = pentry{} // release the packet reference
+	q.h = h[:n]
+	q.down(0)
+	return min.p, true
+}
+
+func (q *pktHeap) down(i int) {
+	h := q.h
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && pentryLess(h[j2], h[j1]) {
+			j = j2
+		}
+		if !pentryLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 func (q *pktHeap) peekKey() (float64, bool) {
@@ -43,22 +90,3 @@ func (q *pktHeap) peekMin() (*packet.Packet, bool) {
 }
 
 func (q *pktHeap) len() int { return len(q.h) }
-
-type pentryHeap []pentry
-
-func (h pentryHeap) Len() int { return len(h) }
-func (h pentryHeap) Less(i, j int) bool {
-	if h[i].key != h[j].key {
-		return h[i].key < h[j].key
-	}
-	return h[i].stamp < h[j].stamp
-}
-func (h pentryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *pentryHeap) Push(x any)   { *h = append(*h, x.(pentry)) }
-func (h *pentryHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
-}

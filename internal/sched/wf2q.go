@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 
 	"leaveintime/internal/network"
@@ -24,6 +23,10 @@ type WF2Q struct {
 	// queued packets with their (start, finish) tags.
 	pending wf2qHeap
 	stamp   uint64
+	// skipped is the Dequeue scratch buffer for head-of-line entries
+	// whose GPS service has not started; reused across calls so the
+	// eligibility scan does not allocate per packet.
+	skipped []wf2qEntry
 }
 
 type wf2qEntry struct {
@@ -58,11 +61,11 @@ func (w *WF2Q) Enqueue(p *packet.Packet, now float64) {
 		s.inB = true
 		w.wfq.weightSum += s.weight
 	}
-	heap.Push(&w.wfq.backlog, tagEntry{tag: fin, s: s})
+	w.wfq.backlog.push(tagEntry{tag: fin, s: s})
 	p.Eligible = now
 	p.Deadline = fin
 	w.stamp++
-	heap.Push(&w.pending, wf2qEntry{p: p, start: start, fin: fin, stamp: w.stamp})
+	w.pending.push(wf2qEntry{p: p, start: start, fin: fin, stamp: w.stamp})
 }
 
 // Dequeue implements network.Discipline: among packets whose GPS
@@ -72,26 +75,31 @@ func (w *WF2Q) Dequeue(now float64) (*packet.Packet, bool) {
 	// The heap orders by finish tag; scan from the top for the first
 	// eligible entry. The number of skips is bounded by the number of
 	// sessions (at most one ineligible head-of-line packet each).
-	var skipped []wf2qEntry
-	for len(w.pending) > 0 {
-		e := heap.Pop(&w.pending).(wf2qEntry)
+	w.skipped = w.skipped[:0]
+	for {
+		e, ok := w.pending.popMin()
+		if !ok {
+			break
+		}
 		if e.start <= w.wfq.v+1e-12 {
-			for _, sk := range skipped {
-				heap.Push(&w.pending, sk)
+			for _, sk := range w.skipped {
+				w.pending.push(sk)
 			}
+			clearSkipped(w.skipped)
 			return e.p, true
 		}
-		skipped = append(skipped, e)
+		w.skipped = append(w.skipped, e)
 	}
-	for _, sk := range skipped {
-		heap.Push(&w.pending, sk)
+	for _, sk := range w.skipped {
+		w.pending.push(sk)
 	}
+	clearSkipped(w.skipped)
 	// GPS backlogged but nothing eligible cannot happen when the link
 	// has been busy; after idle gaps V may trail arrivals, so nudge V
 	// to the smallest start tag and retry once.
-	if len(w.pending) > 0 {
-		minStart := w.pending[0].start
-		for _, e := range w.pending {
+	if w.pending.len() > 0 {
+		minStart := w.pending.h[0].start
+		for _, e := range w.pending.h {
 			if e.start < minStart {
 				minStart = e.start
 			}
@@ -108,7 +116,7 @@ func (w *WF2Q) Dequeue(now float64) (*packet.Packet, bool) {
 // eligible packet while backlogged (see Dequeue), so it never asks for
 // a wake-up.
 func (w *WF2Q) NextEligible(now float64) (float64, bool) {
-	if len(w.pending) > 0 {
+	if w.pending.len() > 0 {
 		return now, true
 	}
 	return 0, false
@@ -118,23 +126,67 @@ func (w *WF2Q) NextEligible(now float64) (float64, bool) {
 func (w *WF2Q) OnTransmit(p *packet.Packet, finish float64) { p.Hold = 0 }
 
 // Len implements network.Discipline.
-func (w *WF2Q) Len() int { return len(w.pending) }
+func (w *WF2Q) Len() int { return w.pending.len() }
 
-type wf2qHeap []wf2qEntry
-
-func (h wf2qHeap) Len() int { return len(h) }
-func (h wf2qHeap) Less(i, j int) bool {
-	if h[i].fin != h[j].fin {
-		return h[i].fin < h[j].fin
+func clearSkipped(s []wf2qEntry) {
+	for i := range s {
+		s[i] = wf2qEntry{} // release the packet references
 	}
-	return h[i].stamp < h[j].stamp
 }
-func (h wf2qHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *wf2qHeap) Push(x any)   { *h = append(*h, x.(wf2qEntry)) }
-func (h *wf2qHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+// wf2qHeap is a hand-rolled min-heap over (fin, stamp) — a total
+// order, so the pop sequence matches the previous container/heap
+// implementation without its per-push/pop `any` boxing allocation.
+type wf2qHeap struct{ h []wf2qEntry }
+
+func (q *wf2qHeap) len() int { return len(q.h) }
+
+func wf2qLess(a, b wf2qEntry) bool {
+	if a.fin != b.fin {
+		return a.fin < b.fin
+	}
+	return a.stamp < b.stamp
+}
+
+func (q *wf2qHeap) push(e wf2qEntry) {
+	q.h = append(q.h, e)
+	h := q.h
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !wf2qLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (q *wf2qHeap) popMin() (wf2qEntry, bool) {
+	h := q.h
+	n := len(h) - 1
+	if n < 0 {
+		return wf2qEntry{}, false
+	}
+	min := h[0]
+	h[0] = h[n]
+	h[n] = wf2qEntry{} // release the packet reference
+	q.h = h[:n]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && wf2qLess(h[j2], h[j1]) {
+			j = j2
+		}
+		if !wf2qLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return min, true
 }

@@ -1,7 +1,6 @@
 package sched
 
 import (
-	"container/heap"
 	"fmt"
 
 	"leaveintime/internal/network"
@@ -80,7 +79,7 @@ func (w *WFQ) Enqueue(p *packet.Packet, now float64) {
 		s.inB = true
 		w.weightSum += s.weight
 	}
-	heap.Push(&w.backlog, tagEntry{tag: f, s: s})
+	w.backlog.push(tagEntry{tag: f, s: s})
 	p.Eligible = now
 	p.Deadline = f // virtual units; ordering is what matters
 	w.stamp++
@@ -114,7 +113,7 @@ func (w *WFQ) advance(t float64) {
 		}
 		w.lastUpdate += need
 		w.v = e.tag
-		heap.Pop(&w.backlog)
+		w.backlog.popMin()
 		// The session leaves the GPS backlog only if this tag is still
 		// its latest packet's tag.
 		if e.s.inB && e.s.fPrev == e.tag {
@@ -130,14 +129,16 @@ func (w *WFQ) advance(t float64) {
 // peekBacklog returns the smallest live finish tag, discarding stale
 // entries (tags superseded by later packets of the same session).
 func (w *WFQ) peekBacklog() (tagEntry, bool) {
-	for len(w.backlog) > 0 {
-		e := w.backlog[0]
+	for {
+		e, ok := w.backlog.peek()
+		if !ok {
+			return tagEntry{}, false
+		}
 		if e.s.inB && e.tag <= e.s.fPrev {
 			return e, true
 		}
-		heap.Pop(&w.backlog)
+		w.backlog.popMin()
 	}
-	return tagEntry{}, false
 }
 
 // Dequeue implements network.Discipline.
@@ -171,16 +172,62 @@ type tagEntry struct {
 	s   *wfqState
 }
 
-type tagHeap []tagEntry
+// tagHeap is a hand-rolled min-heap ordered by tag (no boxing through
+// container/heap's `any`, which allocated once per push and pop). Tags
+// can tie across sessions, so the sift algorithm replicates
+// container/heap's binary up/down move for move: the entry surfacing
+// among equal tags — and with it the floating-point order of weightSum
+// updates — is bit-identical to the boxed implementation's.
+type tagHeap struct{ h []tagEntry }
 
-func (h tagHeap) Len() int           { return len(h) }
-func (h tagHeap) Less(i, j int) bool { return h[i].tag < h[j].tag }
-func (h tagHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *tagHeap) Push(x any)        { *h = append(*h, x.(tagEntry)) }
-func (h *tagHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+func (t *tagHeap) len() int { return len(t.h) }
+
+func (t *tagHeap) peek() (tagEntry, bool) {
+	if len(t.h) == 0 {
+		return tagEntry{}, false
+	}
+	return t.h[0], true
+}
+
+func (t *tagHeap) push(e tagEntry) {
+	t.h = append(t.h, e)
+	h := t.h
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(h[j].tag < h[i].tag) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (t *tagHeap) popMin() (tagEntry, bool) {
+	h := t.h
+	n := len(h) - 1
+	if n < 0 {
+		return tagEntry{}, false
+	}
+	min := h[0]
+	h[0] = h[n]
+	h[n] = tagEntry{} // release the session reference
+	t.h = h[:n]
+	i := 0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h[j2].tag < h[j1].tag {
+			j = j2
+		}
+		if !(h[j].tag < h[i].tag) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return min, true
 }

@@ -13,7 +13,11 @@ type P2Quantile struct {
 	pos     [5]float64
 	want    [5]float64
 	inc     [5]float64
-	init    []float64
+	// init holds the bootstrap samples inline (ninit of them): a fixed
+	// array instead of a grown slice, so constructing and feeding an
+	// estimator never allocates beyond the struct itself.
+	init  [5]float64
+	ninit int
 }
 
 // NewP2Quantile returns an estimator for the p-quantile (0 < p < 1).
@@ -30,17 +34,17 @@ func NewP2Quantile(p float64) *P2Quantile {
 // Add records one observation.
 func (q *P2Quantile) Add(x float64) {
 	q.n++
-	if len(q.init) < 5 {
+	if q.ninit < 5 {
 		// Bootstrap phase: insertion sort the first five samples.
-		i := len(q.init)
-		q.init = append(q.init, x)
+		i := q.ninit
+		q.ninit++
 		for i > 0 && q.init[i-1] > x {
 			q.init[i] = q.init[i-1]
 			i--
 		}
 		q.init[i] = x
-		if len(q.init) == 5 {
-			copy(q.heights[:], q.init)
+		if q.ninit == 5 {
+			q.heights = q.init
 			q.pos = [5]float64{1, 2, 3, 4, 5}
 		}
 		return
@@ -107,10 +111,10 @@ func (q *P2Quantile) Value() float64 {
 	if q.n == 0 {
 		return 0
 	}
-	if len(q.init) < 5 {
-		idx := int(q.p * float64(len(q.init)))
-		if idx >= len(q.init) {
-			idx = len(q.init) - 1
+	if q.ninit < 5 {
+		idx := int(q.p * float64(q.ninit))
+		if idx >= q.ninit {
+			idx = q.ninit - 1
 		}
 		return q.init[idx]
 	}

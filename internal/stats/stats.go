@@ -247,6 +247,19 @@ type Discrete struct {
 	max    int
 }
 
+// Reserve preallocates count storage for values up to n-1, so that a
+// recording loop whose support is known in advance (e.g. a buffer
+// occupancy bounded by the admission-time buffer allocation) never
+// grows the slice mid-run. Values beyond the reservation still work —
+// Add extends the slice as before.
+func (d *Discrete) Reserve(n int) {
+	if n > cap(d.counts) {
+		counts := make([]int64, len(d.counts), n)
+		copy(counts, d.counts)
+		d.counts = counts
+	}
+}
+
 // Add records one observation of value k (k >= 0).
 func (d *Discrete) Add(k int) {
 	if k < 0 {
