@@ -6,7 +6,14 @@
 // Usage:
 //
 //	litrun scenario.json
-//	litrun -json scenario.json     # machine-readable output
+//	litrun -json scenario.json               # machine-readable output
+//	litrun -telemetry run.json scenario.json # also dump run telemetry
+//
+// -telemetry writes a JSON snapshot of the run's internal counters
+// (event engine, packet pool, per-port arrivals/transmissions/drops/
+// utilization, scheduler regulation and deadline misses, admission
+// outcomes) to the given file; "-" writes it to stdout. The simulated
+// results are identical with and without telemetry.
 //
 // An example scenario lives at examples/scenario.json.
 package main
@@ -18,10 +25,12 @@ import (
 	"os"
 
 	"leaveintime/internal/config"
+	"leaveintime/internal/metrics"
 )
 
 func main() {
 	asJSON := flag.Bool("json", false, "emit the result as JSON")
+	telemetry := flag.String("telemetry", "", "write a JSON telemetry snapshot of the run to this file (\"-\" for stdout)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: litrun [-json] scenario.json")
@@ -37,10 +46,20 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	res, err := scenario.Run()
+	var reg *metrics.Registry
+	if *telemetry != "" {
+		reg = metrics.NewRegistry()
+	}
+	res, err := scenario.RunWithMetrics(reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if reg != nil {
+		if err := writeTelemetry(*telemetry, reg.Snapshot(scenario.Duration)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 	if *asJSON {
 		out, err := json.MarshalIndent(res, "", "  ")
@@ -65,4 +84,17 @@ func main() {
 		fmt.Printf("%-16s %10d %12.2f %12.2f %12.2f %14s %8s\n",
 			s.Name, s.Delivered, s.MaxDelay*1e3, s.MeanDelay*1e3, s.Jitter*1e3, bound, holds)
 	}
+}
+
+func writeTelemetry(path string, snap any) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }

@@ -13,9 +13,18 @@
 // Durations default to the paper's (300 s for the MIX sweeps, 600 s for
 // the CROSS distribution runs); pass -duration to shorten exploratory
 // runs. Runs are deterministic in (-duration, -seed).
+//
+// -telemetry out.json additionally dumps the run's internal counters
+// (event engine, packet pool, per-port arrivals/transmissions/drops/
+// utilization, scheduler regulation and deadline misses, admission
+// outcomes) as JSON; "-" writes them to stdout. It is supported for
+// fig7 (a JSON array, one snapshot per sweep point) and for
+// fig8/fig12/fig13 (a single snapshot). Telemetry never changes the
+// simulated results.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,15 +36,25 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("experiment", "all", "which experiment to run (fig7, fig8, fig9, fig10, fig11, fig12, fig14, fig14ac1, perhop, establish, blocking, saturation, section4, all)")
-		duration = flag.Float64("duration", 0, "run length in simulated seconds (0 = the paper's duration)")
-		seed     = flag.Uint64("seed", 1, "random seed")
-		asPlot   = flag.Bool("plot", false, "render distribution figures as terminal charts")
-		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of text (fig8-fig13)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-		memProf  = flag.String("memprofile", "", "write an allocation profile of the run to this file")
+		exp       = flag.String("experiment", "all", "which experiment to run (fig7, fig8, fig9, fig10, fig11, fig12, fig14, fig14ac1, perhop, establish, blocking, saturation, section4, all)")
+		duration  = flag.Float64("duration", 0, "run length in simulated seconds (0 = the paper's duration)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		asPlot    = flag.Bool("plot", false, "render distribution figures as terminal charts")
+		asJSON    = flag.Bool("json", false, "emit machine-readable JSON instead of text (fig8-fig13)")
+		telemetry = flag.String("telemetry", "", "write a JSON telemetry snapshot to this file (\"-\" for stdout); fig7/fig8/fig12/fig13 only")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf   = flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *telemetry != "" {
+		switch *exp {
+		case "fig7", "fig8", "fig12", "fig13":
+		default:
+			fmt.Fprintf(os.Stderr, "-telemetry supports fig7, fig8, fig12 and fig13, not %q\n", *exp)
+			os.Exit(2)
+		}
+	}
 
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -77,12 +96,37 @@ func main() {
 	any := false
 	if run("fig7") {
 		any = true
-		fmt.Print(lit.RunFig7(dur(300), *seed).Format())
+		var regs []*lit.MetricsRegistry
+		if *telemetry != "" {
+			regs = make([]*lit.MetricsRegistry, len(lit.Fig7AOffValues))
+			for i := range regs {
+				regs[i] = lit.NewMetricsRegistry()
+			}
+		}
+		fmt.Print(lit.RunFig7Observed(dur(300), *seed, regs).Format())
 		fmt.Println()
+		if regs != nil {
+			type pointTelemetry struct {
+				AOff     float64              `json:"a_off_s"`
+				Snapshot *lit.MetricsSnapshot `json:"snapshot"`
+			}
+			points := make([]pointTelemetry, len(regs))
+			for i, reg := range regs {
+				points[i] = pointTelemetry{AOff: lit.Fig7AOffValues[i], Snapshot: reg.Snapshot(dur(300))}
+			}
+			writeTelemetry(*telemetry, points)
+		}
 	}
 	if run("fig8") || run("fig12") || run("fig13") {
 		any = true
-		res := lit.RunFig8(dur(600), *seed)
+		var reg *lit.MetricsRegistry
+		if *telemetry != "" {
+			reg = lit.NewMetricsRegistry()
+		}
+		res := lit.RunFig8Observed(dur(600), *seed, reg)
+		if reg != nil {
+			writeTelemetry(*telemetry, reg.Snapshot(dur(600)))
+		}
 		switch {
 		case *asJSON:
 			emitJSON(res)
@@ -187,4 +231,21 @@ func emitJSON(result any) {
 	}
 	os.Stdout.Write(data)
 	fmt.Println()
+}
+
+func writeTelemetry(path string, snap any) {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: %v\n", err)
+		os.Exit(1)
+	}
 }

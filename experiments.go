@@ -19,6 +19,10 @@ const (
 	VoiceRate = scenarios.VoiceRate
 )
 
+// Fig7AOffValues are the seven mean OFF durations (seconds) swept by
+// RunFig7; RunFig7Observed's registries slice is indexed the same way.
+var Fig7AOffValues = scenarios.AOffValues
+
 // Experiment results.
 type (
 	// Fig7Result is the Figure 7 sweep (MIX, ON-OFF, max delay and
@@ -48,9 +52,23 @@ func RunFig7(duration float64, seed uint64) Fig7Result {
 	return scenarios.RunFig7(duration, seed)
 }
 
+// RunFig7Observed is RunFig7 with telemetry: registries[i], when
+// non-nil, observes sweep point i (the points run concurrently, so each
+// needs its own registry). A nil or short slice leaves the remaining
+// points uninstrumented. The figure output is identical either way.
+func RunFig7Observed(duration float64, seed uint64, registries []*MetricsRegistry) Fig7Result {
+	return scenarios.RunFig7Observed(duration, seed, registries)
+}
+
 // RunFig8 reproduces Figures 8, 12 and 13 (the paper runs 600 s).
 func RunFig8(duration float64, seed uint64) *Fig8Result {
 	return scenarios.RunFig8(duration, seed)
+}
+
+// RunFig8Observed is RunFig8 with telemetry counted into reg when it is
+// non-nil. The figure output is identical either way.
+func RunFig8Observed(duration float64, seed uint64, reg *MetricsRegistry) *Fig8Result {
+	return scenarios.RunFig8Observed(duration, seed, reg)
 }
 
 // RunFig9 reproduces Figure 9 (600 s in the paper).

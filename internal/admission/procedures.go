@@ -15,6 +15,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"leaveintime/internal/metrics"
 )
 
 // SessionSpec is what a session declares at connection establishment
@@ -84,7 +86,13 @@ type Procedure1 struct {
 	Classes []Class
 
 	members [][]admitted // per class
+	m       *metrics.ProcOutcome
 }
+
+// SetMetrics attaches the controller's accept/reject counters. Several
+// controllers (one per server) typically share one procedure-wide
+// outcome struct.
+func (p *Procedure1) SetMetrics(m *metrics.ProcOutcome) { p.m = m }
 
 type admitted struct {
 	spec SessionSpec
@@ -138,7 +146,13 @@ type Options struct {
 // failure the controller state is unchanged.
 func (p *Procedure1) Admit(spec SessionSpec, j int, opts Options) (Assignment, error) {
 	if err := p.check(spec, j, opts); err != nil {
+		if p.m != nil {
+			p.m.Rejected++
+		}
 		return Assignment{}, err
+	}
+	if p.m != nil {
+		p.m.Accepted++
 	}
 	p.members[j-1] = append(p.members[j-1], admitted{spec: spec, eps: opts.Eps})
 	return p.assignment(spec, j, opts), nil
@@ -221,7 +235,11 @@ type Procedure2 struct {
 	Classes []Class
 
 	members [][]admitted
+	m       *metrics.ProcOutcome
 }
+
+// SetMetrics attaches the controller's accept/reject counters.
+func (p *Procedure2) SetMetrics(m *metrics.ProcOutcome) { p.m = m }
 
 // NewProcedure2 returns an empty procedure-2 controller. R_P = C is
 // required as in procedure 1 so the whole link can be committed.
@@ -235,7 +253,13 @@ func NewProcedure2(c float64, classes []Class) (*Procedure2, error) {
 // Admit attempts to admit the session into class j (1-based).
 func (p *Procedure2) Admit(spec SessionSpec, j int, opts Options) (Assignment, error) {
 	if err := p.check(spec, j, opts); err != nil {
+		if p.m != nil {
+			p.m.Rejected++
+		}
 		return Assignment{}, err
+	}
+	if p.m != nil {
+		p.m.Accepted++
 	}
 	p.members[j-1] = append(p.members[j-1], admitted{spec: spec, eps: opts.Eps})
 	return p.assignment(spec, j, opts), nil
@@ -341,7 +365,11 @@ type Procedure3 struct {
 
 	specs []SessionSpec
 	ds    []float64
+	m     *metrics.ProcOutcome
 }
+
+// SetMetrics attaches the controller's accept/reject counters.
+func (p *Procedure3) SetMetrics(m *metrics.ProcOutcome) { p.m = m }
 
 // NewProcedure3 returns an empty procedure-3 controller.
 func NewProcedure3(c float64) (*Procedure3, error) {
@@ -355,6 +383,18 @@ func NewProcedure3(c float64) (*Procedure3, error) {
 // (seconds). The subset test runs over the existing sessions plus the
 // candidate.
 func (p *Procedure3) Admit(spec SessionSpec, d float64) (Assignment, error) {
+	a, err := p.admit(spec, d)
+	if p.m != nil {
+		if err != nil {
+			p.m.Rejected++
+		} else {
+			p.m.Accepted++
+		}
+	}
+	return a, err
+}
+
+func (p *Procedure3) admit(spec SessionSpec, d float64) (Assignment, error) {
 	if err := spec.validate(); err != nil {
 		return Assignment{}, err
 	}

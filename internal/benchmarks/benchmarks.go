@@ -39,7 +39,9 @@ func Suite() []Case {
 	cases := []Case{
 		{Name: "EventEngine", SimSeconds: 1, F: EventEngine},
 		{Name: "Fig07", SimSeconds: 7 * Duration, F: Fig07},
+		{Name: "Fig07/metrics", SimSeconds: 7 * Duration, F: Fig07Metrics},
 		{Name: "Fig08", SimSeconds: Duration, F: Fig08},
+		{Name: "Fig08/metrics", SimSeconds: Duration, F: Fig08Metrics},
 		{Name: "Fig14_17", SimSeconds: 7 * 2, F: Fig14to17},
 		{Name: "QueueAblation/heap", SimSeconds: Duration,
 			F: func(b *testing.B) { QueueAblation(b, false) }},
@@ -88,11 +90,40 @@ func Fig07(b *testing.B) {
 	}
 }
 
+// Fig07Metrics is Fig07 with a telemetry registry attached to every
+// sweep point; its allocs/op tracking Fig07's is the zero-allocation
+// contract of the metrics hot path (the registries themselves are
+// wiring-time allocations, a fixed count per iteration).
+func Fig07Metrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		regs := make([]*lit.MetricsRegistry, len(lit.Fig7AOffValues))
+		for j := range regs {
+			regs[j] = lit.NewMetricsRegistry()
+		}
+		res := lit.RunFig7Observed(Duration, uint64(i+1), regs)
+		if len(res.Rows) != 7 || regs[0].Engine.Fired == 0 {
+			b.Fatal("bad sweep")
+		}
+	}
+}
+
 // Fig08 runs the Figure 8/12/13 CROSS experiment per iteration.
 func Fig08(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		res := lit.RunFig8(Duration, uint64(i+1))
 		if res.NoCtrl.Packets == 0 {
+			b.Fatal("no packets")
+		}
+	}
+}
+
+// Fig08Metrics is Fig08 with a telemetry registry attached; see
+// Fig07Metrics.
+func Fig08Metrics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reg := lit.NewMetricsRegistry()
+		res := lit.RunFig8Observed(Duration, uint64(i+1), reg)
+		if res.NoCtrl.Packets == 0 || reg.Engine.Fired == 0 {
 			b.Fatal("no packets")
 		}
 	}

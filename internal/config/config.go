@@ -32,6 +32,7 @@ import (
 	"leaveintime/internal/admission"
 	"leaveintime/internal/core"
 	"leaveintime/internal/event"
+	"leaveintime/internal/metrics"
 	"leaveintime/internal/network"
 	"leaveintime/internal/rng"
 	"leaveintime/internal/traffic"
@@ -182,8 +183,19 @@ type Result struct {
 // Run executes the scenario and reports per-session measurements
 // against their bounds.
 func (s *Scenario) Run() (*Result, error) {
+	return s.RunWithMetrics(nil)
+}
+
+// RunWithMetrics is Run with telemetry: when reg is non-nil the engine,
+// packet pool, every port and scheduler, and the per-server admission
+// controllers count into it. Snapshot it with reg.Snapshot(s.Duration)
+// after the run. Results are identical with and without a registry.
+func (s *Scenario) RunWithMetrics(reg *metrics.Registry) (*Result, error) {
 	sim := event.New()
 	net := network.New(sim, s.LMax)
+	if reg != nil {
+		net.EnableMetrics(reg)
+	}
 	r := rng.New(s.Seed)
 
 	type serverState struct {
@@ -220,6 +232,14 @@ func (s *Scenario) Run() (*Result, error) {
 		}
 		if err != nil {
 			return nil, err
+		}
+		if reg != nil {
+			if st.ac1 != nil {
+				st.ac1.SetMetrics(&reg.Admission.AC1)
+			}
+			if st.ac2 != nil {
+				st.ac2.SetMetrics(&reg.Admission.AC2)
+			}
 		}
 		servers[sv.Name] = st
 	}

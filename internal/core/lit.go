@@ -23,6 +23,7 @@ package core
 import (
 	"fmt"
 
+	"leaveintime/internal/metrics"
 	"leaveintime/internal/network"
 	"leaveintime/internal/packet"
 )
@@ -59,7 +60,17 @@ type LiT struct {
 	// ready holds eligible packets keyed by transmission deadline.
 	ready pqueue
 	stamp uint64
+
+	// m, when non-nil, receives scheduler counters (regulator holds,
+	// deadline misses); attached by Network.EnableMetrics.
+	m *metrics.Sched
 }
+
+// SetMetrics attaches the scheduler's telemetry counters: regulator
+// holds with their accumulated eligibility wait, and deadline misses —
+// transmissions finishing after F + L_MAX/C, the service guarantee
+// behind eq. 9's nonnegative holding time (Theorem 1).
+func (l *LiT) SetMetrics(m *metrics.Sched) { l.m = m }
 
 type sessionState struct {
 	cfg     network.SessionPort
@@ -144,6 +155,10 @@ func (l *LiT) Enqueue(p *packet.Packet, now float64) {
 	l.stamp++
 	en := entry{p: p, stamp: l.stamp}
 	if e > now {
+		if l.m != nil {
+			l.m.Regulated++
+			l.m.EligibilityWait += e - now
+		}
 		en.key = e
 		l.regulator.push(en)
 	} else {
@@ -183,6 +198,9 @@ func (l *LiT) NextEligible(now float64) (float64, bool) {
 // nonnegative when the server is not saturated; the port clamps and
 // counts violations.
 func (l *LiT) OnTransmit(p *packet.Packet, finish float64) {
+	if l.m != nil && finish > p.Deadline+l.cfg.LMax/l.cfg.Capacity+deadlineSlack {
+		l.m.DeadlineMisses++
+	}
 	s := l.sessions[p.Session]
 	if s == nil || !s.cfg.JitterControl {
 		p.Hold = 0
@@ -190,6 +208,11 @@ func (l *LiT) OnTransmit(p *packet.Packet, finish float64) {
 	}
 	p.Hold = p.Deadline + l.cfg.LMax/l.cfg.Capacity - finish + p.DelayMax - p.Delay
 }
+
+// deadlineSlack absorbs floating-point crumbs in the deadline-miss
+// comparison so a transmission finishing exactly at the guarantee is
+// not miscounted.
+const deadlineSlack = 1e-9
 
 // Len implements network.Discipline.
 func (l *LiT) Len() int { return l.ready.len() + l.regulator.len() }

@@ -22,6 +22,8 @@
 // sift-down-heavy pop path.
 package event
 
+import "leaveintime/internal/metrics"
+
 // Handler is the action executed when an event fires.
 type Handler func()
 
@@ -64,7 +66,16 @@ type Simulator struct {
 	free    []*Event // recycled Event structs
 	pending int      // scheduled and not canceled
 	stopped bool
+
+	// m, when non-nil, receives engine counters (one branch per
+	// schedule/cancel/fire; see internal/metrics).
+	m *metrics.Engine
 }
+
+// SetMetrics attaches (or, with nil, detaches) the engine's telemetry
+// counters. Counting costs one branch per Schedule, Cancel and fired
+// event and never allocates.
+func (s *Simulator) SetMetrics(m *metrics.Engine) { s.m = m }
 
 // New returns a simulator starting at time 0.
 func New() *Simulator { return &Simulator{} }
@@ -91,6 +102,12 @@ func (s *Simulator) Schedule(t float64, fn Handler) *Event {
 	s.seq++
 	s.pending++
 	s.heapPush(e)
+	if s.m != nil {
+		s.m.Scheduled++
+		if n := int64(len(s.heap)); n > s.m.HeapHighWater {
+			s.m.HeapHighWater = n
+		}
+	}
 	return e
 }
 
@@ -110,6 +127,9 @@ func (s *Simulator) Cancel(e *Event) {
 	e.state = stateCanceled
 	e.fn = nil // release the closure now, not at pop time
 	s.pending--
+	if s.m != nil {
+		s.m.Canceled++
+	}
 }
 
 // Step fires the earliest pending event. It reports false when no
@@ -125,6 +145,9 @@ func (s *Simulator) Step() bool {
 		s.pending--
 		fn := e.fn
 		s.recycle(e)
+		if s.m != nil {
+			s.m.Fired++
+		}
 		fn()
 		return true
 	}

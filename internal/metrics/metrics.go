@@ -1,0 +1,245 @@
+// Package metrics is the simulator's run-telemetry substrate: a flat,
+// fixed-layout registry of counters and gauges covering the event
+// engine, the network ports, the schedulers, the packet pool, and the
+// admission controllers.
+//
+// The design contract is zero cost when disabled and allocation-free
+// when enabled:
+//
+//   - Every instrumented component holds a plain typed pointer into the
+//     registry (*Engine, *Port, *Sched, ...). A nil pointer disables
+//     the site at the price of one branch — no interface boxing, no
+//     map lookup, no atomic, no per-event allocation.
+//   - Counters are plain int64/float64 fields incremented in place.
+//     The registry inherits the simulator's single-threaded discipline
+//     (one registry per simulator; concurrent sweeps use one registry
+//     per sweep point).
+//   - All allocation happens at wiring time (Registry and per-port
+//     structs); the hot path only writes through pre-resolved pointers.
+//     The litbench allocation gate runs the figure benchmarks with
+//     metrics enabled to keep this true.
+//
+// Snapshot derives the JSON-facing view (utilization, pool live count)
+// from the raw counters at any instant; cmd/litsim and cmd/litrun
+// write it via their -telemetry flag, and lit.System exposes it through
+// System.Metrics().
+package metrics
+
+// Engine counts discrete-event engine activity.
+type Engine struct {
+	// Scheduled, Canceled and Fired count Schedule/Cancel calls and
+	// handler executions.
+	Scheduled int64
+	Canceled  int64
+	Fired     int64
+	// HeapHighWater is the maximum number of events (pending plus
+	// lazily-canceled) ever resident in the engine's heap.
+	HeapHighWater int64
+}
+
+// Pool counts packet-pool ownership transfers (the live counterpart of
+// network.PoolStats).
+type Pool struct {
+	// Taken counts packets handed out by the pool; Released counts
+	// packets returned (delivered or dropped). Taken - Released is the
+	// number of packets currently inside the network.
+	Taken    int64
+	Released int64
+}
+
+// Sched counts scheduler-level behavior at one port's discipline.
+// Disciplines without a delay regulator leave Regulated and
+// EligibilityWait at zero.
+type Sched struct {
+	// Regulated counts arrivals held by the delay regulator (eligibility
+	// time in the future); EligibilityWait accumulates the seconds those
+	// packets were scheduled to be held (E - arrival).
+	Regulated       int64
+	EligibilityWait float64
+	// DeadlineMisses counts transmissions that finished after the
+	// discipline's service guarantee for the packet's header-carried
+	// deadline: Fhat > F + L_MAX/C for Leave-in-Time (the bound behind
+	// eq. 9's nonnegative holding time), Fhat > F for the EDD family.
+	DeadlineMisses int64
+}
+
+// Port counts one port's packet flow. Bits ride along with packet
+// counts so utilization and loss rate fall out of the snapshot without
+// extra hot-path state.
+type Port struct {
+	// Name and Capacity echo the port's construction parameters.
+	Name     string
+	Capacity float64
+
+	// Arrivals counts packets accepted at the port (post drop check);
+	// Transmissions counts packets whose last bit left the link.
+	Arrivals        int64
+	ArrivedBits     float64
+	Transmissions   int64
+	TransmittedBits float64
+	// DroppedPackets/DroppedBits count buffer-limit drops at this port,
+	// across all sessions — the sum of the per-probe counters.
+	DroppedPackets int64
+	DroppedBits    float64
+	// QueueHighWater is the maximum number of packets ever held by the
+	// port's discipline (regulated plus eligible), sampled at arrival.
+	QueueHighWater int64
+
+	// Sched is filled by the port's discipline when it supports
+	// scheduler-level metrics.
+	Sched Sched
+}
+
+// ProcOutcome counts one admission procedure's decisions.
+type ProcOutcome struct {
+	Accepted int64
+	Rejected int64
+}
+
+// Admission aggregates decisions per admission control procedure
+// (AC1-AC3); every controller instance of a procedure shares the
+// procedure's outcome struct.
+type Admission struct {
+	AC1 ProcOutcome
+	AC2 ProcOutcome
+	AC3 ProcOutcome
+}
+
+// Registry is the root of a run's telemetry: one flat struct per layer,
+// allocated once at wiring time. Instrumented components write through
+// typed pointers into it.
+type Registry struct {
+	Engine    Engine
+	Pool      Pool
+	Admission Admission
+	Ports     []*Port
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// NewPort registers a port and returns its counter struct. Called once
+// per port at wiring time, in port creation order.
+func (r *Registry) NewPort(name string, capacity float64) *Port {
+	p := &Port{Name: name, Capacity: capacity}
+	r.Ports = append(r.Ports, p)
+	return p
+}
+
+// Snapshot is the JSON-facing view of a registry at one instant:
+// the raw counters plus the derived gauges (utilization, pool live).
+type Snapshot struct {
+	// Duration is the observation interval in simulated seconds (the
+	// instant the snapshot was taken, for runs starting at 0).
+	Duration float64 `json:"duration_s"`
+
+	Engine EngineSnapshot `json:"engine"`
+	Pool   PoolSnapshot   `json:"pool"`
+
+	Admission AdmissionSnapshot `json:"admission"`
+	Ports     []PortSnapshot    `json:"ports"`
+}
+
+// EngineSnapshot is the engine section of a Snapshot.
+type EngineSnapshot struct {
+	Scheduled     int64 `json:"scheduled"`
+	Canceled      int64 `json:"canceled"`
+	Fired         int64 `json:"fired"`
+	HeapHighWater int64 `json:"heap_high_water"`
+}
+
+// PoolSnapshot is the packet-pool section of a Snapshot.
+type PoolSnapshot struct {
+	Taken    int64 `json:"taken"`
+	Released int64 `json:"released"`
+	// Live is Taken - Released: packets inside the network at the
+	// snapshot instant.
+	Live int64 `json:"live"`
+}
+
+// ProcSnapshot is one admission procedure's decision counts.
+type ProcSnapshot struct {
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+}
+
+// AdmissionSnapshot is the admission section of a Snapshot.
+type AdmissionSnapshot struct {
+	AC1 ProcSnapshot `json:"ac1"`
+	AC2 ProcSnapshot `json:"ac2"`
+	AC3 ProcSnapshot `json:"ac3"`
+}
+
+// SchedSnapshot is one port discipline's scheduler counters.
+type SchedSnapshot struct {
+	Regulated       int64   `json:"regulated"`
+	EligibilityWait float64 `json:"eligibility_wait_s"`
+	DeadlineMisses  int64   `json:"deadline_misses"`
+}
+
+// PortSnapshot is one port's section of a Snapshot.
+type PortSnapshot struct {
+	Name            string  `json:"name"`
+	Capacity        float64 `json:"capacity_bps"`
+	Arrivals        int64   `json:"arrivals"`
+	ArrivedBits     float64 `json:"arrived_bits"`
+	Transmissions   int64   `json:"transmissions"`
+	TransmittedBits float64 `json:"transmitted_bits"`
+	// Utilization is the link's busy fraction over the observation
+	// interval: TransmittedBits / (Capacity * Duration). A port
+	// transmits one packet at a time, so busy time is exactly the
+	// transmitted volume divided by the link rate.
+	Utilization    float64       `json:"utilization"`
+	DroppedPackets int64         `json:"dropped_packets"`
+	DroppedBits    float64       `json:"dropped_bits"`
+	QueueHighWater int64         `json:"queue_high_water_pkts"`
+	Sched          SchedSnapshot `json:"sched"`
+}
+
+// Snapshot derives the JSON-facing view of the registry at simulated
+// time now (runs start at 0, so now is also the observation duration).
+func (r *Registry) Snapshot(now float64) *Snapshot {
+	s := &Snapshot{
+		Duration: now,
+		Engine: EngineSnapshot{
+			Scheduled:     r.Engine.Scheduled,
+			Canceled:      r.Engine.Canceled,
+			Fired:         r.Engine.Fired,
+			HeapHighWater: r.Engine.HeapHighWater,
+		},
+		Pool: PoolSnapshot{
+			Taken:    r.Pool.Taken,
+			Released: r.Pool.Released,
+			Live:     r.Pool.Taken - r.Pool.Released,
+		},
+		Admission: AdmissionSnapshot{
+			AC1: ProcSnapshot(r.Admission.AC1),
+			AC2: ProcSnapshot(r.Admission.AC2),
+			AC3: ProcSnapshot(r.Admission.AC3),
+		},
+		Ports: make([]PortSnapshot, len(r.Ports)),
+	}
+	for i, p := range r.Ports {
+		ps := PortSnapshot{
+			Name:            p.Name,
+			Capacity:        p.Capacity,
+			Arrivals:        p.Arrivals,
+			ArrivedBits:     p.ArrivedBits,
+			Transmissions:   p.Transmissions,
+			TransmittedBits: p.TransmittedBits,
+			DroppedPackets:  p.DroppedPackets,
+			DroppedBits:     p.DroppedBits,
+			QueueHighWater:  p.QueueHighWater,
+			Sched: SchedSnapshot{
+				Regulated:       p.Sched.Regulated,
+				EligibilityWait: p.Sched.EligibilityWait,
+				DeadlineMisses:  p.Sched.DeadlineMisses,
+			},
+		}
+		if now > 0 && p.Capacity > 0 {
+			ps.Utilization = p.TransmittedBits / (p.Capacity * now)
+		}
+		s.Ports[i] = ps
+	}
+	return s
+}

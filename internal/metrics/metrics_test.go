@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+func TestSnapshotDerivedFields(t *testing.T) {
+	r := NewRegistry()
+	p := r.NewPort("node1", 1000)
+	r.NewPort("node2", 1000)
+
+	r.Engine = Engine{Scheduled: 10, Canceled: 2, Fired: 8, HeapHighWater: 5}
+	r.Pool = Pool{Taken: 7, Released: 4}
+	r.Admission.AC1 = ProcOutcome{Accepted: 3, Rejected: 1}
+	p.Arrivals = 6
+	p.ArrivedBits = 600
+	p.Transmissions = 5
+	p.TransmittedBits = 500
+	p.DroppedPackets = 1
+	p.DroppedBits = 100
+	p.QueueHighWater = 4
+	p.Sched = Sched{Regulated: 2, EligibilityWait: 0.5, DeadlineMisses: 1}
+
+	s := r.Snapshot(2)
+	if s.Duration != 2 {
+		t.Errorf("Duration = %v", s.Duration)
+	}
+	if s.Pool.Live != 3 {
+		t.Errorf("Pool.Live = %d, want 3", s.Pool.Live)
+	}
+	if s.Engine != (EngineSnapshot{Scheduled: 10, Canceled: 2, Fired: 8, HeapHighWater: 5}) {
+		t.Errorf("Engine = %+v", s.Engine)
+	}
+	if s.Admission.AC1 != (ProcSnapshot{Accepted: 3, Rejected: 1}) {
+		t.Errorf("AC1 = %+v", s.Admission.AC1)
+	}
+	if len(s.Ports) != 2 {
+		t.Fatalf("Ports = %d, want 2", len(s.Ports))
+	}
+	// 500 bits over 2 s on a 1000 bit/s link: 25% busy.
+	if got := s.Ports[0].Utilization; got != 0.25 {
+		t.Errorf("Utilization = %v, want 0.25", got)
+	}
+	if s.Ports[0].Sched.DeadlineMisses != 1 || s.Ports[0].DroppedPackets != 1 {
+		t.Errorf("port snapshot = %+v", s.Ports[0])
+	}
+	if s.Ports[1].Utilization != 0 {
+		t.Errorf("idle port utilization = %v", s.Ports[1].Utilization)
+	}
+
+	// A zero-duration snapshot must not divide by zero.
+	if got := r.Snapshot(0).Ports[0].Utilization; got != 0 {
+		t.Errorf("zero-duration utilization = %v", got)
+	}
+}
+
+func TestSnapshotJSONFieldNames(t *testing.T) {
+	r := NewRegistry()
+	r.NewPort("node1", 1536e3)
+	data, err := json.Marshal(r.Snapshot(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, field := range []string{
+		`"duration_s"`, `"engine"`, `"heap_high_water"`, `"pool"`, `"live"`,
+		`"admission"`, `"ac1"`, `"ports"`, `"capacity_bps"`, `"utilization"`,
+		`"dropped_packets"`, `"queue_high_water_pkts"`, `"eligibility_wait_s"`,
+		`"deadline_misses"`,
+	} {
+		if !bytes.Contains(data, []byte(field)) {
+			t.Errorf("snapshot JSON missing %s: %s", field, data)
+		}
+	}
+}
+
+// sink defeats dead-code elimination in the allocation tests.
+var sink int64
+
+// TestCounterUpdatesAllocationFree pins the package's core contract:
+// an instrumented site — nil-checked pointer, plain field increments —
+// never allocates, whether the registry is attached or not. (The
+// end-to-end version of this check is the litbench allocation gate,
+// which runs the figure benchmarks with metrics enabled.)
+func TestCounterUpdatesAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	p := r.NewPort("node1", 1536e3)
+	site := func(e *Engine, port *Port) {
+		if e != nil {
+			e.Scheduled++
+			if n := e.Scheduled; n > e.HeapHighWater {
+				e.HeapHighWater = n
+			}
+		}
+		if port != nil {
+			port.Arrivals++
+			port.ArrivedBits += 424
+			port.Sched.Regulated++
+		}
+	}
+	if n := testing.AllocsPerRun(1000, func() { site(nil, nil) }); n != 0 {
+		t.Errorf("disabled site allocates %v per event", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { site(&r.Engine, p) }); n != 0 {
+		t.Errorf("enabled site allocates %v per event", n)
+	}
+	sink = r.Engine.Scheduled + p.Arrivals
+}

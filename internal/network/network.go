@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"leaveintime/internal/event"
+	"leaveintime/internal/metrics"
 	"leaveintime/internal/packet"
 	"leaveintime/internal/stats"
 	"leaveintime/internal/trace"
@@ -120,6 +121,38 @@ type Network struct {
 	ports    []*Port
 	sessions []*Session
 	pool     pktPool
+	metrics  *metrics.Registry
+}
+
+// schedMetricsSetter is implemented by disciplines that expose
+// scheduler-level counters (regulator holds, deadline misses).
+type schedMetricsSetter interface {
+	SetMetrics(*metrics.Sched)
+}
+
+// EnableMetrics attaches a telemetry registry to the network: the event
+// engine, the packet pool, every existing port (and every port created
+// afterwards), and each port's discipline when it supports scheduler
+// metrics. Counting costs one nil-check branch per instrumented site
+// and never allocates on the packet path; it does not perturb event
+// ordering, so instrumented runs are bit-identical to bare ones.
+func (n *Network) EnableMetrics(reg *metrics.Registry) {
+	n.metrics = reg
+	n.Sim.SetMetrics(&reg.Engine)
+	n.pool.m = &reg.Pool
+	for _, p := range n.ports {
+		p.attachMetrics(reg)
+	}
+}
+
+// Metrics returns the registry attached with EnableMetrics, or nil.
+func (n *Network) Metrics() *metrics.Registry { return n.metrics }
+
+func (p *Port) attachMetrics(reg *metrics.Registry) {
+	p.m = reg.NewPort(p.Name, p.C)
+	if s, ok := p.Disc.(schedMetricsSetter); ok {
+		s.SetMetrics(&p.m.Sched)
+	}
 }
 
 func (n *Network) trace(e trace.Event) {
@@ -160,6 +193,9 @@ func (n *Network) NewPort(name string, capacity, gamma float64, disc Discipline)
 	p.wakeFn = func() {
 		p.waker = nil
 		p.maybeStart(p.net.Sim.Now())
+	}
+	if n.metrics != nil {
+		p.attachMetrics(n.metrics)
 	}
 	n.ports = append(n.ports, p)
 	return p
@@ -208,6 +244,10 @@ type Port struct {
 	// were clamped to zero; nonzero values indicate scheduler
 	// saturation (see Section 2 of the paper).
 	HoldClamped int64
+
+	// m, when non-nil, receives the port's telemetry counters (see
+	// Network.EnableMetrics).
+	m *metrics.Port
 }
 
 type hop struct {
@@ -313,6 +353,14 @@ func (p *Port) Arrive(pkt *packet.Packet, now float64) {
 		if probe.Limit > 0 && probe.Bits+pkt.Length > probe.Limit+1e-9 {
 			probe.DroppedPackets++
 			probe.DroppedBits += pkt.Length
+			if p.m != nil {
+				p.m.DroppedPackets++
+				p.m.DroppedBits += pkt.Length
+			}
+			// Traced before the packet is pooled: a drop is a terminal
+			// event, visible to tracers like Deliver is.
+			p.net.trace(trace.Event{Time: now, Kind: trace.Drop, Port: p.Name,
+				Session: pkt.Session, Seq: pkt.Seq, Hop: pkt.Hop})
 			p.net.pool.put(pkt) // dropped: the port releases it
 			return
 		}
@@ -328,6 +376,13 @@ func (p *Port) Arrive(pkt *packet.Packet, now float64) {
 	p.net.trace(trace.Event{Time: now, Kind: trace.Arrive, Port: p.Name,
 		Session: pkt.Session, Seq: pkt.Seq, Hop: pkt.Hop})
 	p.Disc.Enqueue(pkt, now)
+	if p.m != nil {
+		p.m.Arrivals++
+		p.m.ArrivedBits += pkt.Length
+		if q := int64(p.Disc.Len()); q > p.m.QueueHighWater {
+			p.m.QueueHighWater = q
+		}
+	}
 	p.maybeStart(now)
 }
 
@@ -386,6 +441,10 @@ func (p *Port) finish(pkt *packet.Packet) {
 	}
 	p.busy = false
 	p.Util.SetBusy(now, false)
+	if p.m != nil {
+		p.m.Transmissions++
+		p.m.TransmittedBits += pkt.Length
+	}
 	p.net.trace(trace.Event{Time: now, Kind: trace.TransmitEnd, Port: p.Name,
 		Session: pkt.Session, Seq: pkt.Seq, Hop: pkt.Hop,
 		Eligible: pkt.Eligible, Deadline: pkt.Deadline})

@@ -3,6 +3,7 @@ package network
 import (
 	"fmt"
 
+	"leaveintime/internal/metrics"
 	"leaveintime/internal/packet"
 )
 
@@ -25,6 +26,11 @@ type pktPool struct {
 	free     []*packet.Packet
 	taken    int64
 	released int64
+
+	// m, when non-nil, mirrors the ownership counters into the metrics
+	// registry (see Network.EnableMetrics), folding PoolStats into the
+	// run's telemetry snapshot.
+	m *metrics.Pool
 
 	// debug, when set before the first take, tracks live packets
 	// individually so a double release (or a release of a packet the
@@ -50,6 +56,9 @@ func (pp *pktPool) get() *packet.Packet {
 		p = &chunk[0]
 	}
 	pp.taken++
+	if pp.m != nil {
+		pp.m.Taken++
+	}
 	if pp.debug {
 		if pp.live == nil {
 			pp.live = make(map[*packet.Packet]struct{})
@@ -71,6 +80,9 @@ func (pp *pktPool) put(p *packet.Packet) {
 	}
 	*p = packet.Packet{}
 	pp.released++
+	if pp.m != nil {
+		pp.m.Released++
+	}
 	pp.free = append(pp.free, p)
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"leaveintime/internal/metrics"
 	"leaveintime/internal/network"
 	"leaveintime/internal/rng"
 )
@@ -38,15 +39,30 @@ type Fig7Result struct {
 // simulator and random streams), so they run concurrently; results are
 // deterministic in (duration, seed) regardless of parallelism.
 func RunFig7(duration float64, seed uint64) Fig7Result {
+	return RunFig7Observed(duration, seed, nil)
+}
+
+// RunFig7Observed is RunFig7 with telemetry: registries[i], when
+// non-nil, observes sweep point i (one registry per point — the points
+// run concurrently). A nil or short slice leaves the remaining points
+// uninstrumented; results are identical either way.
+func RunFig7Observed(duration float64, seed uint64, registries []*metrics.Registry) Fig7Result {
 	res := Fig7Result{Duration: duration, Rows: make([]Fig7Row, len(AOffValues))}
 	forEachPoint(len(AOffValues), func(i int) {
-		res.Rows[i] = runFig7Point(AOffValues[i], duration, seed)
+		var reg *metrics.Registry
+		if i < len(registries) {
+			reg = registries[i]
+		}
+		res.Rows[i] = runFig7Point(AOffValues[i], duration, seed, reg)
 	})
 	return res
 }
 
-func runFig7Point(aOff, duration float64, seed uint64) Fig7Row {
+func runFig7Point(aOff, duration float64, seed uint64, reg *metrics.Registry) Fig7Row {
 	t := NewTandem(TandemOptions{})
+	if reg != nil {
+		t.Instrument(reg)
+	}
 	r := rng.New(seed)
 
 	var measured *network.Session

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"leaveintime/internal/metrics"
 	"leaveintime/internal/network"
 	"leaveintime/internal/rng"
 	"leaveintime/internal/stats"
@@ -72,7 +73,17 @@ type Fig8Result struct {
 // without delay jitter control, and one 1472 kbit/s Poisson session of
 // cross traffic per one-hop route. The paper runs 600 s.
 func RunFig8(duration float64, seed uint64) *Fig8Result {
+	return RunFig8Observed(duration, seed, nil)
+}
+
+// RunFig8Observed is RunFig8 with telemetry: when reg is non-nil every
+// layer of the run counts into it (see Tandem.Instrument). The figure
+// output is bit-identical with and without instrumentation.
+func RunFig8Observed(duration float64, seed uint64, reg *metrics.Registry) *Fig8Result {
 	t := NewTandem(TandemOptions{})
+	if reg != nil {
+		t.Instrument(reg)
+	}
 	r := rng.New(seed)
 
 	defNo := SessionDef{Entrance: 1, Exit: 5, Rate: VoiceRate, Src: NewOnOff(Fig8OnOffAOff, r.Split())}

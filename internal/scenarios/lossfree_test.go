@@ -7,8 +7,10 @@ import (
 	"leaveintime/internal/admission"
 	"leaveintime/internal/core"
 	"leaveintime/internal/event"
+	"leaveintime/internal/metrics"
 	"leaveintime/internal/network"
 	"leaveintime/internal/rng"
+	"leaveintime/internal/trace"
 	"leaveintime/internal/traffic"
 )
 
@@ -16,10 +18,18 @@ import (
 // drop nothing; buffers sized well below it do. This turns the
 // "upper bound on buffer space requirements" commitment into the
 // loss-free guarantee it exists for.
+//
+// The run is also the loss observability check: every probe-counted
+// drop must surface as a trace.Drop event and in the per-port metrics,
+// so a lossy run can never look loss-free to telemetry.
 func TestLossFreeProvisioning(t *testing.T) {
 	run := func(fraction float64) (dropped int64, delivered int64) {
 		sim := event.New()
 		net := network.New(sim, CellBits)
+		reg := metrics.NewRegistry()
+		net.EnableMetrics(reg)
+		rec := &trace.Recorder{}
+		net.Tracer = rec
 		var ports []*network.Port
 		for i := 0; i < 5; i++ {
 			ports = append(ports, net.NewPort(fmt.Sprintf("n%d", i), T1Rate, PropDelay,
@@ -61,6 +71,29 @@ func TestLossFreeProvisioning(t *testing.T) {
 
 		for _, pr := range probes {
 			dropped += pr.DroppedPackets
+		}
+
+		// Every probe-counted drop must be observable: once as a
+		// trace.Drop event, once in the per-port metrics. (Only the
+		// tagged session is buffer-limited, so the port totals equal the
+		// probe totals here.)
+		var dropEvents, metricDrops int64
+		for _, e := range rec.Events {
+			if e.Kind == trace.Drop {
+				dropEvents++
+				if e.Session != 1 {
+					t.Errorf("drop event for unlimited session %d", e.Session)
+				}
+			}
+		}
+		for _, pm := range reg.Ports {
+			metricDrops += pm.DroppedPackets
+		}
+		if dropEvents != dropped {
+			t.Errorf("trace recorded %d drop events, probes counted %d", dropEvents, dropped)
+		}
+		if metricDrops != dropped {
+			t.Errorf("metrics counted %d drops, probes counted %d", metricDrops, dropped)
 		}
 		return dropped, tagged.Delivered
 	}

@@ -1,6 +1,10 @@
 package scenarios
 
-import "sync"
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
 
 // sweepSerial forces sweep points to run sequentially on the calling
 // goroutine. Results are deterministic either way (every point owns its
@@ -17,8 +21,15 @@ func SetSerialSweeps(v bool) bool {
 	return old
 }
 
-// forEachPoint runs f(i) for i in [0, n), one goroutine per point
-// unless serial mode is set.
+// forEachPoint runs f(i) for i in [0, n) on a worker pool of at most
+// GOMAXPROCS goroutines (unless serial mode is set). Sweep points are
+// CPU-bound simulations, so spawning one goroutine per point — as a
+// naive fan-out would — oversubscribes the scheduler on large sweeps
+// without finishing any sooner; the pool bounds peak memory (each
+// point owns a simulator, a packet pool and its result buffers) while
+// keeping every core busy. Workers pull indices from a shared atomic
+// counter, so point i always writes slot i and results are independent
+// of which worker ran it.
 func forEachPoint(n int, f func(i int)) {
 	if sweepSerial {
 		for i := 0; i < n; i++ {
@@ -26,13 +37,24 @@ func forEachPoint(n int, f func(i int)) {
 		}
 		return
 	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	for i := 0; i < n; i++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(i int) {
+		go func() {
 			defer wg.Done()
-			f(i)
-		}(i)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
 	}
 	wg.Wait()
 }

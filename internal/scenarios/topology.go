@@ -12,6 +12,7 @@ import (
 	"leaveintime/internal/admission"
 	"leaveintime/internal/core"
 	"leaveintime/internal/event"
+	"leaveintime/internal/metrics"
 	"leaveintime/internal/network"
 	"leaveintime/internal/rng"
 	"leaveintime/internal/traffic"
@@ -115,6 +116,21 @@ func NewTandem(opt TandemOptions) *Tandem {
 		panic("scenarios: Proc must be 1 or 2")
 	}
 	return t
+}
+
+// Instrument attaches a telemetry registry to the tandem: the event
+// engine, the packet pool, every port and scheduler, and the per-node
+// admission controllers. Instrumented runs are bit-identical to bare
+// ones (counters never perturb event ordering); concurrent sweep
+// points must each use their own registry.
+func (t *Tandem) Instrument(reg *metrics.Registry) {
+	t.Net.EnableMetrics(reg)
+	for _, ac := range t.AC1 {
+		ac.SetMetrics(&reg.Admission.AC1)
+	}
+	for _, ac := range t.AC2 {
+		ac.SetMetrics(&reg.Admission.AC2)
+	}
 }
 
 // SessionDef describes one session to establish on the tandem.

@@ -77,7 +77,7 @@ func TestUtilizationMatchesDutyCycle(t *testing.T) {
 		{0.0065, 0.982},
 		{0.650, 0.351},
 	} {
-		row := runFig7Point(c.aOff, 30, 11)
+		row := runFig7Point(c.aOff, 30, 11, nil)
 		if math.Abs(row.Utilization-c.want) > 0.03 {
 			t.Errorf("aOFF=%v: utilization %v, want ~%v", c.aOff, row.Utilization, c.want)
 		}

@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"leaveintime/internal/metrics"
 	"leaveintime/internal/network"
 	"leaveintime/internal/packet"
 )
@@ -22,7 +23,16 @@ type DelayEDD struct {
 	sessions map[int]*eddState
 	ready    pktHeap
 	stamp    uint64
+
+	// m, when non-nil, receives scheduler counters; attached by
+	// Network.EnableMetrics.
+	m *metrics.Sched
 }
+
+// SetMetrics attaches the scheduler's telemetry counters. A deadline
+// miss is a transmission finishing after the packet's due date — the
+// local delay budget the schedulability test promised.
+func (d *DelayEDD) SetMetrics(m *metrics.Sched) { d.m = m }
 
 type eddState struct {
 	cfg     network.SessionPort
@@ -76,7 +86,12 @@ func (d *DelayEDD) Dequeue(now float64) (*packet.Packet, bool) { return d.ready.
 func (d *DelayEDD) NextEligible(now float64) (float64, bool) { return 0, false }
 
 // OnTransmit implements network.Discipline.
-func (d *DelayEDD) OnTransmit(p *packet.Packet, finish float64) { p.Hold = 0 }
+func (d *DelayEDD) OnTransmit(p *packet.Packet, finish float64) {
+	if d.m != nil && finish > p.Deadline+1e-9 {
+		d.m.DeadlineMisses++
+	}
+	p.Hold = 0
+}
 
 // Len implements network.Discipline.
 func (d *DelayEDD) Len() int { return d.ready.len() }
@@ -94,6 +109,11 @@ type JitterEDD struct {
 	stamp     uint64
 }
 
+// SetMetrics attaches the scheduler's telemetry counters: regulator
+// holds with their accumulated eligibility wait, and the inner
+// Delay-EDD deadline misses.
+func (j *JitterEDD) SetMetrics(m *metrics.Sched) { j.inner.m = m }
+
 // NewJitterEDD returns an empty Jitter-EDD server.
 func NewJitterEDD() *JitterEDD {
 	return &JitterEDD{inner: DelayEDD{sessions: make(map[int]*eddState)}}
@@ -107,6 +127,10 @@ func (j *JitterEDD) AddSession(cfg network.SessionPort) { j.inner.AddSession(cfg
 func (j *JitterEDD) Enqueue(p *packet.Packet, now float64) {
 	e := now + p.Hold
 	if e > now {
+		if j.inner.m != nil {
+			j.inner.m.Regulated++
+			j.inner.m.EligibilityWait += p.Hold
+		}
 		p.Eligible = e
 		j.stamp++
 		j.regulator.push(p, e, j.stamp)
@@ -146,6 +170,9 @@ func (j *JitterEDD) release(now float64) {
 // OnTransmit implements network.Discipline: the slack deadline - finish
 // becomes the downstream holding time.
 func (j *JitterEDD) OnTransmit(p *packet.Packet, finish float64) {
+	if j.inner.m != nil && finish > p.Deadline+1e-9 {
+		j.inner.m.DeadlineMisses++
+	}
 	p.Hold = p.Deadline - finish
 	if p.Hold < 0 {
 		p.Hold = 0

@@ -1,5 +1,5 @@
 // Package trace provides packet-level event tracing for the simulator:
-// every arrival, transmission and delivery can be recorded, filtered,
+// every arrival, transmission, delivery and drop can be recorded, filtered,
 // rendered as text, or reduced to per-hop delay statistics. Tracing is
 // opt-in (a nil tracer costs one branch per event) and is used by the
 // debugging CLI flags and by tests that assert on exact event
@@ -28,6 +28,11 @@ const (
 	// Deliver: the packet reached its exit point (after the last
 	// link's propagation delay).
 	Deliver
+	// Drop: the packet was discarded at a port's buffer limit. Emitted
+	// instead of Arrive (the port refused the packet), so a session's
+	// trace shows exactly one terminal event per packet: Deliver or
+	// Drop.
+	Drop
 )
 
 // String returns the kind's name.
@@ -41,6 +46,8 @@ func (k Kind) String() string {
 		return "end"
 	case Deliver:
 		return "deliver"
+	case Drop:
+		return "drop"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -153,8 +160,11 @@ func (r *Recorder) PerHopDelays(session int) []PerHopDelay {
 // hop deadline") to an io.Writer.
 type Writer struct {
 	W io.Writer
-	// Session filters to one session when nonzero.
-	Session int
+	// Sessions, when non-nil, filters output to the listed session IDs.
+	// A nil slice passes every session; an explicit empty slice passes
+	// none. Any ID is filterable, including 0 (Network.AddSession
+	// accepts arbitrary IDs — there is no sentinel).
+	Sessions []int
 	// Err retains the first write error (events after it are dropped).
 	Err error
 }
@@ -164,7 +174,7 @@ func (w *Writer) Trace(e Event) {
 	if w.Err != nil {
 		return
 	}
-	if w.Session != 0 && e.Session != w.Session {
+	if w.Sessions != nil && !containsID(w.Sessions, e.Session) {
 		return
 	}
 	_, err := fmt.Fprintf(w.W, "%.9f %-8s %-8s s%d/%d hop%d F=%.9f\n",
@@ -172,6 +182,15 @@ func (w *Writer) Trace(e Event) {
 	if err != nil {
 		w.Err = err
 	}
+}
+
+func containsID(ids []int, id int) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
 }
 
 // Multi fans one event out to several tracers.

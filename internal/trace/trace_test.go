@@ -55,7 +55,7 @@ func TestPerHopDelays(t *testing.T) {
 
 func TestWriterFormatAndFilter(t *testing.T) {
 	var sb strings.Builder
-	w := &Writer{W: &sb, Session: 7}
+	w := &Writer{W: &sb, Sessions: []int{7}}
 	w.Trace(Event{Time: 1.5, Kind: TransmitStart, Port: "x", Session: 7, Seq: 3, Hop: 2, Deadline: 2})
 	w.Trace(Event{Time: 1.6, Kind: Arrive, Port: "x", Session: 8})
 	out := sb.String()
@@ -64,6 +64,38 @@ func TestWriterFormatAndFilter(t *testing.T) {
 	}
 	if strings.Contains(out, "s8") {
 		t.Error("session filter leaked")
+	}
+}
+
+// TestWriterSessionZero is the regression test for the old sentinel
+// filter (Session != 0 meant "filter"), which made session 0 — a valid
+// ID — impossible to select.
+func TestWriterSessionZero(t *testing.T) {
+	var sb strings.Builder
+	w := &Writer{W: &sb, Sessions: []int{0}}
+	w.Trace(Event{Time: 1, Kind: Arrive, Port: "x", Session: 0, Seq: 1})
+	w.Trace(Event{Time: 2, Kind: Arrive, Port: "x", Session: 1, Seq: 1})
+	out := sb.String()
+	if !strings.Contains(out, "s0/1") {
+		t.Errorf("session 0 filtered out: %q", out)
+	}
+	if strings.Contains(out, "s1/1") {
+		t.Errorf("filter leaked session 1: %q", out)
+	}
+
+	// A nil slice passes everything; an empty one passes nothing.
+	sb.Reset()
+	w = &Writer{W: &sb}
+	w.Trace(Event{Time: 1, Kind: Arrive, Port: "x", Session: 0, Seq: 1})
+	w.Trace(Event{Time: 2, Kind: Drop, Port: "x", Session: 5, Seq: 2})
+	if out := sb.String(); !strings.Contains(out, "s0/1") || !strings.Contains(out, "s5/2") {
+		t.Errorf("nil filter should pass all sessions: %q", out)
+	}
+	sb.Reset()
+	w = &Writer{W: &sb, Sessions: []int{}}
+	w.Trace(Event{Time: 1, Kind: Arrive, Port: "x", Session: 0, Seq: 1})
+	if sb.Len() != 0 {
+		t.Errorf("empty filter should pass nothing: %q", sb.String())
 	}
 }
 
@@ -79,7 +111,8 @@ func TestMulti(t *testing.T) {
 func TestKindString(t *testing.T) {
 	for k, want := range map[Kind]string{
 		Arrive: "arrive", TransmitStart: "start",
-		TransmitEnd: "end", Deliver: "deliver", Kind(9): "kind(9)",
+		TransmitEnd: "end", Deliver: "deliver", Drop: "drop",
+		Kind(9): "kind(9)",
 	} {
 		if k.String() != want {
 			t.Errorf("Kind(%d).String() = %q", k, k.String())

@@ -3,6 +3,7 @@ package lit
 import (
 	"fmt"
 
+	"leaveintime/internal/metrics"
 	"leaveintime/internal/network"
 )
 
@@ -34,6 +35,40 @@ type System struct {
 
 	servers []*Server
 	nextID  int
+	metrics *metrics.Registry
+}
+
+// EnableMetrics attaches a run-telemetry registry to the system: the
+// event engine, the packet pool, every server port and scheduler, and
+// the admission controllers all count into it (see internal/metrics).
+// Enabling is idempotent and costs one nil-check branch per
+// instrumented site; it does not perturb event ordering, so an
+// instrumented run is bit-identical to a bare one. Call before Run;
+// read the counters afterwards with Metrics().Snapshot(now).
+func (s *System) EnableMetrics() *MetricsRegistry {
+	if s.metrics != nil {
+		return s.metrics
+	}
+	reg := metrics.NewRegistry()
+	s.metrics = reg
+	s.Net.EnableMetrics(reg)
+	for _, srv := range s.servers {
+		srv.attachMetrics(reg)
+	}
+	return reg
+}
+
+// Metrics returns the registry attached with EnableMetrics, or nil when
+// telemetry is disabled.
+func (s *System) Metrics() *MetricsRegistry { return s.metrics }
+
+func (srv *Server) attachMetrics(reg *metrics.Registry) {
+	if srv.ac1 != nil {
+		srv.ac1.SetMetrics(&reg.Admission.AC1)
+	}
+	if srv.ac2 != nil {
+		srv.ac2.SetMetrics(&reg.Admission.AC2)
+	}
 }
 
 // Server is one Leave-in-Time server (a node's outgoing link) together
@@ -91,6 +126,9 @@ func (s *System) AddServer(name string, capacity, gamma float64) *Server {
 	}
 	if err != nil {
 		panic(err)
+	}
+	if s.metrics != nil {
+		srv.attachMetrics(s.metrics)
 	}
 	s.servers = append(s.servers, srv)
 	return srv
