@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildLitsim compiles the litsim binary once per test run and returns
+// its path. Building the real binary (rather than calling into the
+// library) exercises flag parsing, the telemetry file plumbing, and the
+// exit codes — the contract scripts depend on.
+var buildLitsim = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "litsim-test")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "litsim")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		os.RemoveAll(dir)
+		return "", &buildError{out: string(out), err: err}
+	}
+	return bin, nil
+})
+
+type buildError struct {
+	out string
+	err error
+}
+
+func (e *buildError) Error() string { return e.err.Error() + "\n" + e.out }
+
+// The telemetry schema, re-declared field by field. The test decodes
+// with DisallowUnknownFields in both directions (unknown JSON keys fail
+// the decode; renamed or dropped keys leave zero values the assertions
+// catch), so any change to the emitted schema must consciously update
+// this mirror — that is the "schema-stable" guarantee scripts consuming
+// -telemetry rely on.
+type telemetryPoint struct {
+	AOff     float64           `json:"a_off_s"`
+	Snapshot telemetrySnapshot `json:"snapshot"`
+}
+
+type telemetrySnapshot struct {
+	Duration float64 `json:"duration_s"`
+	Engine   struct {
+		Scheduled     int64 `json:"scheduled"`
+		Canceled      int64 `json:"canceled"`
+		Fired         int64 `json:"fired"`
+		HeapHighWater int64 `json:"heap_high_water"`
+	} `json:"engine"`
+	Pool struct {
+		Taken    int64 `json:"taken"`
+		Released int64 `json:"released"`
+		Live     int64 `json:"live"`
+	} `json:"pool"`
+	Admission struct {
+		AC1 telemetryProc `json:"ac1"`
+		AC2 telemetryProc `json:"ac2"`
+		AC3 telemetryProc `json:"ac3"`
+	} `json:"admission"`
+	Ports []struct {
+		Name            string  `json:"name"`
+		Capacity        float64 `json:"capacity_bps"`
+		Arrivals        int64   `json:"arrivals"`
+		ArrivedBits     float64 `json:"arrived_bits"`
+		Transmissions   int64   `json:"transmissions"`
+		TransmittedBits float64 `json:"transmitted_bits"`
+		Utilization     float64 `json:"utilization"`
+		DroppedPackets  int64   `json:"dropped_packets"`
+		DroppedBits     float64 `json:"dropped_bits"`
+		QueueHighWater  int64   `json:"queue_high_water_pkts"`
+		Sched           struct {
+			Regulated       int64   `json:"regulated"`
+			EligibilityWait float64 `json:"eligibility_wait_s"`
+			DeadlineMisses  int64   `json:"deadline_misses"`
+		} `json:"sched"`
+	} `json:"ports"`
+}
+
+type telemetryProc struct {
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+}
+
+// TestTelemetrySchema: litsim -telemetry emits JSON that decodes into
+// the typed mirror above with no unknown fields, and a short fig7 run
+// produces live counters — events fired, packets pooled, sessions
+// admitted, bits transmitted on every port.
+func TestTelemetrySchema(t *testing.T) {
+	bin, err := buildLitsim()
+	if err != nil {
+		t.Fatalf("building litsim: %v", err)
+	}
+	out := filepath.Join(t.TempDir(), "telemetry.json")
+	cmd := exec.Command(bin, "-experiment", "fig7", "-duration", "0.5", "-seed", "1", "-telemetry", out)
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("litsim fig7 failed: %v\n%s", err, msg)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var points []telemetryPoint
+	if err := dec.Decode(&points); err != nil {
+		t.Fatalf("telemetry does not match the pinned schema: %v", err)
+	}
+	if len(points) < 2 {
+		t.Fatalf("fig7 telemetry has %d sweep points, want one per a_off value", len(points))
+	}
+	for i, p := range points {
+		s := p.Snapshot
+		if i > 0 && p.AOff <= points[i-1].AOff {
+			t.Errorf("point %d: a_off_s %v not increasing after %v", i, p.AOff, points[i-1].AOff)
+		}
+		if s.Duration != 0.5 {
+			t.Errorf("point %d: duration_s = %v, want 0.5", i, s.Duration)
+		}
+		if s.Engine.Fired <= 0 || s.Engine.Scheduled < s.Engine.Fired {
+			t.Errorf("point %d: engine counters implausible: %+v", i, s.Engine)
+		}
+		if s.Pool.Taken <= 0 || s.Pool.Released != s.Pool.Taken-s.Pool.Live {
+			t.Errorf("point %d: pool counters implausible: %+v", i, s.Pool)
+		}
+		if s.Admission.AC1.Accepted+s.Admission.AC2.Accepted+s.Admission.AC3.Accepted <= 0 {
+			t.Errorf("point %d: no admissions recorded: %+v", i, s.Admission)
+		}
+		if len(s.Ports) == 0 {
+			t.Errorf("point %d: no port snapshots", i)
+		}
+		for _, port := range s.Ports {
+			if port.Name == "" || port.Capacity <= 0 {
+				t.Errorf("point %d: bad port identity: %+v", i, port)
+			}
+			if port.Transmissions <= 0 || port.TransmittedBits <= 0 || port.Utilization <= 0 {
+				t.Errorf("point %d port %s: no traffic recorded: %+v", i, port.Name, port)
+			}
+		}
+	}
+}
+
+// TestUnknownExperiment: an unrecognized -experiment must fail loudly —
+// non-zero exit, the offending name, and the usage text — rather than
+// silently running the default.
+func TestUnknownExperiment(t *testing.T) {
+	bin, err := buildLitsim()
+	if err != nil {
+		t.Fatalf("building litsim: %v", err)
+	}
+	cmd := exec.Command(bin, "-experiment", "bogus")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("litsim -experiment bogus exited 0:\n%s", out)
+	}
+	exit, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("litsim did not run: %v", err)
+	}
+	if code := exit.ExitCode(); code != 2 {
+		t.Errorf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(string(out), `unknown experiment "bogus"`) {
+		t.Errorf("missing unknown-experiment message:\n%s", out)
+	}
+	if !strings.Contains(string(out), "-experiment") || !strings.Contains(string(out), "Usage") {
+		t.Errorf("missing usage text:\n%s", out)
+	}
+}

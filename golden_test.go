@@ -59,3 +59,49 @@ func TestFig8Golden(t *testing.T) {
 		t.Fatalf("fig8 output diverged from golden file\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }
+
+// TestFig12Golden pins the exact output of
+//
+//	litsim -experiment fig12 -duration 5 -seed 1
+//
+// against testdata/fig12_d5_s1.golden: the buffer-space distribution
+// view (Figures 12-13) of the same CROSS run the fig8 golden pins —
+// litsim prints RunFig8(5, 1).FormatBuffers() plus a newline for the
+// fig12 experiment. The buffer view walks the per-node probe
+// distributions (occupancy sampling, the buffer bounds, jitter-control
+// versus no-control provisioning), none of which the fig8 delay view
+// exercises. Regenerate only for a deliberate semantic change:
+//
+//	go run ./cmd/litsim -experiment fig12 -duration 5 -seed 1 > testdata/fig12_d5_s1.golden
+func TestFig12Golden(t *testing.T) {
+	want, err := os.ReadFile("testdata/fig12_d5_s1.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lit.RunFig8(5, 1).FormatBuffers() + "\n"
+	if got != string(want) {
+		t.Fatalf("fig12 output diverged from golden file\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFig13Golden pins the exact output of
+//
+//	litsim -experiment fig13 -duration 3 -seed 2
+//
+// against testdata/fig13_d3_s2.golden. Same view as the fig12 golden
+// but a different duration and seed, so the two files pin two distinct
+// event trajectories — a regression that happens to cancel at one
+// (duration, seed) point still trips the other. Regenerate only for a
+// deliberate semantic change:
+//
+//	go run ./cmd/litsim -experiment fig13 -duration 3 -seed 2 > testdata/fig13_d3_s2.golden
+func TestFig13Golden(t *testing.T) {
+	want, err := os.ReadFile("testdata/fig13_d3_s2.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := lit.RunFig8(3, 2).FormatBuffers() + "\n"
+	if got != string(want) {
+		t.Fatalf("fig13 output diverged from golden file\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,270 @@
+package simcheck
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Options tune a conformance check.
+type Options struct {
+	// BoundScale, when positive, overrides the scenario's BoundScale —
+	// the injection hook: values below 1 tighten the checked bounds
+	// past what the theorems promise, forcing violations whose shrink
+	// and replay paths the harness's own tests exercise.
+	BoundScale float64
+}
+
+// CheckSeed generates the seed's scenario and checks it.
+func CheckSeed(seed uint64, opt Options) *SeedReport {
+	sc := Generate(seed)
+	return CheckScenario(sc, opt)
+}
+
+// CheckScenario runs the scenario through every discipline and checks
+// the invariant battery. The report is a pure function of the scenario
+// and options: same input, byte-identical Format output.
+func CheckScenario(sc Scenario, opt Options) *SeedReport {
+	if opt.BoundScale > 0 {
+		sc.BoundScale = opt.BoundScale
+	}
+	rep := &SeedReport{
+		Seed: sc.Seed, Topology: sc.Topology.Kind, Links: len(sc.Topology.Links),
+		Sessions: len(sc.Sessions), Proc: sc.Proc, Special: sc.Special,
+		Duration: sc.Duration,
+	}
+	if err := sc.Validate(); err != nil {
+		rep.add(Violation{Check: "invalid-scenario", Detail: err.Error()})
+		return rep
+	}
+	scale := sc.boundScale()
+
+	// Reference run: Leave-in-Time with the exact heap, buffer limits
+	// at the bound for half the sessions and probes everywhere.
+	exact, err := runScenario(&sc, litSpec(false), runOpts{limits: true, probes: true})
+	if err != nil {
+		rep.add(Violation{Check: "build", Discipline: "lit", Detail: err.Error()})
+		return rep
+	}
+	rep.Violations = append(rep.Violations, exact.Violations...)
+	rep.summarize(exact)
+	checkBounds(exact, scale, rep)
+	checkDrain(exact, rep)
+	checkTelemetry(exact, rep)
+
+	// Calendar-queue approximation: same scenario, deadline ordering
+	// allowed one bin of slack, end-to-end delays within the §4 margin
+	// of the exact run.
+	approx, err := runScenario(&sc, litSpec(true), runOpts{})
+	if err != nil {
+		rep.add(Violation{Check: "build", Discipline: "lit-approx", Detail: err.Error()})
+	} else {
+		rep.Violations = append(rep.Violations, approx.Violations...)
+		rep.summarize(approx)
+		checkDrain(approx, rep)
+		checkApprox(exact, approx, &sc, rep)
+		checkEmitted(exact, approx, rep)
+	}
+
+	// The exactness corner: procedure 1, one class, eps = 0, no jitter
+	// control — LiT and VirtualClock must produce bit-identical
+	// per-packet delays. Both sides run bare (no buffer limits) so the
+	// comparison is over the full packet stream.
+	if sc.Special {
+		litBare, err1 := runScenario(&sc, litSpec(false), runOpts{collectDelays: true})
+		vcRun, err2 := runScenario(&sc, vcSpec(), runOpts{collectDelays: true})
+		if err1 != nil || err2 != nil {
+			rep.add(Violation{Check: "build", Discipline: "vc-diff",
+				Detail: fmt.Sprintf("lit: %v, vc: %v", err1, err2)})
+		} else {
+			checkVCEquivalence(litBare, vcRun, rep)
+		}
+	}
+
+	// Every baseline discipline: generic invariants only (drain,
+	// conservation, identical emission).
+	for _, spec := range baselineSpecs(&sc) {
+		res, err := runScenario(&sc, spec, runOpts{})
+		if err != nil {
+			rep.add(Violation{Check: "build", Discipline: spec.name, Detail: err.Error()})
+			continue
+		}
+		rep.Violations = append(rep.Violations, res.Violations...)
+		rep.summarize(res)
+		checkDrain(res, rep)
+		checkEmitted(exact, res, rep)
+	}
+	return rep
+}
+
+// checkBounds verifies the paper's service commitments on the
+// reference run: end-to-end delay (eq. 12), delay jitter (ineq. 17 and
+// its no-control form), buffer occupancy against the buffer bounds, and
+// loss-freedom for sessions whose buffers were capped at the bound.
+func checkBounds(res *runResult, scale float64, rep *SeedReport) {
+	for _, sr := range res.Sessions {
+		id := sr.Def.ID
+		if sr.Delivered > 0 {
+			if bound := sr.DelayBound * scale; sr.MaxDelay >= bound {
+				rep.add(Violation{Check: "delay-bound", Discipline: res.Name, Session: id,
+					Detail: fmt.Sprintf("max delay %.9f >= bound %.9f (%d hops)",
+						sr.MaxDelay, bound, sr.Hops)})
+			}
+			if bound := sr.JitterBnd * scale; sr.Jitter >= bound {
+				rep.add(Violation{Check: "jitter-bound", Discipline: res.Name, Session: id,
+					Detail: fmt.Sprintf("jitter %.9f >= bound %.9f", sr.Jitter, bound)})
+			}
+		}
+		for _, pr := range sr.Probes {
+			if pr.Limited {
+				if pr.Dropped > 0 {
+					rep.add(Violation{Check: "loss-free", Discipline: res.Name, Session: id,
+						Port: pr.Port, Detail: fmt.Sprintf(
+							"%d drops with buffers provisioned at the bound (%.0f bits)",
+							pr.Dropped, pr.Bound)})
+				}
+			} else if pr.MaxBits >= pr.Bound*scale {
+				rep.add(Violation{Check: "buffer-bound", Discipline: res.Name, Session: id,
+					Port: pr.Port, Detail: fmt.Sprintf("occupancy %.0f bits >= bound %.0f",
+						pr.MaxBits, pr.Bound*scale)})
+			}
+		}
+	}
+}
+
+// checkDrain verifies per-session packet conservation and pool balance
+// after the network has fully drained: every emitted packet was either
+// delivered or dropped at a buffer limit, and the pool got every
+// packet back.
+func checkDrain(res *runResult, rep *SeedReport) {
+	for _, sr := range res.Sessions {
+		if sr.Delivered+sr.Dropped != sr.Emitted {
+			rep.add(Violation{Check: "conservation", Discipline: res.Name, Session: sr.Def.ID,
+				Detail: fmt.Sprintf("emitted %d != delivered %d + dropped %d",
+					sr.Emitted, sr.Delivered, sr.Dropped)})
+		}
+	}
+	if res.Pool.Live != 0 || res.Pool.Released > res.Pool.Taken {
+		rep.add(Violation{Check: "pool-balance", Discipline: res.Name,
+			Detail: fmt.Sprintf("taken %d released %d live %d after drain",
+				res.Pool.Taken, res.Pool.Released, res.Pool.Live)})
+	}
+}
+
+// checkTelemetry demands triple agreement per port: the metrics
+// registry, the trace event stream and the buffer probes must tell the
+// same story. It also sanity-checks the engine counters.
+func checkTelemetry(res *runResult, rep *SeedReport) {
+	probeDrops := make(map[string]int64)
+	for _, sr := range res.Sessions {
+		for _, pr := range sr.Probes {
+			probeDrops[pr.Port] += pr.Dropped
+		}
+	}
+	for _, pm := range res.Reg.Ports {
+		if got := res.Counts.Arrivals[pm.Name]; got != pm.Arrivals {
+			rep.add(Violation{Check: "telemetry-agreement", Discipline: res.Name, Port: pm.Name,
+				Detail: fmt.Sprintf("trace counted %d arrivals, metrics %d", got, pm.Arrivals)})
+		}
+		if got := res.Counts.Transmits[pm.Name]; got != pm.Transmissions {
+			rep.add(Violation{Check: "telemetry-agreement", Discipline: res.Name, Port: pm.Name,
+				Detail: fmt.Sprintf("trace counted %d transmissions, metrics %d", got, pm.Transmissions)})
+		}
+		if got := res.Counts.Drops[pm.Name]; got != pm.DroppedPackets || pm.DroppedPackets != probeDrops[pm.Name] {
+			rep.add(Violation{Check: "telemetry-agreement", Discipline: res.Name, Port: pm.Name,
+				Detail: fmt.Sprintf("drops disagree: trace %d, metrics %d, probes %d",
+					got, pm.DroppedPackets, probeDrops[pm.Name])})
+		}
+	}
+	var emitted int64
+	for _, sr := range res.Sessions {
+		emitted += sr.Emitted
+	}
+	if emitted > 0 && res.Reg.Engine.Fired == 0 {
+		rep.add(Violation{Check: "engine-sanity", Discipline: res.Name,
+			Detail: "packets emitted but the engine counted no fired events"})
+	}
+	if res.Reg.Engine.Scheduled < res.Reg.Engine.Fired {
+		rep.add(Violation{Check: "engine-sanity", Discipline: res.Name,
+			Detail: fmt.Sprintf("scheduled %d < fired %d",
+				res.Reg.Engine.Scheduled, res.Reg.Engine.Fired)})
+	}
+}
+
+// checkApprox verifies the §4 calendar-queue commitment: the
+// approximation may reorder transmissions only within a bin, so each
+// session's maximum end-to-end delay can exceed the exact heap's by at
+// most a few bin widths per hop.
+func checkApprox(exact, approx *runResult, sc *Scenario, rep *SeedReport) {
+	byID := make(map[int]sessResult, len(exact.Sessions))
+	for _, sr := range exact.Sessions {
+		byID[sr.Def.ID] = sr
+	}
+	for _, sr := range approx.Sessions {
+		ref, ok := byID[sr.Def.ID]
+		if !ok || sr.Delivered == 0 {
+			continue
+		}
+		// One bin is LMax/C of the hop; five bins per hop at the
+		// slowest link is the margin the repository's fixed-point
+		// approximation test uses.
+		margin := 5 * float64(sr.Hops) * sc.LMax / sr.MinLinkCap
+		if sr.MaxDelay > ref.MaxDelay+margin {
+			rep.add(Violation{Check: "approx-divergence", Discipline: approx.Name,
+				Session: sr.Def.ID,
+				Detail: fmt.Sprintf("approx max delay %.9f > exact %.9f + margin %.9f",
+					sr.MaxDelay, ref.MaxDelay, margin)})
+		}
+	}
+}
+
+// checkEmitted verifies that a run saw the identical arrival sequence:
+// sources are deterministic in their seeds and independent of the
+// discipline, so per-session emission counts must match the reference
+// run exactly.
+func checkEmitted(ref, res *runResult, rep *SeedReport) {
+	byID := make(map[int]int64, len(ref.Sessions))
+	for _, sr := range ref.Sessions {
+		byID[sr.Def.ID] = sr.Emitted
+	}
+	for _, sr := range res.Sessions {
+		if want, ok := byID[sr.Def.ID]; ok && sr.Emitted != want {
+			rep.add(Violation{Check: "emit-divergence", Discipline: res.Name, Session: sr.Def.ID,
+				Detail: fmt.Sprintf("emitted %d, reference emitted %d", sr.Emitted, want)})
+		}
+	}
+}
+
+// checkVCEquivalence verifies the paper's special case: with admission
+// procedure 1, one class, eps = 0 and no jitter control, Leave-in-Time
+// is VirtualClock — per-packet end-to-end delays must be bit-identical.
+func checkVCEquivalence(lit, vc *runResult, rep *SeedReport) {
+	vcByID := make(map[int][]seqDelay, len(vc.Sessions))
+	for _, sr := range vc.Sessions {
+		vcByID[sr.Def.ID] = sr.Delays
+	}
+	for _, sr := range lit.Sessions {
+		other := vcByID[sr.Def.ID]
+		if len(other) != len(sr.Delays) {
+			rep.add(Violation{Check: "vc-equivalence", Discipline: "lit", Session: sr.Def.ID,
+				Detail: fmt.Sprintf("lit delivered %d packets, virtualclock %d",
+					len(sr.Delays), len(other))})
+			continue
+		}
+		// Delivery order can differ only if delays differ; sort both by
+		// sequence for a stable pairing.
+		sortBySeq(sr.Delays)
+		sortBySeq(other)
+		for i := range sr.Delays {
+			if sr.Delays[i] != other[i] {
+				rep.add(Violation{Check: "vc-equivalence", Discipline: "lit", Session: sr.Def.ID,
+					Detail: fmt.Sprintf("seq %d: lit delay %.17g, virtualclock %.17g",
+						sr.Delays[i].Seq, sr.Delays[i].Delay, other[i].Delay)})
+				break
+			}
+		}
+	}
+}
+
+func sortBySeq(s []seqDelay) {
+	sort.Slice(s, func(i, j int) bool { return s[i].Seq < s[j].Seq })
+}

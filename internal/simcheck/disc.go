@@ -1,0 +1,259 @@
+package simcheck
+
+import (
+	"fmt"
+
+	"leaveintime/internal/core"
+	"leaveintime/internal/metrics"
+	"leaveintime/internal/network"
+	"leaveintime/internal/packet"
+	"leaveintime/internal/sched"
+	"leaveintime/internal/trace"
+)
+
+type traceEvent = trace.Event
+
+const (
+	traceArrive      = trace.Arrive
+	traceTransmitEnd = trace.TransmitEnd
+	traceDrop        = trace.Drop
+)
+
+// maxViolationsPerRun caps what one run reports so a systematically
+// broken discipline does not flood the report; the first few instances
+// identify the bug.
+const maxViolationsPerRun = 8
+
+// checkedDisc wraps a discipline with online invariant checks:
+//
+//   - deadline ordering (LiT only): a dequeued packet must carry the
+//     minimum deadline among all held packets that are already
+//     eligible, within the configured tolerance (exact heap: floating-
+//     point crumbs; calendar queue: one bin width, the §4 bound);
+//   - work conservation (work-conserving disciplines only): Dequeue
+//     must yield a packet whenever the discipline holds any;
+//   - eligible-but-idle (every discipline): Dequeue returning nothing
+//     while NextEligible reports an instant already in the past is a
+//     wake-up bug that would stall the port.
+//
+// The decorator forwards SetMetrics so instrumented runs see the real
+// scheduler counters.
+type checkedDisc struct {
+	inner         network.Discipline
+	disc          string
+	port          string
+	wc            bool
+	deadlineCheck bool
+	tol           float64
+	out           *[]Violation
+
+	held map[*packet.Packet]heldStamp
+}
+
+type heldStamp struct {
+	session  int
+	seq      int64
+	eligible float64
+	deadline float64
+}
+
+func (c *checkedDisc) violate(check string, session int, detail string) {
+	if len(*c.out) >= maxViolationsPerRun {
+		return
+	}
+	*c.out = append(*c.out, Violation{
+		Check: check, Discipline: c.disc, Session: session, Port: c.port, Detail: detail,
+	})
+}
+
+// AddSession implements network.Discipline.
+func (c *checkedDisc) AddSession(cfg network.SessionPort) { c.inner.AddSession(cfg) }
+
+// Enqueue implements network.Discipline.
+func (c *checkedDisc) Enqueue(p *packet.Packet, now float64) {
+	c.inner.Enqueue(p, now)
+	if c.deadlineCheck {
+		if c.held == nil {
+			c.held = make(map[*packet.Packet]heldStamp)
+		}
+		// LiT stamps Eligible and Deadline during Enqueue; record them
+		// now so the dequeue-order check can compare against packets
+		// still held later.
+		c.held[p] = heldStamp{
+			session: p.Session, seq: p.Seq,
+			eligible: p.Eligible, deadline: p.Deadline,
+		}
+	}
+}
+
+// Dequeue implements network.Discipline.
+func (c *checkedDisc) Dequeue(now float64) (*packet.Packet, bool) {
+	p, ok := c.inner.Dequeue(now)
+	if !ok {
+		if c.inner.Len() > 0 {
+			if c.wc {
+				c.violate("work-conservation", 0, fmt.Sprintf(
+					"Dequeue empty at t=%.9f with %d packets held", now, c.inner.Len()))
+			}
+			if t, held := c.inner.NextEligible(now); held && t < now-1e-9 {
+				c.violate("eligible-idle", 0, fmt.Sprintf(
+					"Dequeue empty at t=%.9f but NextEligible=%.9f", now, t))
+			}
+		}
+		return nil, false
+	}
+	if c.deadlineCheck {
+		st, known := c.held[p]
+		if !known {
+			c.violate("deadline-inversion", p.Session, fmt.Sprintf(
+				"dequeued packet seq %d never enqueued here", p.Seq))
+			return p, true
+		}
+		delete(c.held, p)
+		// Find the most-overtaken eligible packet deterministically
+		// (map order must not leak into the report).
+		worst := heldStamp{}
+		found := false
+		for _, q := range c.held {
+			if q.eligible > now-1e-9 {
+				continue // not yet eligible: allowed to wait
+			}
+			if q.deadline < st.deadline-c.tol {
+				if !found || less(q, worst) {
+					worst, found = q, true
+				}
+			}
+		}
+		if found {
+			c.violate("deadline-inversion", st.session, fmt.Sprintf(
+				"t=%.9f: sent seq %d (F=%.9f) over session %d seq %d (F=%.9f, E=%.9f), tol=%.3g",
+				now, st.seq, st.deadline, worst.session, worst.seq,
+				worst.deadline, worst.eligible, c.tol))
+		}
+	}
+	return p, true
+}
+
+func less(a, b heldStamp) bool {
+	if a.deadline != b.deadline {
+		return a.deadline < b.deadline
+	}
+	if a.session != b.session {
+		return a.session < b.session
+	}
+	return a.seq < b.seq
+}
+
+// NextEligible implements network.Discipline.
+func (c *checkedDisc) NextEligible(now float64) (float64, bool) { return c.inner.NextEligible(now) }
+
+// OnTransmit implements network.Discipline.
+func (c *checkedDisc) OnTransmit(p *packet.Packet, finish float64) { c.inner.OnTransmit(p, finish) }
+
+// Len implements network.Discipline.
+func (c *checkedDisc) Len() int { return c.inner.Len() }
+
+// SetMetrics forwards the scheduler counters to the wrapped discipline
+// (Network.EnableMetrics type-asserts on the port's discipline, which
+// is this decorator).
+func (c *checkedDisc) SetMetrics(m *metrics.Sched) {
+	if s, ok := c.inner.(interface{ SetMetrics(*metrics.Sched) }); ok {
+		s.SetMetrics(m)
+	}
+}
+
+// discSpec describes one discipline the battery runs the scenario
+// under.
+type discSpec struct {
+	name string
+	// litKind: 0 = not LiT, 1 = exact heap, 2 = calendar approximation.
+	litKind       int
+	deadlineCheck bool
+	// wcAlways marks disciplines that must serve whenever backlogged
+	// regardless of the scenario; LiT additionally is work-conserving
+	// when no session uses jitter control.
+	wcAlways bool
+	mk       func(sc *Scenario, l *topoLink) network.Discipline
+}
+
+func (s discSpec) workConserving(sc *Scenario) bool {
+	if s.wcAlways {
+		return true
+	}
+	return s.litKind != 0 && !sc.hasJitter()
+}
+
+// deadlineTol is the allowed deadline-ordering slack: floating-point
+// crumbs for the exact heap, one calendar bin (the §4 approximation
+// bound) for the calendar queue.
+func (s discSpec) deadlineTol(sc *Scenario, capacity float64) float64 {
+	if s.litKind == 2 {
+		return sc.LMax/capacity + 1e-9
+	}
+	return 1e-9
+}
+
+// litSpec returns the Leave-in-Time spec, exact or approximate.
+func litSpec(approximate bool) discSpec {
+	name := "lit"
+	kind := 1
+	if approximate {
+		name = "lit-approx"
+		kind = 2
+	}
+	return discSpec{
+		name: name, litKind: kind, deadlineCheck: true,
+		mk: func(sc *Scenario, l *topoLink) network.Discipline {
+			return core.New(core.Config{
+				Capacity: l.Capacity, LMax: sc.LMax, Approximate: approximate,
+			})
+		},
+	}
+}
+
+// vcSpec returns the VirtualClock spec (also used standalone for the
+// LiT ≡ VirtualClock differential check).
+func vcSpec() discSpec {
+	return discSpec{name: "virtualclock", wcAlways: true,
+		mk: func(sc *Scenario, l *topoLink) network.Discipline {
+			return sched.NewVirtualClock()
+		}}
+}
+
+// baselineSpecs returns every non-LiT discipline in the repository,
+// configured for the scenario. The framing disciplines' frame time is
+// one maximum-length packet at the slowest session's reserved rate, so
+// every session earns at least one slot per frame.
+func baselineSpecs(sc *Scenario) []discSpec {
+	frame := sc.LMax / sc.minRate()
+	return []discSpec{
+		vcSpec(),
+		{name: "wfq", wcAlways: true, mk: func(sc *Scenario, l *topoLink) network.Discipline {
+			return sched.NewWFQ(l.Capacity)
+		}},
+		{name: "wf2q", wcAlways: true, mk: func(sc *Scenario, l *topoLink) network.Discipline {
+			return sched.NewWF2Q(l.Capacity)
+		}},
+		{name: "scfq", wcAlways: true, mk: func(sc *Scenario, l *topoLink) network.Discipline {
+			return sched.NewSCFQ()
+		}},
+		{name: "fcfs", wcAlways: true, mk: func(sc *Scenario, l *topoLink) network.Discipline {
+			return sched.NewFCFS()
+		}},
+		{name: "delayedd", wcAlways: true, mk: func(sc *Scenario, l *topoLink) network.Discipline {
+			return sched.NewDelayEDD()
+		}},
+		{name: "jitteredd", mk: func(sc *Scenario, l *topoLink) network.Discipline {
+			return sched.NewJitterEDD()
+		}},
+		{name: "stopandgo", mk: func(sc *Scenario, l *topoLink) network.Discipline {
+			return sched.NewStopAndGo(frame)
+		}},
+		{name: "hrr", mk: func(sc *Scenario, l *topoLink) network.Discipline {
+			return sched.NewHRR(sc.LMax, frame)
+		}},
+		{name: "rcsp", mk: func(sc *Scenario, l *topoLink) network.Discipline {
+			return sched.NewRCSP(2)
+		}},
+	}
+}

@@ -1,0 +1,84 @@
+package simcheck
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Violation is one failed invariant check.
+type Violation struct {
+	// Check names the invariant: delay-bound, jitter-bound,
+	// buffer-bound, loss-free, deadline-inversion, work-conservation,
+	// eligible-idle, pool-balance, conservation, emit-divergence,
+	// vc-equivalence, approx-divergence, telemetry-agreement,
+	// engine-sanity, admission-replay.
+	Check      string `json:"check"`
+	Discipline string `json:"discipline"`
+	Session    int    `json:"session,omitempty"`
+	Port       string `json:"port,omitempty"`
+	Detail     string `json:"detail"`
+}
+
+// DiscSummary is one discipline's packet totals for the report.
+type DiscSummary struct {
+	Name      string `json:"name"`
+	Emitted   int64  `json:"emitted"`
+	Delivered int64  `json:"delivered"`
+	Dropped   int64  `json:"dropped"`
+}
+
+// SeedReport is the outcome of checking one scenario.
+type SeedReport struct {
+	Seed        uint64        `json:"seed"`
+	Topology    string        `json:"topology"`
+	Links       int           `json:"links"`
+	Sessions    int           `json:"sessions"`
+	Proc        int           `json:"proc"`
+	Special     bool          `json:"special,omitempty"`
+	Duration    float64       `json:"duration_s"`
+	Disciplines []DiscSummary `json:"disciplines"`
+	Violations  []Violation   `json:"violations,omitempty"`
+}
+
+// OK reports whether every invariant held.
+func (r *SeedReport) OK() bool { return len(r.Violations) == 0 }
+
+func (r *SeedReport) add(v Violation) { r.Violations = append(r.Violations, v) }
+
+func (r *SeedReport) summarize(res *runResult) {
+	s := DiscSummary{Name: res.Name}
+	for _, sr := range res.Sessions {
+		s.Emitted += sr.Emitted
+		s.Delivered += sr.Delivered
+		s.Dropped += sr.Dropped
+	}
+	r.Disciplines = append(r.Disciplines, s)
+}
+
+// Format renders the report as deterministic text: one header line,
+// then one line per violation. Identical scenarios always format
+// identically (no map ordering, no wall-clock).
+func (r *SeedReport) Format() string {
+	var b strings.Builder
+	status := "ok"
+	if !r.OK() {
+		status = fmt.Sprintf("FAIL (%d violations)", len(r.Violations))
+	}
+	var pkts int64
+	if len(r.Disciplines) > 0 {
+		pkts = r.Disciplines[0].Emitted
+	}
+	fmt.Fprintf(&b, "seed %d: %s  %s links=%d sessions=%d proc=%d dur=%.3gs pkts=%d disciplines=%d\n",
+		r.Seed, status, r.Topology, r.Links, r.Sessions, r.Proc, r.Duration, pkts, len(r.Disciplines))
+	for _, v := range r.Violations {
+		loc := v.Discipline
+		if v.Port != "" {
+			loc += "@" + v.Port
+		}
+		if v.Session != 0 {
+			loc += fmt.Sprintf(" s%d", v.Session)
+		}
+		fmt.Fprintf(&b, "  %-20s %-28s %s\n", v.Check, loc, v.Detail)
+	}
+	return b.String()
+}

@@ -1,0 +1,47 @@
+package simcheck
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// WriteRepro serializes the scenario as an indented, replayable JSON
+// repro. BoundScale is part of the scenario, so a repro produced under
+// an injected tightening reproduces the same injected failure.
+func WriteRepro(path string, sc Scenario) error {
+	data, err := json.MarshalIndent(sc, "", "  ")
+	if err != nil {
+		return fmt.Errorf("simcheck: marshal repro: %w", err)
+	}
+	data = append(data, '\n')
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadScenario reads a repro written by WriteRepro.
+func LoadScenario(path string) (Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Scenario{}, err
+	}
+	var sc Scenario
+	if err := json.Unmarshal(data, &sc); err != nil {
+		return Scenario{}, fmt.Errorf("simcheck: parse repro %s: %w", path, err)
+	}
+	return sc, nil
+}
+
+// Replay loads a repro and re-checks it, returning the report.
+func Replay(path string, opt Options) (*SeedReport, error) {
+	sc, err := LoadScenario(path)
+	if err != nil {
+		return nil, err
+	}
+	return CheckScenario(sc, opt), nil
+}

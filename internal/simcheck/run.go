@@ -1,0 +1,373 @@
+package simcheck
+
+import (
+	"fmt"
+
+	"leaveintime/internal/admission"
+	"leaveintime/internal/event"
+	"leaveintime/internal/metrics"
+	"leaveintime/internal/network"
+	"leaveintime/internal/packet"
+	"leaveintime/internal/rng"
+	"leaveintime/internal/topo"
+	"leaveintime/internal/traffic"
+)
+
+type topoLink = topo.Link
+
+// scenarioGraph builds the routing graph (no ports yet) from the
+// scenario's links.
+func scenarioGraph(sc *Scenario) *topo.Graph {
+	g := topo.New()
+	for _, l := range sc.Topology.Links {
+		g.AddLink(l.From, l.To, l.Capacity, l.Gamma)
+	}
+	return g
+}
+
+// admitterSet holds one admission controller per link, dispatching on
+// the scenario's procedure.
+type admitterSet struct {
+	proc  int
+	byKey map[string]admitter
+}
+
+type admitter interface {
+	Remove(id int) bool
+}
+
+func linkKey(l *topo.Link) string { return l.From + "->" + l.To }
+
+// newAdmitters builds the per-link controllers. Class R values scale
+// with each link's capacity, so one ClassDef list serves heterogeneous
+// links.
+func newAdmitters(sc *Scenario) admitterSet {
+	set := admitterSet{proc: sc.Proc, byKey: make(map[string]admitter)}
+	for _, ld := range sc.Topology.Links {
+		key := ld.From + "->" + ld.To
+		switch sc.Proc {
+		case 3:
+			p, err := admission.NewProcedure3(ld.Capacity)
+			if err != nil {
+				panic(err)
+			}
+			set.byKey[key] = p
+		default:
+			classes := make([]admission.Class, len(sc.Classes))
+			for k, c := range sc.Classes {
+				classes[k] = admission.Class{R: c.RFrac * ld.Capacity, Sigma: c.Sigma}
+			}
+			if sc.Proc == 1 {
+				p, err := admission.NewProcedure1(ld.Capacity, classes)
+				if err != nil {
+					panic(err)
+				}
+				set.byKey[key] = p
+			} else {
+				p, err := admission.NewProcedure2(ld.Capacity, classes)
+				if err != nil {
+					panic(err)
+				}
+				set.byKey[key] = p
+			}
+		}
+	}
+	return set
+}
+
+// admit runs the session through the link's controller and returns the
+// node's service-parameter assignment.
+func (a admitterSet) admit(l *topo.Link, spec admission.SessionSpec, def SessionDef) (admission.Assignment, error) {
+	opts := admission.Options{PerPacket: true}
+	switch ctrl := a.byKey[linkKey(l)].(type) {
+	case *admission.Procedure1:
+		return ctrl.Admit(spec, def.Class, opts)
+	case *admission.Procedure2:
+		return ctrl.Admit(spec, def.Class, opts)
+	case *admission.Procedure3:
+		return ctrl.Admit(spec, def.D)
+	default:
+		return admission.Assignment{}, fmt.Errorf("simcheck: no controller for link %s", linkKey(l))
+	}
+}
+
+func (a admitterSet) remove(l *topo.Link, id int) {
+	a.byKey[linkKey(l)].Remove(id)
+}
+
+// buildSource constructs the session's traffic source. Every kind
+// conforms to the token bucket (Rate, Burst) by construction — CBR and
+// ON-OFF emit at spacing LMax/Rate (the paper's voice model), Poisson
+// and variable-length streams pass through an explicit shaper — so
+// D_ref_max = Burst/Rate holds for the bound checks.
+func buildSource(def SessionDef) traffic.Source {
+	r := rng.New(def.Source.Seed)
+	switch def.Source.Kind {
+	case "cbr":
+		return &traffic.Deterministic{Interval: def.LMax / def.Rate, Length: def.LMax}
+	case "onoff":
+		return &traffic.OnOff{
+			T: def.LMax / def.Rate, Length: def.LMax,
+			MeanOn: def.Source.MeanOn, MeanOff: def.Source.MeanOff, Rng: r,
+		}
+	case "poisson":
+		return traffic.NewShaped(
+			&traffic.Poisson{Mean: def.Source.MeanGap, Length: def.LMax, Rng: r},
+			def.Rate, def.Burst)
+	case "varlen":
+		span := def.LMax - def.LMin
+		lr := rng.New(def.Source.Seed + 0x9e3779b97f4a7c15)
+		inner := &traffic.VariableLength{
+			Src: &traffic.Poisson{Mean: def.Source.MeanGap, Length: def.LMax, Rng: r},
+			Fn:  func(int64) float64 { return def.LMin + span*lr.Float64() },
+		}
+		return traffic.NewShaped(inner, def.Rate, def.Burst)
+	default:
+		panic(fmt.Sprintf("simcheck: unknown source kind %q", def.Source.Kind))
+	}
+}
+
+// seqDelay is one delivered packet's end-to-end delay, for the
+// differential LiT ≡ VirtualClock comparison.
+type seqDelay struct {
+	Seq   int64
+	Delay float64
+}
+
+// probeResult is one hop's buffer observation for one session.
+type probeResult struct {
+	Port    string
+	MaxBits float64
+	Dropped int64
+	Bound   float64 // the paper's buffer bound at this hop, bits
+	Limited bool    // true when the buffer was capped at Bound
+}
+
+// sessResult is everything the battery checks about one session in one
+// run.
+type sessResult struct {
+	Def        SessionDef
+	Hops       int
+	Emitted    int64
+	Delivered  int64
+	Dropped    int64 // buffer-limit drops along the route
+	MaxDelay   float64
+	Jitter     float64
+	DelayBound float64 // eq. 12 with D_ref_max = Burst/Rate
+	JitterBnd  float64 // ineq. 17 or its no-control form
+	MinLinkCap float64
+	Probes     []probeResult
+	Delays     []seqDelay // filled only when opts.collectDelays
+}
+
+// runResult is one discipline's complete run over the scenario.
+type runResult struct {
+	Name       string
+	Sessions   []sessResult
+	Pool       network.PoolStats
+	Reg        *metrics.Registry
+	Counts     *traceCounts
+	Violations []Violation
+}
+
+type runOpts struct {
+	limits        bool // cap buffers at the bound for LimitBuffers sessions
+	probes        bool // track per-hop occupancy
+	collectDelays bool
+}
+
+// traceCounts tallies trace events per port so the battery can demand
+// metrics/trace/probe agreement.
+type traceCounts struct {
+	Arrivals  map[string]int64
+	Transmits map[string]int64
+	Drops     map[string]int64
+}
+
+func newTraceCounts() *traceCounts {
+	return &traceCounts{
+		Arrivals:  make(map[string]int64),
+		Transmits: make(map[string]int64),
+		Drops:     make(map[string]int64),
+	}
+}
+
+// Trace implements trace.Tracer.
+func (t *traceCounts) Trace(e traceEvent) {
+	switch e.Kind {
+	case traceArrive:
+		t.Arrivals[e.Port]++
+	case traceTransmitEnd:
+		t.Transmits[e.Port]++
+	case traceDrop:
+		t.Drops[e.Port]++
+	}
+}
+
+// runScenario builds the scenario's network under one discipline and
+// runs it to full drain. Violations detected online (by the checking
+// decorator) are collected in the result; bound and cross-run checks
+// happen in the battery.
+func runScenario(sc *Scenario, spec discSpec, opts runOpts) (*runResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	sim := event.New()
+	net := network.New(sim, sc.LMax)
+	net.SetPoolDebug(true)
+	reg := metrics.NewRegistry()
+	net.EnableMetrics(reg)
+	counts := newTraceCounts()
+	net.Tracer = counts
+
+	res := &runResult{Name: spec.name, Reg: reg, Counts: counts}
+
+	g := scenarioGraph(sc)
+	g.Build(net, func(l *topo.Link) network.Discipline {
+		return &checkedDisc{
+			inner:         spec.mk(sc, l),
+			disc:          spec.name,
+			port:          linkKey(l),
+			wc:            spec.workConserving(sc),
+			deadlineCheck: spec.deadlineCheck,
+			tol:           spec.deadlineTol(sc, l.Capacity),
+			out:           &res.Violations,
+		}
+	})
+
+	adm := newAdmitters(sc)
+	type built struct {
+		sess   *network.Session
+		sr     *sessResult
+		probes []*network.BufferProbe
+	}
+	var builds []built
+	for _, def := range sc.Sessions {
+		sr, sess, probes, err := establish(sc, g, net, adm, def, spec, opts)
+		if err != nil {
+			res.Violations = append(res.Violations, Violation{
+				Check: "admission-replay", Discipline: spec.name,
+				Session: def.ID, Detail: err.Error(),
+			})
+			continue
+		}
+		builds = append(builds, built{sess: sess, sr: sr, probes: probes})
+	}
+
+	for _, b := range builds {
+		b.sess.Start(0, sc.Duration)
+	}
+	// Emission stops at Duration; everything still queued, regulated or
+	// framed then drains, so RunAll terminates with an empty network.
+	sim.RunAll()
+
+	for _, b := range builds {
+		b.sr.Emitted = b.sess.Emitted
+		b.sr.Delivered = b.sess.Delivered
+		if b.sess.Delays.Count() > 0 {
+			b.sr.MaxDelay = b.sess.Delays.Max()
+			b.sr.Jitter = b.sess.Delays.Jitter()
+		}
+		for i, pr := range b.probes {
+			b.sr.Probes[i].MaxBits = pr.MaxBits
+			b.sr.Probes[i].Dropped = pr.DroppedPackets
+			b.sr.Dropped += pr.DroppedPackets
+		}
+		res.Sessions = append(res.Sessions, *b.sr)
+	}
+	res.Pool = net.PoolStats()
+	return res, nil
+}
+
+// establish admits the session at every hop (replaying what the
+// generator verified), derives its analytic bounds from the resulting
+// assignments, and wires it into the network.
+func establish(sc *Scenario, g *topo.Graph, net *network.Network, adm admitterSet,
+	def SessionDef, spec discSpec, opts runOpts) (*sessResult, *network.Session, []*network.BufferProbe, error) {
+
+	links, err := g.RouteLinks(def.From, def.To)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ports, err := g.Route(def.From, def.To)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	aspec := admission.SessionSpec{ID: def.ID, Rate: def.Rate, LMax: def.LMax, LMin: def.LMin}
+	cfgs := make([]network.SessionPort, len(links))
+	hops := make([]admission.Hop, len(links))
+	minCap := links[0].Capacity
+	var last admission.Assignment
+	for i, l := range links {
+		a, err := adm.admit(l, aspec, def)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		last = a
+		d := a.D
+		if sc.Special {
+			// The exactness corner: procedure 1 with one class and
+			// eps = 0 assigns d = L/r, which SessionPort spells as a
+			// nil D — the bit-exact VirtualClock special case (the
+			// closure would round L*C/(r*C) differently from L/r).
+			d = nil
+		}
+		cfgs[i] = network.SessionPort{
+			D:    d,
+			DMax: a.DMax,
+			// Per-node budget for the EDD baselines: generous enough
+			// that their (not re-run) schedulability test would not be
+			// the binding constraint.
+			LocalDelay: def.LMax/def.Rate + float64(len(sc.Sessions)+2)*sc.LMax/l.Capacity,
+			XMin:       def.LMin / def.Rate,
+		}
+		hops[i] = admission.Hop{C: l.Capacity, Gamma: l.Gamma, DMax: a.DMax}
+		if l.Capacity < minCap {
+			minCap = l.Capacity
+		}
+	}
+
+	route := admission.Route{Hops: hops, LMax: sc.LMax, Alpha: last.Alpha(aspec)}
+	dRef := def.Burst / def.Rate
+	sr := &sessResult{
+		Def:        def,
+		Hops:       len(links),
+		MinLinkCap: minCap,
+		DelayBound: route.DelayBound(dRef),
+	}
+	if def.JitterCtrl {
+		sr.JitterBnd = route.JitterBoundControl(dRef, def.LMin)
+	} else {
+		sr.JitterBnd = route.JitterBoundNoControl(dRef, def.LMin)
+	}
+
+	sess := net.AddSession(def.ID, def.Rate, def.JitterCtrl, ports, cfgs, buildSource(def))
+	var probes []*network.BufferProbe
+	if opts.probes {
+		for n := 1; n <= len(ports); n++ {
+			var bound float64
+			if def.JitterCtrl {
+				bound = route.BufferBoundControl(def.Rate, dRef, def.LMin, n)
+			} else {
+				bound = route.BufferBoundNoControl(def.Rate, dRef, def.LMin, n)
+			}
+			limited := opts.limits && def.LimitBuffers
+			var pr *network.BufferProbe
+			if limited {
+				pr = ports[n-1].LimitBuffer(def.ID, bound)
+			} else {
+				pr = ports[n-1].TrackBuffer(def.ID)
+			}
+			probes = append(probes, pr)
+			sr.Probes = append(sr.Probes, probeResult{
+				Port: ports[n-1].Name, Bound: bound, Limited: limited,
+			})
+		}
+	}
+	if opts.collectDelays {
+		sess.OnDeliver = func(p *packet.Packet, delay float64) {
+			sr.Delays = append(sr.Delays, seqDelay{Seq: p.Seq, Delay: delay})
+		}
+	}
+	return sr, sess, probes, nil
+}

@@ -1,0 +1,198 @@
+// Package simcheck is the randomized scenario conformance harness: it
+// generates random-but-valid scenarios from a seed (topology, admitted
+// session set, traffic mix), runs the same arrival sequence through
+// every discipline in the repository, and checks an invariant battery
+// against the paper's analytic machinery — per-session delay/jitter/
+// buffer bounds, packet-pool balance, deadline ordering, work
+// conservation, the LiT ≡ VirtualClock special case, the calendar-queue
+// approximation bound, and metrics/trace/probe agreement. On violation
+// it shrinks the scenario to a minimal failing form and writes a
+// replayable JSON repro. See cmd/litcheck for the CLI driver.
+package simcheck
+
+import (
+	"fmt"
+)
+
+// Scenario is a fully declarative, JSON-serializable description of one
+// conformance run. Everything a run needs — topology, admission
+// configuration, session set, per-source seeds — is in the struct, so a
+// scenario replays bit-identically from its JSON form. Sessions listed
+// here were admitted when the scenario was generated; because removing
+// an admitted session never invalidates the remaining ones (the
+// procedures' tests are monotone in the session set), any subset is
+// again a valid scenario — the property the shrinker relies on.
+type Scenario struct {
+	// Seed is the generator seed the scenario came from (informational
+	// after generation; replays use the explicit fields below).
+	Seed uint64 `json:"seed"`
+	// LMax is the network-wide maximum packet length L_MAX, bits.
+	LMax float64 `json:"l_max_bits"`
+	// Duration is how long sources emit, simulated seconds. Runs drain
+	// fully after emission stops.
+	Duration float64 `json:"duration_s"`
+
+	Topology Topology `json:"topology"`
+
+	// Proc selects the admission control procedure (1, 2 or 3) guarding
+	// every port.
+	Proc int `json:"proc"`
+	// Classes configures procedures 1 and 2 (ignored for procedure 3).
+	// Class k's bandwidth cap at a port is RFrac_k times the port's
+	// capacity; the last class must have RFrac = 1 so R_P = C.
+	Classes []ClassDef `json:"classes,omitempty"`
+
+	Sessions []SessionDef `json:"sessions"`
+
+	// Special marks the paper's exactness corner: procedure 1, one
+	// class, eps = 0, no jitter control — where LiT must be
+	// bit-identical to VirtualClock. The generator sets it; the battery
+	// runs the differential check only then.
+	Special bool `json:"special,omitempty"`
+
+	// BoundScale scales the *checked* analytic bounds; 0 and 1 both
+	// mean "check the paper's bounds as-is". Values below 1 tighten the
+	// checks past what the theorems promise. It exists only as the
+	// test hook behind the injection/shrinking tests and the litcheck
+	// -bound-scale flag.
+	BoundScale float64 `json:"bound_scale,omitempty"`
+}
+
+// Topology is the network graph: directed links between named nodes.
+type Topology struct {
+	// Kind records the generator's shape (tandem, cross or tree);
+	// informational — the links alone define the graph.
+	Kind  string    `json:"kind"`
+	Links []LinkDef `json:"links"`
+}
+
+// LinkDef is one directed link.
+type LinkDef struct {
+	From     string  `json:"from"`
+	To       string  `json:"to"`
+	Capacity float64 `json:"capacity_bps"`
+	Gamma    float64 `json:"gamma_s"`
+}
+
+// ClassDef is one delay class of admission procedures 1 and 2.
+type ClassDef struct {
+	RFrac float64 `json:"r_frac"`
+	Sigma float64 `json:"sigma_s"`
+}
+
+// SessionDef is one admitted session: its route endpoints, reservation,
+// and traffic source.
+type SessionDef struct {
+	ID   int    `json:"id"`
+	From string `json:"from"`
+	To   string `json:"to"`
+	// Rate is the reserved rate r_s, bits/s.
+	Rate float64 `json:"rate_bps"`
+	// JitterCtrl selects delay-jitter control (LiT regulators) for the
+	// session.
+	JitterCtrl bool `json:"jitter_ctrl,omitempty"`
+	// Class is the delay class for procedures 1 and 2 (1-based).
+	Class int `json:"class,omitempty"`
+	// D is the fixed service parameter for procedure 3, seconds.
+	D float64 `json:"d_s,omitempty"`
+	// LMin and LMax are the session's packet-length envelope, bits.
+	LMin float64 `json:"l_min_bits"`
+	LMax float64 `json:"l_max_bits"`
+	// Burst is the token-bucket depth b0 (bits) the source conforms to
+	// by construction, so D_ref_max = Burst/Rate (eq. 14).
+	Burst float64 `json:"burst_bits"`
+	// LimitBuffers provisions a finite buffer at the paper's buffer
+	// bound at every hop — the loss-free guarantee under test.
+	// Sessions without it get an occupancy probe checked against the
+	// same bound.
+	LimitBuffers bool `json:"limit_buffers,omitempty"`
+
+	Source SourceDef `json:"source"`
+}
+
+// SourceDef selects and seeds the traffic source.
+type SourceDef struct {
+	// Kind is one of cbr, onoff, poisson, varlen.
+	Kind string `json:"kind"`
+	Seed uint64 `json:"seed"`
+	// MeanOn and MeanOff parameterize the onoff source, seconds.
+	MeanOn  float64 `json:"mean_on_s,omitempty"`
+	MeanOff float64 `json:"mean_off_s,omitempty"`
+	// MeanGap is the pre-shaper mean interarrival for poisson and
+	// varlen, seconds.
+	MeanGap float64 `json:"mean_gap_s,omitempty"`
+}
+
+// boundScale returns the effective bound scaling factor.
+func (sc *Scenario) boundScale() float64 {
+	if sc.BoundScale > 0 {
+		return sc.BoundScale
+	}
+	return 1
+}
+
+// hasJitter reports whether any session uses jitter control. LiT is
+// work-conserving exactly when no regulator is in play.
+func (sc *Scenario) hasJitter() bool {
+	for _, s := range sc.Sessions {
+		if s.JitterCtrl {
+			return true
+		}
+	}
+	return false
+}
+
+// minRate returns the smallest session rate (0 when empty), used to
+// size the framing disciplines' frame time.
+func (sc *Scenario) minRate() float64 {
+	min := 0.0
+	for _, s := range sc.Sessions {
+		if min == 0 || s.Rate < min {
+			min = s.Rate
+		}
+	}
+	return min
+}
+
+// Validate checks the scenario's structural invariants before a run.
+func (sc *Scenario) Validate() error {
+	if sc.LMax <= 0 {
+		return fmt.Errorf("simcheck: LMax must be positive")
+	}
+	if sc.Duration <= 0 {
+		return fmt.Errorf("simcheck: duration must be positive")
+	}
+	if len(sc.Topology.Links) == 0 {
+		return fmt.Errorf("simcheck: topology has no links")
+	}
+	if sc.Proc < 1 || sc.Proc > 3 {
+		return fmt.Errorf("simcheck: proc %d out of range 1..3", sc.Proc)
+	}
+	if sc.Proc != 3 && len(sc.Classes) == 0 {
+		return fmt.Errorf("simcheck: procedures 1 and 2 need classes")
+	}
+	for _, l := range sc.Topology.Links {
+		if l.Capacity <= 0 || l.From == "" || l.To == "" || l.From == l.To {
+			return fmt.Errorf("simcheck: bad link %s->%s", l.From, l.To)
+		}
+	}
+	seen := make(map[int]bool)
+	for _, s := range sc.Sessions {
+		if seen[s.ID] {
+			return fmt.Errorf("simcheck: duplicate session id %d", s.ID)
+		}
+		seen[s.ID] = true
+		if s.Rate <= 0 || s.LMin <= 0 || s.LMin > s.LMax || s.LMax > sc.LMax {
+			return fmt.Errorf("simcheck: session %d: bad rate or length envelope", s.ID)
+		}
+		if s.Burst < s.LMax {
+			return fmt.Errorf("simcheck: session %d: burst below LMax", s.ID)
+		}
+		switch s.Source.Kind {
+		case "cbr", "onoff", "poisson", "varlen":
+		default:
+			return fmt.Errorf("simcheck: session %d: unknown source kind %q", s.ID, s.Source.Kind)
+		}
+	}
+	return nil
+}

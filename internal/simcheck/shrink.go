@@ -1,0 +1,130 @@
+package simcheck
+
+import "fmt"
+
+// shrinkBudget caps how many candidate scenarios one shrink may re-run.
+const shrinkBudget = 150
+
+// Shrink reduces a failing scenario to a smaller one that still fails
+// at least one of the *original* violation checks (so the shrinker
+// cannot wander off to a different bug). It greedily tries, in rounds
+// until a fixed point or the budget runs out:
+//
+//  1. dropping sessions (highest ID first — later sessions depend on
+//     nothing, and removal never invalidates the remaining admissions);
+//  2. halving the duration;
+//  3. trimming each session's route by its final hop;
+//  4. pruning links no remaining route uses.
+//
+// It returns the smallest failing scenario found and its report.
+func Shrink(sc Scenario, opt Options) (Scenario, *SeedReport) {
+	if opt.BoundScale > 0 {
+		// Fold the injected tightening into the scenario itself so the
+		// written repro reproduces the failure with no extra flags.
+		sc.BoundScale = opt.BoundScale
+	}
+	orig := CheckScenario(sc, opt)
+	if orig.OK() {
+		return sc, orig
+	}
+	want := make(map[string]bool)
+	for _, v := range orig.Violations {
+		want[v.Check] = true
+	}
+	budget := shrinkBudget
+	fails := func(s Scenario) (*SeedReport, bool) {
+		budget--
+		rep := CheckScenario(s, opt)
+		for _, v := range rep.Violations {
+			if want[v.Check] {
+				return rep, true
+			}
+		}
+		return rep, false
+	}
+
+	cur, best := sc, orig
+	for changed := true; changed && budget > 0; {
+		changed = false
+		// 1. Drop sessions.
+		for i := len(cur.Sessions) - 1; i >= 0 && len(cur.Sessions) > 1 && budget > 0; i-- {
+			trial := cur
+			trial.Sessions = append([]SessionDef{}, cur.Sessions[:i]...)
+			trial.Sessions = append(trial.Sessions, cur.Sessions[i+1:]...)
+			if rep, bad := fails(trial); bad {
+				cur, best, changed = trial, rep, true
+			}
+		}
+		// 2. Halve the duration.
+		for budget > 0 && cur.Duration > 0.05 {
+			trial := cur
+			trial.Duration = cur.Duration / 2
+			rep, bad := fails(trial)
+			if !bad {
+				break
+			}
+			cur, best, changed = trial, rep, true
+		}
+		// 3. Trim routes from the exit end.
+		for i := 0; i < len(cur.Sessions) && budget > 0; i++ {
+			trial, ok := trimRoute(cur, i)
+			if !ok {
+				continue
+			}
+			if rep, bad := fails(trial); bad {
+				cur, best, changed = trial, rep, true
+			}
+		}
+		// 4. Prune unused links. Links on no route cannot change any
+		// remaining route (Dijkstra's chosen predecessors all lie on
+		// routes), so this only simplifies the topology.
+		if budget > 0 {
+			if trial, ok := pruneLinks(cur); ok {
+				if rep, bad := fails(trial); bad {
+					cur, best, changed = trial, rep, true
+				}
+			}
+		}
+	}
+	return cur, best
+}
+
+// trimRoute shortens session i's route by one hop: its destination
+// becomes the entry node of the route's final link.
+func trimRoute(sc Scenario, i int) (Scenario, bool) {
+	g := scenarioGraph(&sc)
+	links, err := g.RouteLinks(sc.Sessions[i].From, sc.Sessions[i].To)
+	if err != nil || len(links) < 2 {
+		return sc, false
+	}
+	trial := sc
+	trial.Sessions = append([]SessionDef{}, sc.Sessions...)
+	trial.Sessions[i].To = links[len(links)-1].From
+	return trial, true
+}
+
+// pruneLinks removes links that no session's route traverses.
+func pruneLinks(sc Scenario) (Scenario, bool) {
+	g := scenarioGraph(&sc)
+	used := make(map[string]bool)
+	for _, s := range sc.Sessions {
+		links, err := g.RouteLinks(s.From, s.To)
+		if err != nil {
+			return sc, false
+		}
+		for _, l := range links {
+			used[fmt.Sprintf("%s->%s", l.From, l.To)] = true
+		}
+	}
+	if len(used) == len(sc.Topology.Links) {
+		return sc, false
+	}
+	trial := sc
+	trial.Topology.Links = nil
+	for _, l := range sc.Topology.Links {
+		if used[l.From+"->"+l.To] {
+			trial.Topology.Links = append(trial.Topology.Links, l)
+		}
+	}
+	return trial, len(trial.Topology.Links) > 0
+}

@@ -1,0 +1,164 @@
+package simcheck
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestGenerateDeterministic: a scenario is a pure function of its seed.
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 10; seed++ {
+		a := Generate(seed)
+		b := Generate(seed)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d generated two different scenarios", seed)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d generated an invalid scenario: %v", seed, err)
+		}
+		if len(a.Sessions) == 0 {
+			t.Errorf("seed %d generated no sessions", seed)
+		}
+	}
+}
+
+// TestGenerateCoverage: the generator reaches every corner the battery
+// depends on — all three topology shapes, all three admission
+// procedures, the LiT ≡ VirtualClock special case, jitter control, and
+// all four source kinds.
+func TestGenerateCoverage(t *testing.T) {
+	shapes := map[string]bool{}
+	procs := map[int]bool{}
+	kinds := map[string]bool{}
+	special, jitter := false, false
+	for seed := uint64(1); seed <= 60; seed++ {
+		sc := Generate(seed)
+		shapes[sc.Topology.Kind] = true
+		procs[sc.Proc] = true
+		special = special || sc.Special
+		jitter = jitter || sc.hasJitter()
+		for _, s := range sc.Sessions {
+			kinds[s.Source.Kind] = true
+		}
+	}
+	if len(shapes) != 3 {
+		t.Errorf("topology shapes seen: %v, want tandem, cross and tree", shapes)
+	}
+	if len(procs) != 3 {
+		t.Errorf("procedures seen: %v, want 1, 2 and 3", procs)
+	}
+	if len(kinds) != 4 {
+		t.Errorf("source kinds seen: %v, want cbr, onoff, poisson and varlen", kinds)
+	}
+	if !special {
+		t.Error("no special (LiT = VirtualClock) scenario in 60 seeds")
+	}
+	if !jitter {
+		t.Error("no jitter-controlled session in 60 seeds")
+	}
+}
+
+// TestSeedsClean: the invariant battery holds over a block of seeds —
+// the paper's commitments are not violated by any generated scenario —
+// and traffic actually flows in each.
+func TestSeedsClean(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		rep := CheckSeed(seed, Options{})
+		if !rep.OK() {
+			t.Fatalf("seed %d:\n%s", seed, rep.Format())
+		}
+		if len(rep.Disciplines) == 0 || rep.Disciplines[0].Delivered == 0 {
+			t.Errorf("seed %d: no packets delivered", seed)
+		}
+	}
+}
+
+// TestReportDeterministic: same seed, byte-identical report.
+func TestReportDeterministic(t *testing.T) {
+	for _, seed := range []uint64{3, 4} {
+		a := CheckSeed(seed, Options{}).Format()
+		b := CheckSeed(seed, Options{}).Format()
+		if a != b {
+			t.Fatalf("seed %d report not deterministic:\n--- first ---\n%s--- second ---\n%s", seed, a, b)
+		}
+	}
+}
+
+// TestInjectedViolationShrinksAndReplays: tightening the checked bounds
+// past the theorems (the BoundScale hook) must fail, the shrinker must
+// reduce the scenario without losing the original violation, and the
+// written repro must reproduce the failure when replayed from disk.
+func TestInjectedViolationShrinksAndReplays(t *testing.T) {
+	const seed = 1
+	opt := Options{BoundScale: 0.01}
+	full := Generate(seed)
+	rep := CheckScenario(full, opt)
+	if rep.OK() {
+		t.Fatal("bounds scaled to 1% still hold; the injection hook is dead")
+	}
+	origChecks := map[string]bool{}
+	for _, v := range rep.Violations {
+		origChecks[v.Check] = true
+	}
+
+	shrunk, srep := Shrink(full, opt)
+	if srep.OK() {
+		t.Fatal("shrunken scenario no longer fails")
+	}
+	if len(shrunk.Sessions) > len(full.Sessions) || shrunk.Duration > full.Duration ||
+		len(shrunk.Topology.Links) > len(full.Topology.Links) {
+		t.Errorf("shrink grew the scenario: %d sessions %.3fs %d links -> %d sessions %.3fs %d links",
+			len(full.Sessions), full.Duration, len(full.Topology.Links),
+			len(shrunk.Sessions), shrunk.Duration, len(shrunk.Topology.Links))
+	}
+	if len(shrunk.Sessions) != 1 {
+		t.Errorf("expected the injected failure to shrink to one session, got %d", len(shrunk.Sessions))
+	}
+	preserved := false
+	for _, v := range srep.Violations {
+		if origChecks[v.Check] {
+			preserved = true
+		}
+	}
+	if !preserved {
+		t.Errorf("shrink lost the original violation checks %v:\n%s", origChecks, srep.Format())
+	}
+
+	// Round-trip through JSON: the repro must carry the injected
+	// tightening and fail again with no extra options.
+	path := filepath.Join(t.TempDir(), "repro.json")
+	if err := WriteRepro(path, shrunk); err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Replay(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replayed.OK() {
+		t.Fatal("replayed repro no longer fails")
+	}
+	if replayed.Format() != srep.Format() {
+		t.Errorf("replay differs from the shrink's report:\n--- shrink ---\n%s--- replay ---\n%s",
+			srep.Format(), replayed.Format())
+	}
+}
+
+// TestShrinkKeepsValidScenarios: dropping admitted sessions never
+// invalidates the rest — every shrink step must replay its admissions
+// successfully (an admission-replay violation would surface in the
+// battery as a non-original check; here we verify directly).
+func TestShrinkKeepsValidScenarios(t *testing.T) {
+	sc := Generate(11)
+	if len(sc.Sessions) < 2 {
+		t.Skip("seed 11 no longer generates a multi-session scenario")
+	}
+	sub := sc
+	sub.Sessions = sc.Sessions[:1]
+	rep := CheckScenario(sub, Options{})
+	for _, v := range rep.Violations {
+		if v.Check == "admission-replay" {
+			t.Fatalf("session subset failed admission replay: %s", v.Detail)
+		}
+	}
+}
