@@ -9,6 +9,7 @@
 //
 //	litcheck -seeds 200                 # check seeds 1..200
 //	litcheck -seed 17 -seeds 5          # check seeds 17..21
+//	litcheck -churn -seeds 200          # chaos mode: fault/churn plans
 //	litcheck -replay repro.json         # re-check a written repro
 //
 // Seeds run on a GOMAXPROCS worker pool; reports print in seed order
@@ -16,6 +17,19 @@
 // output). On violation the failing scenario is shrunk to a minimal
 // form and written as a replayable JSON repro under -repro-dir. The
 // exit status is 1 if any seed failed, 0 otherwise.
+//
+// -churn attaches a deterministic fault plan to every seed — link and
+// node outages, source stalls, and mid-run session release and
+// re-SETUP through the signaling exchange — and switches the battery
+// to the graceful-degradation invariants (survivor bounds, fault-aware
+// conservation and telemetry, pool drain, exact capacity return).
+// Chaos repros are written unshrunk: the fault plan is part of the
+// scenario, so the repro replays the identical chaos.
+//
+// Every churn run is bounded by a watchdog; -max-events and -max-wall
+// tune (or, for the clean battery, enable) the budgets. A tripped
+// budget or a panicking seed becomes a reported violation with a
+// replayable repro instead of a hung or crashed harness.
 //
 // -bound-scale tightens the checked analytic bounds by a factor; values
 // below 1 demand more than the theorems promise and exist to prove the
@@ -42,10 +56,18 @@ func main() {
 		reproDir   = flag.String("repro-dir", ".", "directory for shrunken repro JSON files (\"\" disables)")
 		replay     = flag.String("replay", "", "replay a repro JSON file instead of generating seeds")
 		boundScale = flag.Float64("bound-scale", 0, "tighten checked bounds by this factor (test hook; 0 = off)")
+		churn      = flag.Bool("churn", false, "attach a deterministic fault/churn plan to every seed")
+		maxEvents  = flag.Int64("max-events", 0, "watchdog: fired-event budget per run (0 = default in churn mode, unlimited otherwise)")
+		maxWall    = flag.Duration("max-wall", 0, "watchdog: wall-clock budget per run (0 = unlimited)")
 		verbose    = flag.Bool("v", false, "print every seed's report line, not only failures")
 	)
 	flag.Parse()
-	opt := simcheck.Options{BoundScale: *boundScale}
+	opt := simcheck.Options{
+		BoundScale: *boundScale,
+		Churn:      *churn,
+		MaxEvents:  *maxEvents,
+		MaxWall:    *maxWall,
+	}
 
 	if *replay != "" {
 		rep, err := simcheck.Replay(*replay, opt)
@@ -92,10 +114,26 @@ func main() {
 				seed := *seed0 + uint64(i)
 				rep := simcheck.CheckSeed(seed, opt)
 				if !rep.OK() && *reproDir != "" {
-					shrunk, srep := simcheck.Shrink(simcheck.Generate(seed), opt)
-					rep = srep
+					// Chaos scenarios are written as-is: shrink
+					// transformations (dropping sessions, trimming
+					// routes) would orphan the fault plan's references
+					// to the entities they remove, and the plan itself
+					// is the thing a repro must preserve.
+					sc := simcheck.Generate(seed)
+					if *churn {
+						sc = simcheck.GenerateChurn(seed)
+						// An injected tightening is part of what must
+						// replay; the shrink path embeds it the same way.
+						if opt.BoundScale > 0 {
+							sc.BoundScale = opt.BoundScale
+						}
+					} else {
+						var srep *simcheck.SeedReport
+						sc, srep = simcheck.Shrink(sc, opt)
+						rep = srep
+					}
 					path := filepath.Join(*reproDir, fmt.Sprintf("litcheck_repro_%d.json", seed))
-					if err := simcheck.WriteRepro(path, shrunk); err != nil {
+					if err := simcheck.WriteRepro(path, sc); err != nil {
 						fmt.Fprintf(os.Stderr, "litcheck: %v\n", err)
 					} else {
 						repros[i] = path

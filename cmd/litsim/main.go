@@ -16,11 +16,17 @@
 //
 // -telemetry out.json additionally dumps the run's internal counters
 // (event engine, packet pool, per-port arrivals/transmissions/drops/
-// utilization, scheduler regulation and deadline misses, admission
-// outcomes) as JSON; "-" writes them to stdout. It is supported for
-// fig7 (a JSON array, one snapshot per sweep point) and for
+// utilization, scheduler regulation and deadline misses, admission and
+// fault outcomes) as JSON; "-" writes them to stdout. It is supported
+// for fig7 (a JSON array, one snapshot per sweep point) and for
 // fig8/fig12/fig13 (a single snapshot). Telemetry never changes the
 // simulated results.
+//
+// -max-wall bounds the process with a wall-clock watchdog. Every run
+// is deterministic in (-experiment, -duration, -seed), so a hang or a
+// panic is converted into the exact command that reproduces it (plus
+// the stack, for panics) on stderr with exit status 3, instead of a
+// lost process.
 package main
 
 import (
@@ -29,10 +35,22 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
+	"strings"
+	"time"
 
 	lit "leaveintime"
 )
+
+// exit status 3 marks a watchdog abort or recovered panic, distinct
+// from usage errors (2) and I/O failures (1).
+const exitCrash = 3
+
+// reproCommand renders the exact invocation that replays this run.
+func reproCommand() string {
+	return strings.Join(os.Args, " ")
+}
 
 func main() {
 	var (
@@ -42,10 +60,26 @@ func main() {
 		asPlot    = flag.Bool("plot", false, "render distribution figures as terminal charts")
 		asJSON    = flag.Bool("json", false, "emit machine-readable JSON instead of text (fig8-fig13)")
 		telemetry = flag.String("telemetry", "", "write a JSON telemetry snapshot to this file (\"-\" for stdout); fig7/fig8/fig12/fig13 only")
+		maxWall   = flag.Duration("max-wall", 0, "watchdog: abort with a reproduction command after this much wall-clock time (0 = unlimited)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *maxWall > 0 {
+		time.AfterFunc(*maxWall, func() {
+			fmt.Fprintf(os.Stderr, "litsim: wall-clock budget %v exceeded (hung run)\nreproduce with: %s\n",
+				*maxWall, reproCommand())
+			os.Exit(exitCrash)
+		})
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			fmt.Fprintf(os.Stderr, "litsim: panic: %v\n%s\nreproduce with: %s\n",
+				r, debug.Stack(), reproCommand())
+			os.Exit(exitCrash)
+		}
+	}()
 
 	if *telemetry != "" {
 		switch *exp {

@@ -65,18 +65,34 @@ type telemetrySnapshot struct {
 		AC2 telemetryProc `json:"ac2"`
 		AC3 telemetryProc `json:"ac3"`
 	} `json:"admission"`
+	Faults struct {
+		LinkDowns      int64 `json:"link_downs"`
+		LinkUps        int64 `json:"link_ups"`
+		InFlightDrops  int64 `json:"in_flight_drops"`
+		PurgeDrops     int64 `json:"purge_drops"`
+		SignalingDrops int64 `json:"signaling_drops"`
+		SessionsPurged int64 `json:"sessions_purged"`
+		Releases       int64 `json:"releases"`
+		Resetups       int64 `json:"resetups"`
+		ResetupRejects int64 `json:"resetup_rejects"`
+		Stalls         int64 `json:"stalls"`
+		WatchdogTrips  int64 `json:"watchdog_trips"`
+	} `json:"faults"`
 	Ports []struct {
-		Name            string  `json:"name"`
-		Capacity        float64 `json:"capacity_bps"`
-		Arrivals        int64   `json:"arrivals"`
-		ArrivedBits     float64 `json:"arrived_bits"`
-		Transmissions   int64   `json:"transmissions"`
-		TransmittedBits float64 `json:"transmitted_bits"`
-		Utilization     float64 `json:"utilization"`
-		DroppedPackets  int64   `json:"dropped_packets"`
-		DroppedBits     float64 `json:"dropped_bits"`
-		QueueHighWater  int64   `json:"queue_high_water_pkts"`
-		Sched           struct {
+		Name             string  `json:"name"`
+		Capacity         float64 `json:"capacity_bps"`
+		Arrivals         int64   `json:"arrivals"`
+		ArrivedBits      float64 `json:"arrived_bits"`
+		Transmissions    int64   `json:"transmissions"`
+		TransmittedBits  float64 `json:"transmitted_bits"`
+		Utilization      float64 `json:"utilization"`
+		DroppedPackets   int64   `json:"dropped_packets"`
+		DroppedBits      float64 `json:"dropped_bits"`
+		FaultDrops       int64   `json:"fault_drops"`
+		FaultDroppedBits float64 `json:"fault_dropped_bits"`
+		SignalingDrops   int64   `json:"signaling_drops"`
+		QueueHighWater   int64   `json:"queue_high_water_pkts"`
+		Sched            struct {
 			Regulated       int64   `json:"regulated"`
 			EligibilityWait float64 `json:"eligibility_wait_s"`
 			DeadlineMisses  int64   `json:"deadline_misses"`
@@ -134,6 +150,11 @@ func TestTelemetrySchema(t *testing.T) {
 		if s.Admission.AC1.Accepted+s.Admission.AC2.Accepted+s.Admission.AC3.Accepted <= 0 {
 			t.Errorf("point %d: no admissions recorded: %+v", i, s.Admission)
 		}
+		// The figure runs inject no faults: every chaos counter must be
+		// exactly zero (the fault layer is pay-for-what-you-use).
+		if s.Faults != (telemetrySnapshot{}.Faults) {
+			t.Errorf("point %d: fault counters nonzero on a fault-free run: %+v", i, s.Faults)
+		}
 		if len(s.Ports) == 0 {
 			t.Errorf("point %d: no port snapshots", i)
 		}
@@ -144,7 +165,40 @@ func TestTelemetrySchema(t *testing.T) {
 			if port.Transmissions <= 0 || port.TransmittedBits <= 0 || port.Utilization <= 0 {
 				t.Errorf("point %d port %s: no traffic recorded: %+v", i, port.Name, port)
 			}
+			if port.FaultDrops != 0 || port.FaultDroppedBits != 0 || port.SignalingDrops != 0 {
+				t.Errorf("point %d port %s: fault drops nonzero on a fault-free run: %+v", i, port.Name, port)
+			}
 		}
+	}
+}
+
+// TestWallClockWatchdog: a run that outlives -max-wall is aborted with
+// exit status 3 and the exact command line that reproduces it, instead
+// of hanging forever.
+func TestWallClockWatchdog(t *testing.T) {
+	bin, err := buildLitsim()
+	if err != nil {
+		t.Fatalf("building litsim: %v", err)
+	}
+	// The full paper sweep takes far longer than a millisecond of wall
+	// clock, so this budget always trips.
+	cmd := exec.Command(bin, "-experiment", "all", "-max-wall", "1ms")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("litsim -max-wall 1ms exited 0:\n%s", out)
+	}
+	exit, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("litsim did not run: %v", err)
+	}
+	if code := exit.ExitCode(); code != 3 {
+		t.Errorf("exit code %d, want 3", code)
+	}
+	if !strings.Contains(string(out), "wall-clock budget") {
+		t.Errorf("missing watchdog message:\n%s", out)
+	}
+	if !strings.Contains(string(out), "reproduce with:") || !strings.Contains(string(out), "-max-wall") {
+		t.Errorf("missing reproduction command:\n%s", out)
 	}
 }
 

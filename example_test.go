@@ -9,9 +9,18 @@ import (
 // Build a two-hop network, reserve a token-bucket session, and read the
 // service commitments the network grants at establishment time.
 func ExampleSystem_Connect() {
-	sys := lit.NewSystem(lit.SystemConfig{LMax: 8000})
-	a := sys.AddServer("A", 10e6, 0.5e-3)
-	b := sys.AddServer("B", 10e6, 0.5e-3)
+	sys, err := lit.NewSystem(lit.SystemConfig{LMax: 8000})
+	if err != nil {
+		panic(err)
+	}
+	a, err := sys.AddServer("A", 10e6, 0.5e-3)
+	if err != nil {
+		panic(err)
+	}
+	b, err := sys.AddServer("B", 10e6, 0.5e-3)
+	if err != nil {
+		panic(err)
+	}
 
 	_, bounds, err := sys.Connect(lit.ConnectRequest{
 		Rate:  1e6,

@@ -85,16 +85,22 @@ func twoClassNetwork() {
 		pkt  = 1000 * 8
 		hops = 3
 	)
-	sys := lit.NewSystem(lit.SystemConfig{
+	sys, err := lit.NewSystem(lit.SystemConfig{
 		LMax: pkt,
 		// Class 1: up to 2 Mbit/s of latency-critical traffic with a
 		// 1 ms base delay. Class 2: everything, 10 ms base delay.
 		Classes: []lit.Class{{R: 2e6, Sigma: 1e-3}, {R: c, Sigma: 10e-3}},
 		Proc:    2,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	route := make([]*lit.Server, hops)
 	for i := range route {
-		route[i] = sys.AddServer(fmt.Sprintf("r%d", i+1), c, 0.2e-3)
+		route[i], err = sys.AddServer(fmt.Sprintf("r%d", i+1), c, 0.2e-3)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	r := lit.NewRand(11)

@@ -14,11 +14,20 @@ import (
 func main() {
 	// A network whose largest packet is 1500 bytes.
 	const lMax = 1500 * 8
-	sys := lit.NewSystem(lit.SystemConfig{LMax: lMax})
+	sys, err := lit.NewSystem(lit.SystemConfig{LMax: lMax})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Two 10 Mbit/s links with 0.5 ms propagation each.
-	a := sys.AddServer("A", 10e6, 0.5e-3)
-	b := sys.AddServer("B", 10e6, 0.5e-3)
+	a, err := sys.AddServer("A", 10e6, 0.5e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := sys.AddServer("B", 10e6, 0.5e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// A 1 Mbit/s session sending 1000-byte packets, shaped to a token
 	// bucket of rate 1 Mbit/s and depth 3 packets, with jitter control.

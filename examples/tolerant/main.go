@@ -30,10 +30,16 @@ func main() {
 		gamma = 1e-3
 	)
 
-	sys := lit.NewSystem(lit.SystemConfig{LMax: cell})
+	sys, err := lit.NewSystem(lit.SystemConfig{LMax: cell})
+	if err != nil {
+		log.Fatal(err)
+	}
 	route := make([]*lit.Server, hops)
 	for i := range route {
-		route[i] = sys.AddServer(fmt.Sprintf("n%d", i+1), c, gamma)
+		route[i], err = sys.AddServer(fmt.Sprintf("n%d", i+1), c, gamma)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 	r := lit.NewRand(3)
 	sess, bounds, err := sys.Connect(lit.ConnectRequest{

@@ -25,10 +25,16 @@ const (
 )
 
 func main() {
-	sys := lit.NewSystem(lit.SystemConfig{LMax: cell})
+	sys, err := lit.NewSystem(lit.SystemConfig{LMax: cell})
+	if err != nil {
+		log.Fatal(err)
+	}
 	route := make([]*lit.Server, hops)
 	for i := range route {
-		route[i] = sys.AddServer(fmt.Sprintf("sw%d", i+1), t1, gamma)
+		route[i], err = sys.AddServer(fmt.Sprintf("sw%d", i+1), t1, gamma)
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	r := lit.NewRand(42)

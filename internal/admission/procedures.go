@@ -431,6 +431,18 @@ func (p *Procedure3) admit(spec SessionSpec, d float64) (Assignment, error) {
 	}, nil
 }
 
+// TotalRate returns the sum of the reserved rates of the currently
+// admitted sessions. It is recomputed over the live set, so after every
+// session is removed it is exactly zero — the no-reservation-leak
+// check of the churn harness.
+func (p *Procedure3) TotalRate() float64 {
+	var sum float64
+	for _, s := range p.specs {
+		sum += s.Rate
+	}
+	return sum
+}
+
 // Remove tears down a previously admitted session.
 func (p *Procedure3) Remove(id int) bool {
 	for i, s := range p.specs {

@@ -1,0 +1,140 @@
+package admission
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"leaveintime/internal/rng"
+)
+
+// admitRemover is the slice of the three procedures' APIs the
+// interleaving property needs: admit a session, remove one, and report
+// the committed rate.
+type admitRemover interface {
+	admit(id int, rate float64) error
+	remove(id int) bool
+	total() float64
+}
+
+type ar1 struct{ p *Procedure1 }
+
+func (a ar1) admit(id int, rate float64) error {
+	_, err := a.p.Admit(SessionSpec{ID: id, Rate: rate, LMax: 400, LMin: 400}, 1, Options{})
+	return err
+}
+func (a ar1) remove(id int) bool { return a.p.Remove(id) }
+func (a ar1) total() float64     { return a.p.TotalRate() }
+
+type ar2 struct{ p *Procedure2 }
+
+func (a ar2) admit(id int, rate float64) error {
+	_, err := a.p.Admit(SessionSpec{ID: id, Rate: rate, LMax: 400, LMin: 400}, 1, Options{})
+	return err
+}
+func (a ar2) remove(id int) bool { return a.p.Remove(id) }
+func (a ar2) total() float64     { return a.p.TotalRate() }
+
+type ar3 struct{ p *Procedure3 }
+
+func (a ar3) admit(id int, rate float64) error {
+	spec := SessionSpec{ID: id, Rate: rate, LMax: 400, LMin: 400}
+	_, err := a.p.Admit(spec, 10*spec.LMax/rate)
+	return err
+}
+func (a ar3) remove(id int) bool { return a.p.Remove(id) }
+func (a ar3) total() float64     { return a.p.TotalRate() }
+
+// TestInterleavedAdmitReleaseNeverLeaks is the churn harness's
+// no-reservation-leak property at the unit level: under randomized
+// interleavings of Admit and Remove, each procedure's committed rate
+// always equals the live set's (rejections leave state untouched),
+// removing an unknown or already-removed session reports false without
+// over-freeing, and once every session is removed the committed rate is
+// exactly zero — not merely close to it.
+func TestInterleavedAdmitReleaseNeverLeaks(t *testing.T) {
+	const c = 1e6
+	classes := []Class{{R: 0.4 * c, Sigma: 20 * 400 / c}, {R: c, Sigma: 60 * 400 / c}}
+	controllers := map[string]func(t *testing.T) admitRemover{
+		"procedure1": func(t *testing.T) admitRemover {
+			p, err := NewProcedure1(c, classes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ar1{p}
+		},
+		"procedure2": func(t *testing.T) admitRemover {
+			p, err := NewProcedure2(c, classes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ar2{p}
+		},
+		"procedure3": func(t *testing.T) admitRemover {
+			p, err := NewProcedure3(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return ar3{p}
+		},
+	}
+	for name, mk := range controllers {
+		t.Run(name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 15; seed++ {
+				ctl := mk(t)
+				r := rng.New(seed)
+				live := map[int]float64{}
+				id := 0
+				pickLive := func() int {
+					ids := make([]int, 0, len(live))
+					for k := range live {
+						ids = append(ids, k)
+					}
+					sort.Ints(ids)
+					return ids[r.Intn(len(ids))]
+				}
+				for op := 0; op < 300; op++ {
+					// Procedure 3's subset test is exponential in the live
+					// set; keep it small enough to stay under its cap.
+					admitting := r.Intn(2) == 0 && len(live) < 10
+					switch {
+					case admitting || len(live) == 0:
+						id++
+						rate := (0.01 + 0.08*r.Float64()) * c
+						if err := ctl.admit(id, rate); err == nil {
+							live[id] = rate
+						}
+					case r.Intn(8) == 0:
+						if ctl.remove(id + 1000) {
+							t.Fatalf("seed %d op %d: removed a session that was never admitted", seed, op)
+						}
+					default:
+						victim := pickLive()
+						if !ctl.remove(victim) {
+							t.Fatalf("seed %d op %d: live session %d not found", seed, op, victim)
+						}
+						delete(live, victim)
+						if ctl.remove(victim) {
+							t.Fatalf("seed %d op %d: double remove of %d over-freed", seed, op, victim)
+						}
+					}
+					var want float64
+					for _, rate := range live {
+						want += rate
+					}
+					if got := ctl.total(); math.Abs(got-want) > 1e-6 {
+						t.Fatalf("seed %d op %d: committed rate %g, live set %g", seed, op, got, want)
+					}
+				}
+				for len(live) > 0 {
+					victim := pickLive()
+					ctl.remove(victim)
+					delete(live, victim)
+				}
+				if got := ctl.total(); got != 0 {
+					t.Fatalf("seed %d: %g b/s leaked after removing every session", seed, got)
+				}
+			}
+		})
+	}
+}

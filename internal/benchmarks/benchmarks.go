@@ -146,8 +146,14 @@ func Fig14to17(b *testing.B) {
 // the exact heap (approx=false) or the O(1) calendar queue.
 func QueueAblation(b *testing.B, approx bool) {
 	for i := 0; i < b.N; i++ {
-		sys := lit.NewSystem(lit.SystemConfig{LMax: 424, Approximate: approx})
-		srv := sys.AddServer("X", 1536e3, 1e-3)
+		sys, err := lit.NewSystem(lit.SystemConfig{LMax: 424, Approximate: approx})
+		if err != nil {
+			b.Fatal(err)
+		}
+		srv, err := sys.AddServer("X", 1536e3, 1e-3)
+		if err != nil {
+			b.Fatal(err)
+		}
 		r := lit.NewRand(1)
 		// 48 voice sessions through one port.
 		for j := 0; j < 48; j++ {
@@ -169,10 +175,17 @@ func QueueAblation(b *testing.B, approx bool) {
 // voice sessions per iteration.
 func Scale(b *testing.B, sessions int) {
 	for i := 0; i < b.N; i++ {
-		sys := lit.NewSystem(lit.SystemConfig{LMax: 424})
+		sys, err := lit.NewSystem(lit.SystemConfig{LMax: 424})
+		if err != nil {
+			b.Fatal(err)
+		}
 		var route []*lit.Server
 		for h := 0; h < 5; h++ {
-			route = append(route, sys.AddServer(fmt.Sprintf("n%d", h), 1536e3, 1e-3))
+			srv, err := sys.AddServer(fmt.Sprintf("n%d", h), 1536e3, 1e-3)
+			if err != nil {
+				b.Fatal(err)
+			}
+			route = append(route, srv)
 		}
 		r := lit.NewRand(uint64(i + 1))
 		for s := 0; s < sessions; s++ {

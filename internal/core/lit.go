@@ -223,6 +223,40 @@ func (l *LiT) Len() int { return l.ready.len() + l.regulator.len() }
 // before drain.
 func (l *LiT) RemoveSession(id int) { delete(l.sessions, id) }
 
+// PurgeSession implements network.SessionPurger: a mid-run teardown
+// that evicts the session's queued packets — regulated and eligible —
+// handing each to drop, then frees the session state. Both queues are
+// drained in priority order and surviving entries re-pushed with their
+// original stamps, so the service order of every other session is
+// untouched (pop order is a pure function of (key, stamp)).
+func (l *LiT) PurgeSession(id int, drop func(*packet.Packet)) {
+	purgePQ(l.regulator, id, drop)
+	purgePQ(l.ready, id, drop)
+	delete(l.sessions, id)
+}
+
+// purgePQ drains q, dropping the purged session's packets (in priority
+// order) and re-pushing the rest. Entries keep their keys and stamps;
+// for the calendar queue the drain/re-push round trip also preserves
+// FIFO order within a day.
+func purgePQ(q pqueue, id int, drop func(*packet.Packet)) {
+	var keep []entry
+	for {
+		e, ok := q.popMin()
+		if !ok {
+			break
+		}
+		if e.p.Session == id {
+			drop(e.p)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	for _, e := range keep {
+		q.push(e)
+	}
+}
+
 // release migrates regulated packets whose eligibility time has been
 // reached into the transmission queue.
 func (l *LiT) release(now float64) {

@@ -22,7 +22,11 @@
 // sift-down-heavy pop path.
 package event
 
-import "leaveintime/internal/metrics"
+import (
+	"time"
+
+	"leaveintime/internal/metrics"
+)
 
 // Handler is the action executed when an event fires.
 type Handler func()
@@ -70,6 +74,14 @@ type Simulator struct {
 	// m, when non-nil, receives engine counters (one branch per
 	// schedule/cancel/fire; see internal/metrics).
 	m *metrics.Engine
+
+	// Watchdog state (see watchdog.go): run budgets checked before each
+	// fire, one branch per event when disarmed.
+	wd        Watchdog
+	wdArmed   bool
+	wdFired   int64
+	wdTripped string
+	wdStart   time.Time
 }
 
 // SetMetrics attaches (or, with nil, detaches) the engine's telemetry
@@ -135,11 +147,21 @@ func (s *Simulator) Cancel(e *Event) {
 // Step fires the earliest pending event. It reports false when no
 // events remain.
 func (s *Simulator) Step() bool {
+	if s.wdTripped != "" {
+		return false
+	}
 	for len(s.heap) > 0 {
 		e := s.heapPop()
 		if e.state == stateCanceled {
 			s.recycle(e)
 			continue
+		}
+		if s.wdArmed {
+			if reason := s.checkWatchdog(e); reason != "" {
+				s.trip(reason, e)
+				return false
+			}
+			s.wdFired++
 		}
 		s.now = e.time
 		s.pending--

@@ -1,0 +1,272 @@
+// Package faults is the simulator's deterministic chaos layer: a
+// seed-driven plan of link outages, node outages, source stalls and
+// session churn (mid-run release and re-establishment), injected into
+// a running network as ordinary simulation events.
+//
+// The package deliberately knows nothing about networks, admission
+// control or signaling: a Plan is pure data, Generate is a pure
+// function of its seed and inputs, and Inject only schedules calls on
+// an Actions interface the harness provides. Replays are therefore
+// byte-identical — the same seed produces the same plan, the same
+// injection schedule, and (through the deterministic event engine) the
+// same simulation, which is what makes a chaotic run a debuggable one.
+package faults
+
+import (
+	"fmt"
+	"sort"
+
+	"leaveintime/internal/event"
+	"leaveintime/internal/rng"
+)
+
+// LinkFault is one outage window of a port's outgoing link: the link
+// goes down at Down (packets in flight are lost) and comes back at Up
+// (queued packets resume service).
+type LinkFault struct {
+	Port string  `json:"port"`
+	Down float64 `json:"down"`
+	Up   float64 `json:"up"`
+}
+
+// NodeFault is one outage window of a whole node: every outgoing link
+// of the node fails at Down and recovers at Up.
+type NodeFault struct {
+	Node string  `json:"node"`
+	Down float64 `json:"down"`
+	Up   float64 `json:"up"`
+}
+
+// Stall is one silence window of a session's source: the source stops
+// injecting packets at From and resumes its usual pattern at To. The
+// session stays admitted throughout — its reservation is unchanged.
+type Stall struct {
+	Session int     `json:"session"`
+	From    float64 `json:"from"`
+	To      float64 `json:"to"`
+}
+
+// ChurnCycle is one release/re-establishment cycle of a session: at
+// Release the session is torn down through the signaling exchange
+// (reservations freed at every node, queued packets purged); at
+// Resetup a new SETUP for the same session is played through admission
+// control again. Resetup 0 means the session leaves for good.
+type ChurnCycle struct {
+	Session int     `json:"session"`
+	Release float64 `json:"release"`
+	Resetup float64 `json:"resetup,omitempty"`
+}
+
+// Plan is a complete fault/churn schedule for one run.
+type Plan struct {
+	Links  []LinkFault  `json:"links,omitempty"`
+	Nodes  []NodeFault  `json:"nodes,omitempty"`
+	Stalls []Stall      `json:"stalls,omitempty"`
+	Churn  []ChurnCycle `json:"churn,omitempty"`
+}
+
+// Empty reports whether the plan schedules nothing.
+func (p *Plan) Empty() bool {
+	return p == nil || len(p.Links)+len(p.Nodes)+len(p.Stalls)+len(p.Churn) == 0
+}
+
+// Churned reports whether the plan releases the session at some point.
+func (p *Plan) Churned(id int) bool {
+	if p == nil {
+		return false
+	}
+	for _, c := range p.Churn {
+		if c.Session == id {
+			return true
+		}
+	}
+	return false
+}
+
+// Validate checks the plan's internal consistency: windows must be
+// ordered (Down < Up, From < To, Release < Resetup when a Resetup is
+// scheduled) with nonnegative start times.
+func (p *Plan) Validate() error {
+	for i, l := range p.Links {
+		if l.Port == "" || l.Down < 0 || l.Up <= l.Down {
+			return fmt.Errorf("faults: link fault %d invalid (port %q, window [%g, %g])", i, l.Port, l.Down, l.Up)
+		}
+	}
+	for i, n := range p.Nodes {
+		if n.Node == "" || n.Down < 0 || n.Up <= n.Down {
+			return fmt.Errorf("faults: node fault %d invalid (node %q, window [%g, %g])", i, n.Node, n.Down, n.Up)
+		}
+	}
+	for i, s := range p.Stalls {
+		if s.From < 0 || s.To <= s.From {
+			return fmt.Errorf("faults: stall %d invalid (session %d, window [%g, %g])", i, s.Session, s.From, s.To)
+		}
+	}
+	for i, c := range p.Churn {
+		if c.Release <= 0 || (c.Resetup != 0 && c.Resetup <= c.Release) {
+			return fmt.Errorf("faults: churn cycle %d invalid (session %d, release %g, resetup %g)", i, c.Session, c.Release, c.Resetup)
+		}
+	}
+	return nil
+}
+
+// Actions is what the harness exposes for the injector to call. Every
+// method runs at the scheduled simulation instant. Implementations
+// must treat an unknown port, node or session as a programming error
+// (panic): a plan referring to entities that do not exist is a bug in
+// the plan, not a fault to tolerate.
+type Actions interface {
+	LinkDown(port string)
+	LinkUp(port string)
+	NodeDown(node string)
+	NodeUp(node string)
+	StallSession(id int, on bool)
+	ReleaseSession(id int)
+	ResetupSession(id int)
+}
+
+// action is one scheduled call, ordered by (time, ordinal): the
+// ordinal is the action's position in the plan's flattened order, so
+// simultaneous actions fire in a well-defined sequence.
+type action struct {
+	t       float64
+	ordinal int
+	fn      event.Handler
+}
+
+// Inject schedules every action of the plan on the simulator. Current
+// simulation time must not exceed any action instant (inject before
+// running). Actions at equal instants fire in plan order: links,
+// nodes, stalls, churn.
+func Inject(sim *event.Simulator, a Actions, p *Plan) {
+	if p.Empty() {
+		return
+	}
+	var acts []action
+	ord := 0
+	add := func(t float64, fn event.Handler) {
+		acts = append(acts, action{t: t, ordinal: ord, fn: fn})
+		ord++
+	}
+	for _, l := range p.Links {
+		port := l.Port
+		add(l.Down, func() { a.LinkDown(port) })
+		add(l.Up, func() { a.LinkUp(port) })
+	}
+	for _, n := range p.Nodes {
+		node := n.Node
+		add(n.Down, func() { a.NodeDown(node) })
+		add(n.Up, func() { a.NodeUp(node) })
+	}
+	for _, s := range p.Stalls {
+		id := s.Session
+		add(s.From, func() { a.StallSession(id, true) })
+		add(s.To, func() { a.StallSession(id, false) })
+	}
+	for _, c := range p.Churn {
+		id := c.Session
+		add(c.Release, func() { a.ReleaseSession(id) })
+		if c.Resetup > 0 {
+			add(c.Resetup, func() { a.ResetupSession(id) })
+		}
+	}
+	sort.SliceStable(acts, func(i, j int) bool {
+		if acts[i].t != acts[j].t {
+			return acts[i].t < acts[j].t
+		}
+		return acts[i].ordinal < acts[j].ordinal
+	})
+	for _, x := range acts {
+		sim.Schedule(x.t, x.fn)
+	}
+}
+
+// Input scopes plan generation: what exists in the scenario and how
+// long the run is. Slices must be in a deterministic order (the
+// generator draws from them by index).
+type Input struct {
+	// Ports are the port names eligible for link faults.
+	Ports []string
+	// Nodes are the node names eligible for node outages.
+	Nodes []string
+	// Sessions are the session IDs eligible for churn and stalls.
+	Sessions []int
+	// Duration is the run length in seconds; every window closes
+	// strictly before it so the post-fault tail is observable.
+	Duration float64
+}
+
+// Generate draws a random plan from the seed: a pure function — equal
+// (seed, input) always produce the identical plan. The shape is
+// bounded: at most two link faults, one node outage, one stall, and
+// churn on at most half of the sessions, with every window closed by
+// 80% of the run so survivors are observable on a healed network.
+func Generate(seed uint64, in Input) *Plan {
+	r := rng.New(seed)
+	p := &Plan{}
+	horizon := 0.8 * in.Duration
+	window := func(lo, hi float64) (float64, float64) {
+		a := lo + r.Float64()*(hi-lo)
+		b := lo + r.Float64()*(hi-lo)
+		if a > b {
+			a, b = b, a
+		}
+		if b <= a {
+			b = a + 0.01*(hi-lo)
+		}
+		return a, b
+	}
+
+	if len(in.Ports) > 0 {
+		for i, n := 0, 1+r.Intn(2); i < n; i++ {
+			down, up := window(0.1*in.Duration, horizon)
+			p.Links = append(p.Links, LinkFault{
+				Port: in.Ports[r.Intn(len(in.Ports))], Down: down, Up: up,
+			})
+		}
+	}
+	if len(in.Nodes) > 0 && r.Intn(3) == 0 {
+		down, up := window(0.1*in.Duration, horizon)
+		p.Nodes = append(p.Nodes, NodeFault{
+			Node: in.Nodes[r.Intn(len(in.Nodes))], Down: down, Up: up,
+		})
+	}
+
+	// Churn: each session independently churns with probability 1/3,
+	// capped at half the session set so some always survive end to end.
+	maxChurn := len(in.Sessions) / 2
+	churned := make(map[int]bool)
+	for _, id := range in.Sessions {
+		if len(p.Churn) >= maxChurn {
+			break
+		}
+		if r.Intn(3) != 0 {
+			continue
+		}
+		release := (0.2 + 0.3*r.Float64()) * in.Duration
+		cycle := ChurnCycle{Session: id, Release: release}
+		if r.Intn(4) != 0 { // usually come back
+			cycle.Resetup = release + r.Float64()*(horizon-release)
+			if cycle.Resetup <= release {
+				cycle.Resetup = release + 0.01*in.Duration
+			}
+		}
+		p.Churn = append(p.Churn, cycle)
+		churned[id] = true
+	}
+
+	// One stall on a non-churned session (a stalled session keeps its
+	// reservation, so its bounds must keep holding — the isolation
+	// property under silence).
+	if r.Intn(2) == 0 {
+		for _, id := range in.Sessions {
+			if churned[id] {
+				continue
+			}
+			from, to := window(0.1*in.Duration, horizon)
+			p.Stalls = append(p.Stalls, Stall{Session: id, From: from, To: to})
+			break
+		}
+	}
+	return p
+}

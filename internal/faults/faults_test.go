@@ -1,0 +1,228 @@
+package faults
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"leaveintime/internal/event"
+)
+
+func testInput() Input {
+	return Input{
+		Ports:    []string{"a->b", "b->c", "c->d"},
+		Nodes:    []string{"a", "b", "c"},
+		Sessions: []int{1, 2, 3, 4, 5, 6},
+		Duration: 2,
+	}
+}
+
+// TestGenerateDeterministic: a plan is a pure function of (seed, input).
+func TestGenerateDeterministic(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		a := Generate(seed, testInput())
+		b := Generate(seed, testInput())
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d generated two different plans", seed)
+		}
+		if err := a.Validate(); err != nil {
+			t.Fatalf("seed %d generated an invalid plan: %v", seed, err)
+		}
+	}
+}
+
+// TestGenerateHorizon: every window closes by 80% of the run, so the
+// healed-network tail is always observable, and every reference stays
+// within the input's entity sets.
+func TestGenerateHorizon(t *testing.T) {
+	in := testInput()
+	horizon := 0.8 * in.Duration
+	ports := map[string]bool{}
+	for _, p := range in.Ports {
+		ports[p] = true
+	}
+	nodes := map[string]bool{}
+	for _, n := range in.Nodes {
+		nodes[n] = true
+	}
+	sessions := map[int]bool{}
+	for _, s := range in.Sessions {
+		sessions[s] = true
+	}
+	for seed := uint64(1); seed <= 200; seed++ {
+		p := Generate(seed, in)
+		for _, l := range p.Links {
+			if !ports[l.Port] {
+				t.Fatalf("seed %d: link fault on unknown port %q", seed, l.Port)
+			}
+			if l.Up > horizon {
+				t.Fatalf("seed %d: link window closes at %g, past the %g horizon", seed, l.Up, horizon)
+			}
+		}
+		for _, n := range p.Nodes {
+			if !nodes[n.Node] {
+				t.Fatalf("seed %d: node fault on unknown node %q", seed, n.Node)
+			}
+			if n.Up > horizon {
+				t.Fatalf("seed %d: node window closes at %g, past the %g horizon", seed, n.Up, horizon)
+			}
+		}
+		for _, s := range p.Stalls {
+			if !sessions[s.Session] {
+				t.Fatalf("seed %d: stall on unknown session %d", seed, s.Session)
+			}
+			if s.To > horizon {
+				t.Fatalf("seed %d: stall closes at %g, past the %g horizon", seed, s.To, horizon)
+			}
+		}
+		if len(p.Churn) > len(in.Sessions)/2 {
+			t.Fatalf("seed %d: %d churned sessions, more than half the set", seed, len(p.Churn))
+		}
+		for _, c := range p.Churn {
+			if !sessions[c.Session] {
+				t.Fatalf("seed %d: churn on unknown session %d", seed, c.Session)
+			}
+			if c.Resetup > horizon {
+				t.Fatalf("seed %d: resetup at %g, past the %g horizon", seed, c.Resetup, horizon)
+			}
+			if p.Stalled(c.Session) {
+				t.Fatalf("seed %d: session %d both churned and stalled", seed, c.Session)
+			}
+		}
+	}
+}
+
+// Stalled reports whether the plan stalls the session (test helper;
+// the generator promises stalls only on non-churned sessions).
+func (p *Plan) Stalled(id int) bool {
+	for _, s := range p.Stalls {
+		if s.Session == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestGenerateCoverage: across a block of seeds the generator produces
+// every fault kind, including both churn shapes (with and without a
+// re-SETUP).
+func TestGenerateCoverage(t *testing.T) {
+	var links, nodes, stalls, rejoins, leaves int
+	for seed := uint64(1); seed <= 100; seed++ {
+		p := Generate(seed, testInput())
+		links += len(p.Links)
+		nodes += len(p.Nodes)
+		stalls += len(p.Stalls)
+		for _, c := range p.Churn {
+			if c.Resetup > 0 {
+				rejoins++
+			} else {
+				leaves++
+			}
+		}
+	}
+	for what, n := range map[string]int{
+		"link faults": links, "node faults": nodes, "stalls": stalls,
+		"churn with resetup": rejoins, "churn without resetup": leaves,
+	} {
+		if n == 0 {
+			t.Errorf("no %s in 100 seeds", what)
+		}
+	}
+}
+
+// TestValidateRejectsMalformed: inverted or negative windows and churn
+// cycles that re-establish before releasing are caught.
+func TestValidateRejectsMalformed(t *testing.T) {
+	bad := []Plan{
+		{Links: []LinkFault{{Port: "", Down: 0.1, Up: 0.2}}},
+		{Links: []LinkFault{{Port: "p", Down: -0.1, Up: 0.2}}},
+		{Links: []LinkFault{{Port: "p", Down: 0.2, Up: 0.2}}},
+		{Nodes: []NodeFault{{Node: "n", Down: 0.3, Up: 0.1}}},
+		{Stalls: []Stall{{Session: 1, From: 0.5, To: 0.5}}},
+		{Churn: []ChurnCycle{{Session: 1, Release: 0}}},
+		{Churn: []ChurnCycle{{Session: 1, Release: 0.5, Resetup: 0.4}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("malformed plan %d validated: %+v", i, p)
+		}
+	}
+	var nilPlan *Plan
+	if !nilPlan.Empty() {
+		t.Error("nil plan not empty")
+	}
+	if nilPlan.Churned(1) {
+		t.Error("nil plan churned a session")
+	}
+}
+
+// callRecorder records Actions invocations with their simulation time.
+type callRecorder struct {
+	sim   *event.Simulator
+	calls []string
+}
+
+func (c *callRecorder) note(format string, args ...any) {
+	c.calls = append(c.calls, fmt.Sprintf("%.6f ", c.sim.Now())+fmt.Sprintf(format, args...))
+}
+func (c *callRecorder) LinkDown(port string)         { c.note("link-down %s", port) }
+func (c *callRecorder) LinkUp(port string)           { c.note("link-up %s", port) }
+func (c *callRecorder) NodeDown(node string)         { c.note("node-down %s", node) }
+func (c *callRecorder) NodeUp(node string)           { c.note("node-up %s", node) }
+func (c *callRecorder) StallSession(id int, on bool) { c.note("stall %d %v", id, on) }
+func (c *callRecorder) ReleaseSession(id int)        { c.note("release %d", id) }
+func (c *callRecorder) ResetupSession(id int)        { c.note("resetup %d", id) }
+
+// TestInjectOrderAndTimes: every action fires at its planned instant,
+// simultaneous actions fire in plan order (links, nodes, stalls,
+// churn), and the recorded sequence is identical across replays.
+func TestInjectOrderAndTimes(t *testing.T) {
+	plan := &Plan{
+		Links:  []LinkFault{{Port: "p1", Down: 0.2, Up: 0.5}, {Port: "p2", Down: 0.2, Up: 0.6}},
+		Nodes:  []NodeFault{{Node: "n1", Down: 0.2, Up: 0.4}},
+		Stalls: []Stall{{Session: 1, From: 0.2, To: 0.3}},
+		Churn:  []ChurnCycle{{Session: 2, Release: 0.2, Resetup: 0.5}},
+	}
+	if err := plan.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	run := func() []string {
+		sim := event.New()
+		rec := &callRecorder{sim: sim}
+		Inject(sim, rec, plan)
+		sim.RunAll()
+		return rec.calls
+	}
+	got := run()
+	want := []string{
+		"0.200000 link-down p1",
+		"0.200000 link-down p2",
+		"0.200000 node-down n1",
+		"0.200000 stall 1 true",
+		"0.200000 release 2",
+		"0.300000 stall 1 false",
+		"0.400000 node-up n1",
+		"0.500000 link-up p1",
+		"0.500000 resetup 2",
+		"0.600000 link-up p2",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("injection sequence:\ngot  %v\nwant %v", got, want)
+	}
+	if again := run(); !reflect.DeepEqual(again, got) {
+		t.Fatalf("replay diverged:\nfirst  %v\nsecond %v", got, again)
+	}
+}
+
+// TestInjectEmpty: empty and nil plans schedule nothing.
+func TestInjectEmpty(t *testing.T) {
+	sim := event.New()
+	rec := &callRecorder{sim: sim}
+	Inject(sim, rec, nil)
+	Inject(sim, rec, &Plan{})
+	sim.RunAll()
+	if len(rec.calls) != 0 {
+		t.Fatalf("empty plan produced calls: %v", rec.calls)
+	}
+}

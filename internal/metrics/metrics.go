@@ -81,6 +81,15 @@ type Port struct {
 	// across all sessions — the sum of the per-probe counters.
 	DroppedPackets int64
 	DroppedBits    float64
+	// FaultDrops/FaultDroppedBits count packets this port lost to an
+	// injected link fault (in flight or under transmission) or to a
+	// mid-run session teardown purge. SignalingDrops counts signaling
+	// messages (SETUP/ACCEPT/REJECT/RELEASE) lost on this port's link.
+	// Trace/metrics agreement under faults is
+	// DroppedPackets + FaultDrops + SignalingDrops == traced Drops.
+	FaultDrops       int64
+	FaultDroppedBits float64
+	SignalingDrops   int64
 	// QueueHighWater is the maximum number of packets ever held by the
 	// port's discipline (regulated plus eligible), sampled at arrival.
 	QueueHighWater int64
@@ -105,6 +114,34 @@ type Admission struct {
 	AC3 ProcOutcome
 }
 
+// Faults aggregates the run's injected-fault and churn activity. All
+// counters stay zero on fault-free runs, so enabling them costs
+// nothing and changes nothing.
+type Faults struct {
+	// LinkDowns and LinkUps count fault transitions on ports.
+	LinkDowns int64
+	LinkUps   int64
+	// InFlightDrops counts packets lost because their link went down
+	// while they were traversing it (or under transmission on it).
+	InFlightDrops int64
+	// PurgeDrops counts packets discarded by mid-run session teardown.
+	PurgeDrops int64
+	// SignalingDrops counts signaling messages lost to link faults.
+	SignalingDrops int64
+	// SessionsPurged counts mid-run session removals (per node visit).
+	SessionsPurged int64
+	// Releases, Resetups and ResetupRejects count churn activity:
+	// signaled teardowns initiated, re-establishments accepted, and
+	// re-establishment attempts that were rejected or lost.
+	Releases       int64
+	Resetups       int64
+	ResetupRejects int64
+	// Stalls counts source stall windows that began.
+	Stalls int64
+	// WatchdogTrips counts runs aborted by the event-engine watchdog.
+	WatchdogTrips int64
+}
+
 // Registry is the root of a run's telemetry: one flat struct per layer,
 // allocated once at wiring time. Instrumented components write through
 // typed pointers into it.
@@ -112,6 +149,7 @@ type Registry struct {
 	Engine    Engine
 	Pool      Pool
 	Admission Admission
+	Faults    Faults
 	Ports     []*Port
 }
 
@@ -137,6 +175,7 @@ type Snapshot struct {
 	Pool   PoolSnapshot   `json:"pool"`
 
 	Admission AdmissionSnapshot `json:"admission"`
+	Faults    FaultsSnapshot    `json:"faults"`
 	Ports     []PortSnapshot    `json:"ports"`
 }
 
@@ -170,6 +209,22 @@ type AdmissionSnapshot struct {
 	AC3 ProcSnapshot `json:"ac3"`
 }
 
+// FaultsSnapshot is the injected-fault section of a Snapshot. All
+// fields are zero on fault-free runs.
+type FaultsSnapshot struct {
+	LinkDowns      int64 `json:"link_downs"`
+	LinkUps        int64 `json:"link_ups"`
+	InFlightDrops  int64 `json:"in_flight_drops"`
+	PurgeDrops     int64 `json:"purge_drops"`
+	SignalingDrops int64 `json:"signaling_drops"`
+	SessionsPurged int64 `json:"sessions_purged"`
+	Releases       int64 `json:"releases"`
+	Resetups       int64 `json:"resetups"`
+	ResetupRejects int64 `json:"resetup_rejects"`
+	Stalls         int64 `json:"stalls"`
+	WatchdogTrips  int64 `json:"watchdog_trips"`
+}
+
 // SchedSnapshot is one port discipline's scheduler counters.
 type SchedSnapshot struct {
 	Regulated       int64   `json:"regulated"`
@@ -189,11 +244,14 @@ type PortSnapshot struct {
 	// interval: TransmittedBits / (Capacity * Duration). A port
 	// transmits one packet at a time, so busy time is exactly the
 	// transmitted volume divided by the link rate.
-	Utilization    float64       `json:"utilization"`
-	DroppedPackets int64         `json:"dropped_packets"`
-	DroppedBits    float64       `json:"dropped_bits"`
-	QueueHighWater int64         `json:"queue_high_water_pkts"`
-	Sched          SchedSnapshot `json:"sched"`
+	Utilization      float64       `json:"utilization"`
+	DroppedPackets   int64         `json:"dropped_packets"`
+	DroppedBits      float64       `json:"dropped_bits"`
+	FaultDrops       int64         `json:"fault_drops"`
+	FaultDroppedBits float64       `json:"fault_dropped_bits"`
+	SignalingDrops   int64         `json:"signaling_drops"`
+	QueueHighWater   int64         `json:"queue_high_water_pkts"`
+	Sched            SchedSnapshot `json:"sched"`
 }
 
 // Snapshot derives the JSON-facing view of the registry at simulated
@@ -217,19 +275,35 @@ func (r *Registry) Snapshot(now float64) *Snapshot {
 			AC2: ProcSnapshot(r.Admission.AC2),
 			AC3: ProcSnapshot(r.Admission.AC3),
 		},
+		Faults: FaultsSnapshot{
+			LinkDowns:      r.Faults.LinkDowns,
+			LinkUps:        r.Faults.LinkUps,
+			InFlightDrops:  r.Faults.InFlightDrops,
+			PurgeDrops:     r.Faults.PurgeDrops,
+			SignalingDrops: r.Faults.SignalingDrops,
+			SessionsPurged: r.Faults.SessionsPurged,
+			Releases:       r.Faults.Releases,
+			Resetups:       r.Faults.Resetups,
+			ResetupRejects: r.Faults.ResetupRejects,
+			Stalls:         r.Faults.Stalls,
+			WatchdogTrips:  r.Faults.WatchdogTrips,
+		},
 		Ports: make([]PortSnapshot, len(r.Ports)),
 	}
 	for i, p := range r.Ports {
 		ps := PortSnapshot{
-			Name:            p.Name,
-			Capacity:        p.Capacity,
-			Arrivals:        p.Arrivals,
-			ArrivedBits:     p.ArrivedBits,
-			Transmissions:   p.Transmissions,
-			TransmittedBits: p.TransmittedBits,
-			DroppedPackets:  p.DroppedPackets,
-			DroppedBits:     p.DroppedBits,
-			QueueHighWater:  p.QueueHighWater,
+			Name:             p.Name,
+			Capacity:         p.Capacity,
+			Arrivals:         p.Arrivals,
+			ArrivedBits:      p.ArrivedBits,
+			Transmissions:    p.Transmissions,
+			TransmittedBits:  p.TransmittedBits,
+			DroppedPackets:   p.DroppedPackets,
+			DroppedBits:      p.DroppedBits,
+			FaultDrops:       p.FaultDrops,
+			FaultDroppedBits: p.FaultDroppedBits,
+			SignalingDrops:   p.SignalingDrops,
+			QueueHighWater:   p.QueueHighWater,
 			Sched: SchedSnapshot{
 				Regulated:       p.Sched.Regulated,
 				EligibilityWait: p.Sched.EligibilityWait,

@@ -225,6 +225,15 @@ type Port struct {
 	waker   *event.Event
 	nextHop map[int]*hop // session -> downstream
 
+	// Fault state (see fault.go): down marks the outgoing link failed —
+	// the port keeps accepting and queueing packets but starts no
+	// transmission until RestoreLink. txLost, when non-empty, is the
+	// drop cause ("fault" or "purge") for the packet currently under
+	// transmission: its finish event still fires but the packet is
+	// dropped there instead of forwarded.
+	down   bool
+	txLost string
+
 	// Closure-free event plumbing: txPkt is the packet under
 	// transmission (one at a time per port), inflight the FIFO of
 	// packets traversing the outgoing link (same propagation delay for
@@ -390,7 +399,7 @@ func (p *Port) Arrive(pkt *packet.Packet, now float64) {
 // eligible; otherwise it arms a wake-up for the next eligibility
 // instant.
 func (p *Port) maybeStart(now float64) {
-	if p.busy {
+	if p.busy || p.down {
 		return
 	}
 	if p.waker != nil {
@@ -428,6 +437,19 @@ func (p *Port) txDone() {
 
 func (p *Port) finish(pkt *packet.Packet) {
 	now := p.net.Sim.Now()
+	if cause := p.txLost; cause != "" {
+		// The packet was lost mid-transmission to a link fault or purge:
+		// release the link and drop the packet as a traced terminal
+		// event. OnTransmit is skipped — the discipline never saw the
+		// packet complete, and eq.-9 holding state must not advance for
+		// a packet that was not delivered downstream.
+		p.txLost = ""
+		p.busy = false
+		p.Util.SetBusy(now, false)
+		p.dropFault(pkt, now, cause)
+		p.maybeStart(now)
+		return
+	}
 	p.Disc.OnTransmit(pkt, now)
 	if pkt.Hold < 0 {
 		pkt.Hold = 0
@@ -471,6 +493,12 @@ func (p *Port) deliverHead() {
 	f, ok := p.inflight.pop()
 	if !ok {
 		panic(fmt.Sprintf("network: port %s link delivery with empty in-flight queue", p.Name))
+	}
+	if f.pkt == nil {
+		// Lost to a link fault or purge while in flight (fault.go
+		// nil-marks the entry and drops the packet); the delivery event
+		// still fires to keep the event/FIFO pairing exact.
+		return
 	}
 	if f.next != nil {
 		f.next.Arrive(f.pkt, f.at)
@@ -522,12 +550,17 @@ type Session struct {
 	stopEmit float64
 	seq      int64
 	started  bool
+	stalled  bool
 
 	// Closure-free emission: one persistent handler re-schedules
 	// itself from inside the event (created once in Start), with the
 	// pending packet's length parked in nextLen — at most one emission
-	// event is outstanding per session.
+	// event is outstanding per session, retained in emitEv so Stop can
+	// cancel it. emitEv is cleared at the top of the handler, before
+	// any re-schedule, because the event struct is pooled: a stale
+	// pointer could alias an unrelated recycled event.
 	emitFn  event.Handler
+	emitEv  *event.Event
 	nextLen float64
 }
 
@@ -604,10 +637,20 @@ func (s *Session) Start(t0, stopEmit float64) {
 		return
 	}
 	s.stopEmit = stopEmit
+	if s.emitEv != nil {
+		// Re-Start with an emission still pending (a churned session
+		// re-established before its old event fired): cancel it — the
+		// new schedule below replaces it.
+		s.net.Sim.Cancel(s.emitEv)
+		s.emitEv = nil
+	}
 	if s.emitFn == nil {
 		s.emitFn = func() {
+			s.emitEv = nil
 			t := s.net.Sim.Now() // == the scheduled emission instant
-			s.send(t, s.nextLen)
+			if !s.stalled {
+				s.send(t, s.nextLen)
+			}
 			gap, l := s.Source.Next()
 			s.scheduleEmit(t+gap, l)
 		}
@@ -621,7 +664,7 @@ func (s *Session) scheduleEmit(t, length float64) {
 		return
 	}
 	s.nextLen = length
-	s.net.Sim.Schedule(t, s.emitFn)
+	s.emitEv = s.net.Sim.Schedule(t, s.emitFn)
 }
 
 // send is the single entry point of the packet lifecycle: it takes a
@@ -653,6 +696,10 @@ func (n *Network) RemoveSession(s *Session) {
 		delete(port.nextHop, s.ID)
 		delete(port.trackBuf, s.ID)
 	}
+	n.unregister(s)
+}
+
+func (n *Network) unregister(s *Session) {
 	for i, other := range n.sessions {
 		if other == s {
 			last := len(n.sessions) - 1

@@ -1,0 +1,263 @@
+package sched
+
+import (
+	"sort"
+
+	"leaveintime/internal/packet"
+)
+
+// Mid-run session purges (network.SessionPurger) for every baseline
+// discipline: a teardown that evicts the departing session's queued
+// packets, handing each to drop, and frees its scheduling state so the
+// same ID can be re-admitted later. Each implementation preserves the
+// service order of every other session's packets — queue keys and
+// arrival stamps survive the purge untouched, and pop order is a pure
+// function of them — so a purge is unobservable except through the
+// dropped packets themselves.
+
+// purge removes every packet of the session from the heap, invoking
+// drop for each in (key, stamp) order, and re-heapifies the survivors
+// in place.
+func (q *pktHeap) purge(id int, drop func(*packet.Packet)) {
+	var dropped []pentry
+	keep := q.h[:0]
+	for _, e := range q.h {
+		if e.p.Session == id {
+			dropped = append(dropped, e)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	for i := len(keep); i < len(q.h); i++ {
+		q.h[i] = pentry{} // release the packet references
+	}
+	q.h = keep
+	for i := len(keep)/2 - 1; i >= 0; i-- {
+		q.down(i)
+	}
+	sort.Slice(dropped, func(i, j int) bool { return pentryLess(dropped[i], dropped[j]) })
+	for _, e := range dropped {
+		drop(e.p)
+	}
+}
+
+// purge removes every packet of the session from the FIFO, invoking
+// drop in queue order; the order of the remaining packets is preserved.
+func (f *fifoQ) purge(id int, drop func(*packet.Packet)) {
+	out := f.items[:f.head]
+	for i := f.head; i < len(f.items); i++ {
+		p := f.items[i]
+		if p.Session == id {
+			drop(p)
+		} else {
+			out = append(out, p)
+		}
+	}
+	for i := len(out); i < len(f.items); i++ {
+		f.items[i] = nil
+	}
+	f.items = out
+	if f.head == len(f.items) {
+		f.items = f.items[:0]
+		f.head = 0
+	}
+}
+
+// PurgeSession implements network.SessionPurger.
+func (f *FCFS) PurgeSession(id int, drop func(*packet.Packet)) {
+	out := f.q[:f.head]
+	for i := f.head; i < len(f.q); i++ {
+		p := f.q[i]
+		if p.Session == id {
+			drop(p)
+		} else {
+			out = append(out, p)
+		}
+	}
+	for i := len(out); i < len(f.q); i++ {
+		f.q[i] = nil
+	}
+	f.q = out
+	if f.head == len(f.q) {
+		f.q = f.q[:0]
+		f.head = 0
+	}
+}
+
+// PurgeSession implements network.SessionPurger.
+func (v *VirtualClock) PurgeSession(id int, drop func(*packet.Packet)) {
+	v.ready.purge(id, drop)
+	delete(v.sessions, id)
+}
+
+// PurgeSession implements network.SessionPurger. If the purge drains
+// the server, the busy period is over: tag chains are marked inactive
+// exactly as Dequeue does, so the self-clocked virtual time re-anchors
+// cleanly on the next arrival.
+func (s *SCFQ) PurgeSession(id int, drop func(*packet.Packet)) {
+	s.ready.purge(id, drop)
+	delete(s.sessions, id)
+	if s.ready.len() == 0 {
+		for _, other := range s.sessions {
+			other.active = false
+		}
+	}
+}
+
+// PurgeSession implements network.SessionPurger. Beyond the packet
+// queue, the session must also leave the GPS fluid system: its weight
+// comes out of the backlogged weight sum so virtual time advances at
+// the correct rate for the survivors. Its backlog tags become stale
+// and are discarded lazily by peekBacklog (inB is false, and a
+// re-admitted session gets a fresh state struct, so old tags can never
+// match it).
+func (w *WFQ) PurgeSession(id int, drop func(*packet.Packet)) {
+	w.ready.purge(id, drop)
+	w.dropGPS(id)
+}
+
+func (w *WFQ) dropGPS(id int) {
+	if s := w.sessions[id]; s != nil && s.inB {
+		s.inB = false
+		w.weightSum -= s.weight
+		if w.weightSum < 1e-9 {
+			w.weightSum = 0
+		}
+	}
+	delete(w.sessions, id)
+}
+
+// PurgeSession implements network.SessionPurger; the GPS bookkeeping
+// is shared with WFQ.
+func (w *WF2Q) PurgeSession(id int, drop func(*packet.Packet)) {
+	w.pending.purge(id, drop)
+	w.wfq.dropGPS(id)
+}
+
+// purge removes every packet of the session, invoking drop in
+// (fin, stamp) order, and re-heapifies the survivors in place.
+func (q *wf2qHeap) purge(id int, drop func(*packet.Packet)) {
+	var dropped []wf2qEntry
+	keep := q.h[:0]
+	for _, e := range q.h {
+		if e.p.Session == id {
+			dropped = append(dropped, e)
+		} else {
+			keep = append(keep, e)
+		}
+	}
+	for i := len(keep); i < len(q.h); i++ {
+		q.h[i] = wf2qEntry{}
+	}
+	q.h = keep
+	for i := len(keep)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
+	sort.Slice(dropped, func(i, j int) bool { return wf2qLess(dropped[i], dropped[j]) })
+	for _, e := range dropped {
+		drop(e.p)
+	}
+}
+
+func (q *wf2qHeap) siftDown(i int) {
+	h := q.h
+	n := len(h)
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			break
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && wf2qLess(h[j2], h[j1]) {
+			j = j2
+		}
+		if !wf2qLess(h[j], h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}
+
+// RemoveSession implements network.SessionRemover.
+func (d *DelayEDD) RemoveSession(id int) { delete(d.sessions, id) }
+
+// PurgeSession implements network.SessionPurger.
+func (d *DelayEDD) PurgeSession(id int, drop func(*packet.Packet)) {
+	d.ready.purge(id, drop)
+	delete(d.sessions, id)
+}
+
+// RemoveSession implements network.SessionRemover.
+func (j *JitterEDD) RemoveSession(id int) { j.inner.RemoveSession(id) }
+
+// PurgeSession implements network.SessionPurger: both the regulator
+// and the inner ready queue are swept.
+func (j *JitterEDD) PurgeSession(id int, drop func(*packet.Packet)) {
+	j.regulator.purge(id, drop)
+	j.inner.PurgeSession(id, drop)
+}
+
+// PurgeSession implements network.SessionPurger (Stop-and-Go keeps no
+// per-session state; only queued packets are evicted).
+func (g *StopAndGo) PurgeSession(id int, drop func(*packet.Packet)) {
+	g.ready.purge(id, drop)
+	g.pending.purge(id, drop)
+}
+
+// RemoveSession implements network.SessionRemover.
+func (h *HRR) RemoveSession(id int) {
+	s := h.sessions[id]
+	if s == nil {
+		return
+	}
+	if s.q.len() > 0 {
+		panic("sched: HRR.RemoveSession with queued packets")
+	}
+	h.removeOrder(id)
+	delete(h.sessions, id)
+}
+
+// PurgeSession implements network.SessionPurger: the session's FIFO is
+// drained in order and its round-robin slot removed without disturbing
+// the cursor position of the survivors.
+func (h *HRR) PurgeSession(id int, drop func(*packet.Packet)) {
+	s := h.sessions[id]
+	if s == nil {
+		return
+	}
+	s.q.purge(id, drop)
+	h.removeOrder(id)
+	delete(h.sessions, id)
+}
+
+func (h *HRR) removeOrder(id int) {
+	for i, oid := range h.order {
+		if oid != id {
+			continue
+		}
+		h.order = append(h.order[:i], h.order[i+1:]...)
+		if i < h.cursor {
+			h.cursor--
+		}
+		break
+	}
+	if len(h.order) == 0 {
+		h.cursor = 0
+	} else {
+		h.cursor %= len(h.order)
+	}
+}
+
+// RemoveSession implements network.SessionRemover.
+func (r *RCSP) RemoveSession(id int) { delete(r.sessions, id) }
+
+// PurgeSession implements network.SessionPurger: the rate-controller
+// regulator and every static-priority FIFO are swept.
+func (r *RCSP) PurgeSession(id int, drop func(*packet.Packet)) {
+	r.regulator.purge(id, drop)
+	for i := range r.queues {
+		r.queues[i].purge(id, drop)
+	}
+	delete(r.sessions, id)
+}

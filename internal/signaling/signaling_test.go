@@ -162,6 +162,241 @@ func TestConcurrentSetupsRace(t *testing.T) {
 	}
 }
 
+// TestRetryConvergesWithoutHandRolledLoop replays the examples/signaling
+// scenario — a background reservation holds most of a five-hop DS3
+// path, two 10 Mb/s setups race for the remaining 15 Mb/s — with Retry
+// configured. The losing setup is rejected, backs off, and keeps
+// retrying on its own; once the background session tears down, the
+// retry converges with no caller-side loop.
+func TestRetryConvergesWithoutHandRolledLoop(t *testing.T) {
+	sim := event.New()
+	path := newPath(t, sim, 5, 45e6)
+	sig := New(sim, path)
+	sig.Retry = &Retry{Max: 10, Base: 10e-3, Cap: 80e-3}
+
+	var bg Result
+	sig.Establish(Request{Spec: spec(1, 30e6), Class: 1}, func(r Result) { bg = r })
+	sim.RunAll()
+	if !bg.Accepted {
+		t.Fatalf("background reservation rejected: %v", bg.Err)
+	}
+
+	var r2, r3 Result
+	sig.Establish(Request{Spec: spec(2, 10e6), Class: 1}, func(r Result) { r2 = r })
+	sig.Establish(Request{Spec: spec(3, 10e6), Class: 1}, func(r Result) { r3 = r })
+	// Free the path while the loser is still backing off.
+	sim.After(0.1, func() {
+		if err := sig.Teardown(1, nil); err != nil {
+			t.Errorf("teardown: %v", err)
+		}
+	})
+	sim.RunAll()
+
+	if !r2.Accepted || !r3.Accepted {
+		t.Fatalf("retry did not converge: r2=%+v r3=%+v", r2, r3)
+	}
+	if r2.Attempts == 1 && r3.Attempts == 1 {
+		t.Error("neither racer retried; the race never happened")
+	}
+	if r2.Attempts > 1 && r3.Attempts > 1 {
+		t.Error("both racers retried; exactly one should have won the first round")
+	}
+	// The whole path is exactly full: 30 Mb/s has been released, 2x10
+	// reserved, so 25 more fits and 26 does not.
+	var probe Result
+	sig.Establish(Request{Spec: spec(9, 26e6), Class: 1}, func(r Result) { probe = r })
+	sim.RunAll()
+	if probe.Accepted {
+		t.Error("over-reservation accepted: capacity accounting broke during retries")
+	}
+}
+
+// TestRetryGivesUpAfterMax: against a permanently full path the retry
+// schedule is finite — Max+1 attempts, deterministic backoff, then the
+// admission error surfaces unchanged.
+func TestRetryGivesUpAfterMax(t *testing.T) {
+	sim := event.New()
+	path := newPath(t, sim, 2, 1e6)
+	if _, err := path[1].Admit.Admit(spec(99, 1e6), 1, admission.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	sig := New(sim, path)
+	sig.Retry = &Retry{Max: 3, Base: 5e-3, Cap: 8e-3}
+	var res Result
+	sig.Establish(Request{Spec: spec(1, 1e5), Class: 1}, func(r Result) { res = r })
+	sim.RunAll()
+	if res.Accepted {
+		t.Fatal("accepted through a full node")
+	}
+	if res.Attempts != 4 {
+		t.Errorf("attempts = %d, want 1 + Max = 4", res.Attempts)
+	}
+	if !errors.Is(res.Err, admission.ErrRejected) {
+		t.Errorf("final error %v does not surface the admission rejection", res.Err)
+	}
+	if sig.Established(1) {
+		t.Error("given-up session recorded as established")
+	}
+}
+
+// TestBackoffSchedule: the backoff is min(Base*2^k, Cap), clamped so
+// huge attempt numbers cannot overflow the shift.
+func TestBackoffSchedule(t *testing.T) {
+	r := Retry{Base: 1e-3, Cap: 10e-3}
+	for k, want := range []float64{1e-3, 2e-3, 4e-3, 8e-3, 10e-3, 10e-3} {
+		if got := r.backoff(k); got != want {
+			t.Errorf("backoff(%d) = %v, want %v", k, got, want)
+		}
+	}
+	uncapped := Retry{Base: 1e-3}
+	if got := r.backoff(500); got != 10e-3 {
+		t.Errorf("backoff(500) = %v, want the cap", got)
+	}
+	if got := uncapped.backoff(500); math.IsInf(got, 0) || got <= 0 {
+		t.Errorf("uncapped backoff(500) = %v, want a finite positive clamp", got)
+	}
+}
+
+// TestTeardownCancelsInflightSetup: releasing a session whose SETUP is
+// still walking the path must cancel the establishment — the caller
+// gets ErrCanceled, and every reservation the walk made is released
+// exactly once.
+func TestTeardownCancelsInflightSetup(t *testing.T) {
+	sim := event.New()
+	path := newPath(t, sim, 3, 1e6)
+	sig := New(sim, path)
+	var res Result
+	sig.Establish(Request{Spec: spec(1, 1e6), Class: 1}, func(r Result) { res = r })
+	// Let the SETUP reserve the first node, then release mid-flight.
+	torn := false
+	sim.After(1e-3, func() {
+		if err := sig.Teardown(1, func() { torn = true }); err != nil {
+			t.Errorf("teardown of in-flight setup: %v", err)
+		}
+	})
+	sim.RunAll()
+	if res.Accepted || !errors.Is(res.Err, ErrCanceled) {
+		t.Fatalf("canceled setup result: %+v", res)
+	}
+	if !torn {
+		t.Error("teardown completion not signaled")
+	}
+	if sig.Established(1) {
+		t.Error("canceled session recorded as established")
+	}
+	// No budget may leak: the full rate fits again at every node.
+	for i := range path {
+		if _, err := path[i].Admit.Admit(spec(100+i, 1e6), 1, admission.Options{}); err != nil {
+			t.Errorf("node %d budget leaked: %v", i, err)
+		}
+	}
+}
+
+// TestSetupLostToLinkFault: a SETUP departing over a down link is lost;
+// the source learns ErrSignalingLost, the loss is observed, and
+// Teardown reclaims the stranded upstream reservation.
+func TestSetupLostToLinkFault(t *testing.T) {
+	sim := event.New()
+	path := newPath(t, sim, 3, 1e6)
+	sig := New(sim, path)
+	downPort := -1
+	sig.LinkDown = func(node int) bool { return node == downPort }
+	var lostKind string
+	var lostNode int
+	sig.OnLost = func(kind string, node, id int) { lostKind, lostNode = kind, node }
+
+	downPort = 1 // the second hop's outgoing link is down throughout
+	var res Result
+	sig.Establish(Request{Spec: spec(1, 1e6), Class: 1}, func(r Result) { res = r })
+	sim.RunAll()
+	if res.Accepted || !errors.Is(res.Err, ErrSignalingLost) {
+		t.Fatalf("setup over a down link: %+v", res)
+	}
+	if lostKind != "setup" || lostNode != 1 {
+		t.Errorf("loss observed as (%q, %d), want (setup, 1)", lostKind, lostNode)
+	}
+	// Nodes 0 and 1 hold stranded reservations until torn down.
+	if !sig.Established(1) {
+		t.Fatal("stranded reservations not recorded")
+	}
+	downPort = -1
+	if err := sig.Teardown(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunAll()
+	for i := 0; i < 2; i++ {
+		if _, err := path[i].Admit.Admit(spec(100+i, 1e6), 1, admission.Options{}); err != nil {
+			t.Errorf("node %d stranded budget not reclaimed: %v", i, err)
+		}
+	}
+}
+
+// TestReleaseLostThenRetried: a RELEASE lost mid-walk leaves the
+// unreached suffix established; a second Teardown finishes the job.
+func TestReleaseLostThenRetried(t *testing.T) {
+	sim := event.New()
+	path := newPath(t, sim, 3, 1e6)
+	sig := New(sim, path)
+	downPort := -1
+	sig.LinkDown = func(node int) bool { return node == downPort }
+	sig.Establish(Request{Spec: spec(1, 1e6), Class: 1}, func(Result) {})
+	sim.RunAll()
+
+	downPort = 0 // RELEASE dies leaving node 0
+	if err := sig.Teardown(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunAll()
+	if nodes := sig.EstablishedNodes(1); len(nodes) != 2 || nodes[0] != 1 || nodes[1] != 2 {
+		t.Fatalf("suffix after lost RELEASE = %v, want [1 2]", nodes)
+	}
+	downPort = -1
+	if err := sig.Teardown(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunAll()
+	if sig.Established(1) {
+		t.Error("suffix survived the retried teardown")
+	}
+	for i := range path {
+		if _, err := path[i].Admit.Admit(spec(100+i, 1e6), 1, admission.Options{}); err != nil {
+			t.Errorf("node %d budget leaked across the two-stage teardown: %v", i, err)
+		}
+	}
+}
+
+// TestAdopt: out-of-band establishments registered via Adopt release
+// through the normal RELEASE walk; bad indexes and duplicates fail.
+func TestAdopt(t *testing.T) {
+	sim := event.New()
+	path := newPath(t, sim, 2, 1e6)
+	sig := New(sim, path)
+	if _, err := path[0].Admit.Admit(spec(1, 1e6), 1, admission.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := path[1].Admit.Admit(spec(1, 1e6), 1, admission.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sig.Adopt(1, []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sig.Adopt(1, []int{0}); !errors.Is(err, ErrAlreadyEstablished) {
+		t.Errorf("duplicate adopt: %v", err)
+	}
+	if err := sig.Adopt(2, []int{0, 7}); err == nil {
+		t.Error("adopt with an out-of-path index succeeded")
+	}
+	if err := sig.Teardown(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	sim.RunAll()
+	for i := range path {
+		if _, err := path[i].Admit.Admit(spec(100+i, 1e6), 1, admission.Options{}); err != nil {
+			t.Errorf("node %d adopted reservation not released: %v", i, err)
+		}
+	}
+}
+
 func TestProc2Admitter(t *testing.T) {
 	sim := event.New()
 	ac, err := admission.NewProcedure2(1e6, []admission.Class{{R: 1e6, Sigma: 1}})

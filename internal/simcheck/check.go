@@ -3,6 +3,9 @@ package simcheck
 import (
 	"fmt"
 	"sort"
+	"time"
+
+	"leaveintime/internal/event"
 )
 
 // Options tune a conformance check.
@@ -12,57 +15,123 @@ type Options struct {
 	// past what the theorems promise, forcing violations whose shrink
 	// and replay paths the harness's own tests exercise.
 	BoundScale float64
+
+	// Churn makes CheckSeed generate scenarios with a deterministic
+	// fault plan (GenerateChurn); the battery then checks graceful
+	// degradation instead of clean-network bounds.
+	Churn bool
+
+	// MaxEvents caps fired events per run (the deterministic watchdog
+	// budget). 0 means unlimited in the clean battery and a generous
+	// default in the churn battery, which always runs under a watchdog.
+	MaxEvents int64
+	// MaxWall is a per-run wall-clock budget, a machine-dependent last
+	// resort for genuinely hung runs; 0 = unlimited.
+	MaxWall time.Duration
 }
+
+// watchdog derives the clean battery's per-run budgets from the
+// options (zero when no budget was asked for — runs unbounded).
+func (o Options) watchdog() event.Watchdog {
+	return event.Watchdog{MaxEvents: o.MaxEvents, MaxWall: o.MaxWall}
+}
+
+// churnWatchdog sizes the chaos battery's per-run budgets: chaos runs
+// always get deterministic event and sim-time ceilings (generous
+// multiples of what a healthy run needs), so a scheduling bug that
+// livelocks the event loop becomes a reported, replayable "watchdog"
+// violation with partial telemetry instead of a hung process.
+func churnWatchdog(sc *Scenario, opt Options) event.Watchdog {
+	wd := event.Watchdog{
+		MaxEvents: opt.MaxEvents,
+		MaxSim:    100 * sc.Duration,
+		MaxWall:   opt.MaxWall,
+	}
+	if wd.MaxEvents == 0 {
+		wd.MaxEvents = 20_000_000
+	}
+	return wd
+}
+
+// checkPanicHook, when non-nil, runs inside CheckScenario right after
+// its panic-recovery guard is armed. No Validate-passing scenario can
+// be made to panic from the outside (Validate guards every fault-plan
+// reference), so this test-only seam is how the recovery path itself
+// is exercised.
+var checkPanicHook func()
 
 // CheckSeed generates the seed's scenario and checks it.
 func CheckSeed(seed uint64, opt Options) *SeedReport {
-	sc := Generate(seed)
-	return CheckScenario(sc, opt)
+	if opt.Churn {
+		return CheckScenario(GenerateChurn(seed), opt)
+	}
+	return CheckScenario(Generate(seed), opt)
 }
 
 // CheckScenario runs the scenario through every discipline and checks
-// the invariant battery. The report is a pure function of the scenario
-// and options: same input, byte-identical Format output.
-func CheckScenario(sc Scenario, opt Options) *SeedReport {
+// the invariant battery — the clean one, or the graceful-degradation
+// one when the scenario carries a fault plan. The report is a pure
+// function of the scenario and options: same input, byte-identical
+// Format output. A panic anywhere in the battery is recovered into a
+// "panic" violation, so a crashing seed still yields a report (and a
+// replayable repro) instead of taking the harness down.
+func CheckScenario(sc Scenario, opt Options) (rep *SeedReport) {
 	if opt.BoundScale > 0 {
 		sc.BoundScale = opt.BoundScale
 	}
-	rep := &SeedReport{
+	rep = &SeedReport{
 		Seed: sc.Seed, Topology: sc.Topology.Kind, Links: len(sc.Topology.Links),
 		Sessions: len(sc.Sessions), Proc: sc.Proc, Special: sc.Special,
-		Duration: sc.Duration,
+		Duration: sc.Duration, Churn: !sc.Faults.Empty(),
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			rep.add(Violation{Check: "panic", Detail: fmt.Sprint(r)})
+		}
+	}()
+	if checkPanicHook != nil {
+		checkPanicHook()
 	}
 	if err := sc.Validate(); err != nil {
 		rep.add(Violation{Check: "invalid-scenario", Detail: err.Error()})
 		return rep
 	}
+	if !sc.Faults.Empty() {
+		checkChurnScenario(sc, opt, rep)
+		return rep
+	}
 	scale := sc.boundScale()
+	wd := opt.watchdog()
 
 	// Reference run: Leave-in-Time with the exact heap, buffer limits
 	// at the bound for half the sessions and probes everywhere.
-	exact, err := runScenario(&sc, litSpec(false), runOpts{limits: true, probes: true})
+	exact, err := runScenario(&sc, litSpec(false), runOpts{limits: true, probes: true, wd: wd})
 	if err != nil {
 		rep.add(Violation{Check: "build", Discipline: "lit", Detail: err.Error()})
 		return rep
 	}
 	rep.Violations = append(rep.Violations, exact.Violations...)
 	rep.summarize(exact)
-	checkBounds(exact, scale, rep)
-	checkDrain(exact, rep)
-	checkTelemetry(exact, rep)
+	if exact.Tripped == "" {
+		checkBounds(exact, scale, rep)
+		checkDrain(exact, rep)
+		checkTelemetry(exact, rep)
+	}
 
 	// Calendar-queue approximation: same scenario, deadline ordering
 	// allowed one bin of slack, end-to-end delays within the §4 margin
 	// of the exact run.
-	approx, err := runScenario(&sc, litSpec(true), runOpts{})
+	approx, err := runScenario(&sc, litSpec(true), runOpts{wd: wd})
 	if err != nil {
 		rep.add(Violation{Check: "build", Discipline: "lit-approx", Detail: err.Error()})
 	} else {
 		rep.Violations = append(rep.Violations, approx.Violations...)
 		rep.summarize(approx)
-		checkDrain(approx, rep)
-		checkApprox(exact, approx, &sc, rep)
-		checkEmitted(exact, approx, rep)
+		if exact.Tripped == "" && approx.Tripped == "" {
+			checkDrain(approx, rep)
+			checkApprox(exact, approx, &sc, rep)
+			checkEmitted(exact, approx, rep)
+		}
 	}
 
 	// The exactness corner: procedure 1, one class, eps = 0, no jitter
@@ -70,12 +139,12 @@ func CheckScenario(sc Scenario, opt Options) *SeedReport {
 	// per-packet delays. Both sides run bare (no buffer limits) so the
 	// comparison is over the full packet stream.
 	if sc.Special {
-		litBare, err1 := runScenario(&sc, litSpec(false), runOpts{collectDelays: true})
-		vcRun, err2 := runScenario(&sc, vcSpec(), runOpts{collectDelays: true})
+		litBare, err1 := runScenario(&sc, litSpec(false), runOpts{collectDelays: true, wd: wd})
+		vcRun, err2 := runScenario(&sc, vcSpec(), runOpts{collectDelays: true, wd: wd})
 		if err1 != nil || err2 != nil {
 			rep.add(Violation{Check: "build", Discipline: "vc-diff",
 				Detail: fmt.Sprintf("lit: %v, vc: %v", err1, err2)})
-		} else {
+		} else if litBare.Tripped == "" && vcRun.Tripped == "" {
 			checkVCEquivalence(litBare, vcRun, rep)
 		}
 	}
@@ -83,17 +152,67 @@ func CheckScenario(sc Scenario, opt Options) *SeedReport {
 	// Every baseline discipline: generic invariants only (drain,
 	// conservation, identical emission).
 	for _, spec := range baselineSpecs(&sc) {
-		res, err := runScenario(&sc, spec, runOpts{})
+		res, err := runScenario(&sc, spec, runOpts{wd: wd})
 		if err != nil {
 			rep.add(Violation{Check: "build", Discipline: spec.name, Detail: err.Error()})
 			continue
 		}
 		rep.Violations = append(rep.Violations, res.Violations...)
 		rep.summarize(res)
-		checkDrain(res, rep)
-		checkEmitted(exact, res, rep)
+		if res.Tripped == "" {
+			checkDrain(res, rep)
+			if exact.Tripped == "" {
+				checkEmitted(exact, res, rep)
+			}
+		}
 	}
 	return rep
+}
+
+// checkChurnScenario is the graceful-degradation battery, run when the
+// scenario carries a fault plan. The reference Leave-in-Time run keeps
+// probes and buffer limits and is checked for survivor bounds, fault-
+// aware conservation and telemetry, and exact capacity return; every
+// other discipline must still conserve packets, drain its pool and
+// return its capacity under the identical chaos.
+func checkChurnScenario(sc Scenario, opt Options, rep *SeedReport) {
+	scale := sc.boundScale()
+	wd := churnWatchdog(&sc, opt)
+
+	exact, err := runChurn(&sc, litSpec(false), runOpts{limits: true, probes: true, wd: wd})
+	if err != nil {
+		rep.add(Violation{Check: "build", Discipline: "lit", Detail: err.Error()})
+		return
+	}
+	rep.Violations = append(rep.Violations, exact.Violations...)
+	rep.summarize(exact)
+	if exact.Tripped == "" {
+		survivors := *exact
+		survivors.Sessions = cleanSurvivors(exact, &sc)
+		checkBounds(&survivors, scale, rep)
+		checkChurnDrain(exact, rep)
+		checkChurnTelemetry(exact, rep)
+		checkCapacity(exact, &sc, rep)
+	}
+
+	specs := append([]discSpec{litSpec(true)}, baselineSpecs(&sc)...)
+	for _, spec := range specs {
+		res, err := runChurn(&sc, spec, runOpts{wd: wd})
+		if err != nil {
+			rep.add(Violation{Check: "build", Discipline: spec.name, Detail: err.Error()})
+			continue
+		}
+		rep.Violations = append(rep.Violations, res.Violations...)
+		rep.summarize(res)
+		if res.Tripped != "" {
+			continue
+		}
+		checkChurnDrain(res, rep)
+		checkCapacity(res, &sc, rep)
+		if exact.Tripped == "" {
+			checkEmitted(exact, res, rep)
+		}
+	}
 }
 
 // checkBounds verifies the paper's service commitments on the
@@ -175,6 +294,12 @@ func checkTelemetry(res *runResult, rep *SeedReport) {
 					got, pm.DroppedPackets, probeDrops[pm.Name])})
 		}
 	}
+	checkEngineSanity(res, rep)
+}
+
+// checkEngineSanity cross-checks the event-engine counters against the
+// run's activity (shared by the clean and churn telemetry checks).
+func checkEngineSanity(res *runResult, rep *SeedReport) {
 	var emitted int64
 	for _, sr := range res.Sessions {
 		emitted += sr.Emitted

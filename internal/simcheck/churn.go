@@ -1,0 +1,485 @@
+package simcheck
+
+// This file is the harness's chaos mode: when a scenario carries a
+// fault plan (see internal/faults), runChurn replaces runScenario. The
+// same network is built, but the plan's link/node outages, source
+// stalls and session churn are injected as ordinary events, churned
+// sessions are released and re-established through the real signaling
+// exchange against the run's admission controllers, and a watchdog
+// bounds the run. The battery then checks graceful degradation instead
+// of clean-network bounds: survivors keep their service commitments,
+// packet conservation holds counting fault losses, the packet pool
+// drains, telemetry agrees including the fault counters, and after a
+// final teardown pass every controller is back to exactly zero
+// reserved capacity.
+
+import (
+	"fmt"
+
+	"leaveintime/internal/admission"
+	"leaveintime/internal/event"
+	"leaveintime/internal/faults"
+	"leaveintime/internal/metrics"
+	"leaveintime/internal/network"
+	"leaveintime/internal/signaling"
+	"leaveintime/internal/topo"
+)
+
+// churnSess is one scenario session's lifecycle state across the run:
+// the current network incarnation (nil while released), counters
+// aggregated over finished incarnations, and the session's signaler.
+type churnSess struct {
+	def    SessionDef
+	links  []*topoLink
+	ports  []*network.Port
+	sig    *signaling.Signaler
+	live   *network.Session
+	sr     *sessResult
+	probes []*network.BufferProbe
+
+	// emitted and delivered accumulate over incarnations torn down
+	// mid-run; the live incarnation's counters are folded in at
+	// collection time.
+	emitted   int64
+	delivered int64
+}
+
+// churnRun is the chaos harness for one discipline's run; it implements
+// faults.Actions.
+type churnRun struct {
+	sc         *Scenario
+	sim        *event.Simulator
+	net        *network.Network
+	adm        admitterSet
+	byID       map[int]*churnSess
+	order      []*churnSess
+	portByName map[string]*network.Port
+}
+
+func (r *churnRun) port(name string) *network.Port {
+	p, ok := r.portByName[name]
+	if !ok {
+		panic(fmt.Sprintf("simcheck: fault plan names unknown port %q", name))
+	}
+	return p
+}
+
+func (r *churnRun) sess(id int) *churnSess {
+	cs, ok := r.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("simcheck: fault plan names unknown session %d", id))
+	}
+	return cs
+}
+
+// LinkDown implements faults.Actions.
+func (r *churnRun) LinkDown(port string) { r.port(port).FailLink() }
+
+// LinkUp implements faults.Actions.
+func (r *churnRun) LinkUp(port string) { r.port(port).RestoreLink() }
+
+// NodeDown implements faults.Actions: a node outage fails every
+// outgoing link of the node.
+func (r *churnRun) NodeDown(node string) {
+	for _, p := range r.nodePorts(node) {
+		p.FailLink()
+	}
+}
+
+// NodeUp implements faults.Actions.
+func (r *churnRun) NodeUp(node string) {
+	for _, p := range r.nodePorts(node) {
+		p.RestoreLink()
+	}
+}
+
+func (r *churnRun) nodePorts(node string) []*network.Port {
+	var ports []*network.Port
+	for _, ld := range r.sc.Topology.Links {
+		if ld.From == node {
+			ports = append(ports, r.port(ld.From+"->"+ld.To))
+		}
+	}
+	if len(ports) == 0 {
+		panic(fmt.Sprintf("simcheck: fault plan names unknown node %q", node))
+	}
+	return ports
+}
+
+// StallSession implements faults.Actions.
+func (r *churnRun) StallSession(id int, on bool) {
+	if cs := r.sess(id); cs.live != nil {
+		cs.live.SetStalled(on)
+	}
+}
+
+// ReleaseSession implements faults.Actions: the session leaves mid-run.
+// The network-level teardown is immediate — the source stops and every
+// port of the route is purged, dropping queued and in-flight packets as
+// traced "purge" losses — while the admission reservations are freed by
+// a RELEASE walking the route through the signaling layer. A RELEASE
+// lost to a link fault leaves the unreached nodes reserved; the resetup
+// path or the final teardown pass reclaims them.
+func (r *churnRun) ReleaseSession(id int) {
+	cs := r.sess(id)
+	if cs.live != nil {
+		cs.emitted += cs.live.Emitted
+		cs.delivered += cs.live.Delivered
+		r.net.DropSession(cs.live)
+		cs.live = nil
+	}
+	if m := r.net.Metrics(); m != nil {
+		m.Faults.Releases++
+	}
+	_ = cs.sig.Teardown(id, nil)
+}
+
+// ResetupSession implements faults.Actions: the churned session comes
+// back, playing a fresh SETUP through admission control at every hop.
+func (r *churnRun) ResetupSession(id int) { r.resetup(r.sess(id)) }
+
+func (r *churnRun) resetup(cs *churnSess) {
+	id := cs.def.ID
+	if cs.sig.Established(id) {
+		// The release's RELEASE message was lost mid-walk and part of
+		// the route still holds the old reservation: retry the teardown
+		// and re-SETUP once it completes. The retry is paced (instead
+		// of immediate) so a RELEASE that keeps dying on a still-down
+		// link advances simulated time rather than looping at one
+		// instant; each attempt releases at least the first remaining
+		// node, so the retries are bounded by the route length.
+		_ = cs.sig.Teardown(id, func() {
+			r.sim.After(0.005*r.sc.Duration, func() { r.resetup(cs) })
+		})
+		return
+	}
+	req := signaling.Request{
+		Spec:  admission.SessionSpec{ID: id, Rate: cs.def.Rate, LMax: cs.def.LMax, LMin: cs.def.LMin},
+		Class: cs.def.Class,
+		Opts:  admission.Options{PerPacket: true},
+	}
+	cs.sig.Establish(req, func(sres signaling.Result) {
+		m := r.net.Metrics()
+		if !sres.Accepted {
+			// Rejected even after the backoff retries, or the exchange
+			// lost a message: the session stays gone, and reservations
+			// stranded by a lost ACCEPT/REJECT wait for the final
+			// teardown pass.
+			if m != nil {
+				m.Faults.ResetupRejects++
+			}
+			return
+		}
+		if m != nil {
+			m.Faults.Resetups++
+		}
+		now := r.sim.Now()
+		cfgs := make([]network.SessionPort, len(cs.links))
+		for i, l := range cs.links {
+			a := sres.Assignments[i]
+			d := a.D
+			if r.sc.Special {
+				d = nil
+			}
+			cfgs[i] = network.SessionPort{
+				D: d, DMax: a.DMax,
+				LocalDelay: cs.def.LMax/cs.def.Rate + float64(len(r.sc.Sessions)+2)*r.sc.LMax/l.Capacity,
+				XMin:       cs.def.LMin / cs.def.Rate,
+			}
+		}
+		cs.live = r.net.AddSession(id, cs.def.Rate, cs.def.JitterCtrl, cs.ports, cfgs, buildSource(cs.def))
+		cs.live.Start(now, r.sc.Duration)
+	})
+}
+
+// newSignaler builds the session's signaling path over its route: one
+// node per hop, the hop's admission controller behind it, and the
+// hop's real link state deciding message loss.
+func (r *churnRun) newSignaler(cs *churnSess) *signaling.Signaler {
+	path := make([]*signaling.Node, len(cs.links))
+	for i, l := range cs.links {
+		path[i] = &signaling.Node{
+			Name:  linkKey(l),
+			Admit: r.adm.signalAdmitter(l, cs.def),
+			Gamma: l.Gamma,
+		}
+	}
+	sig := signaling.New(r.sim, path)
+	ports := cs.ports
+	id := cs.def.ID
+	sig.LinkDown = func(i int) bool { return ports[i].LinkDown() }
+	sig.OnLost = func(kind string, node, _ int) {
+		ports[node].NoteSignalingLoss(kind, id, node)
+	}
+	// Rejected re-SETUPs back off deterministically and retry: a churn
+	// rejection is usually transient (another churned session's release
+	// has not reached every node yet).
+	sig.Retry = &signaling.Retry{Max: 3, Base: 0.01 * r.sc.Duration, Cap: 0.05 * r.sc.Duration}
+	nodes := make([]int, len(path))
+	for i := range nodes {
+		nodes[i] = i
+	}
+	// The initial establishment happened at build time, before the
+	// simulator ran; adopt it so mid-run teardowns walk the real path.
+	if err := sig.Adopt(id, nodes); err != nil {
+		panic(err)
+	}
+	return sig
+}
+
+// signalAdmitter wraps the link's admission controller as a
+// signaling.Admitter for the churn harness's SETUP/RELEASE exchanges.
+func (a admitterSet) signalAdmitter(l *topoLink, def SessionDef) signaling.Admitter {
+	switch ctrl := a.byKey[linkKey(l)].(type) {
+	case *admission.Procedure1:
+		return signaling.Proc1Admitter{P: ctrl}
+	case *admission.Procedure2:
+		return signaling.Proc2Admitter{P: ctrl}
+	case *admission.Procedure3:
+		return signaling.Proc3Admitter{P: ctrl, D: def.D}
+	default:
+		panic(fmt.Sprintf("simcheck: no controller for link %s", linkKey(l)))
+	}
+}
+
+// runChurn is runScenario under the scenario's fault plan: same
+// network, same establishment, plus the injected chaos and a final
+// teardown pass that returns every reservation through the signaling
+// layer. Per-session counters aggregate across a churned session's
+// incarnations.
+func runChurn(sc *Scenario, spec discSpec, opts runOpts) (*runResult, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	sim := event.New()
+	if opts.wd != (event.Watchdog{}) {
+		sim.SetWatchdog(opts.wd)
+	}
+	net := network.New(sim, sc.LMax)
+	net.SetPoolDebug(true)
+	reg := metrics.NewRegistry()
+	net.EnableMetrics(reg)
+	counts := newTraceCounts()
+	net.Tracer = counts
+
+	res := &runResult{Name: spec.name, Reg: reg, Counts: counts}
+
+	g := scenarioGraph(sc)
+	g.Build(net, func(l *topo.Link) network.Discipline {
+		return &checkedDisc{
+			inner:         spec.mk(sc, l),
+			disc:          spec.name,
+			port:          linkKey(l),
+			wc:            spec.workConserving(sc),
+			deadlineCheck: spec.deadlineCheck,
+			tol:           spec.deadlineTol(sc, l.Capacity),
+			out:           &res.Violations,
+		}
+	})
+	adm := newAdmitters(sc)
+	res.Adm = adm
+
+	r := &churnRun{
+		sc: sc, sim: sim, net: net, adm: adm,
+		byID:       make(map[int]*churnSess),
+		portByName: make(map[string]*network.Port),
+	}
+	for _, l := range g.Links() {
+		r.portByName[l.Port.Name] = l.Port
+	}
+	for _, def := range sc.Sessions {
+		sr, sess, probes, err := establish(sc, g, net, adm, def, spec, opts)
+		if err != nil {
+			res.Violations = append(res.Violations, Violation{
+				Check: "admission-replay", Discipline: spec.name,
+				Session: def.ID, Detail: err.Error(),
+			})
+			continue
+		}
+		links, err := g.RouteLinks(def.From, def.To)
+		if err != nil {
+			return nil, err
+		}
+		cs := &churnSess{def: def, links: links, live: sess, sr: sr, probes: probes}
+		cs.ports = make([]*network.Port, len(links))
+		for i, l := range links {
+			cs.ports[i] = l.Port
+		}
+		cs.sig = r.newSignaler(cs)
+		r.byID[def.ID] = cs
+		r.order = append(r.order, cs)
+	}
+
+	faults.Inject(sim, r, sc.Faults)
+	for _, cs := range r.order {
+		cs.live.Start(0, sc.Duration)
+	}
+	sim.RunAll()
+	if reason := sim.Tripped(); reason != "" {
+		res.Tripped = reason
+		reg.Faults.WatchdogTrips++
+		res.Violations = append(res.Violations, Violation{
+			Check: "watchdog", Discipline: spec.name, Detail: reason,
+		})
+	} else {
+		// Final teardown pass: every reservation still held — the
+		// survivors', the re-established churners', and any remnant
+		// stranded by a lost signaling message — goes back through the
+		// normal RELEASE walk, so the capacity-zero check exercises the
+		// same release path mid-run teardowns use. All fault windows
+		// have closed by now, so no RELEASE can be lost again.
+		for _, cs := range r.order {
+			if cs.sig.Established(cs.def.ID) {
+				_ = cs.sig.Teardown(cs.def.ID, nil)
+			}
+		}
+		sim.RunAll()
+	}
+
+	for _, cs := range r.order {
+		if cs.live != nil {
+			cs.emitted += cs.live.Emitted
+			cs.delivered += cs.live.Delivered
+		}
+		sr := cs.sr
+		sr.Emitted = cs.emitted
+		sr.Delivered = cs.delivered
+		if cs.live != nil && cs.live.Delays.Count() > 0 {
+			sr.MaxDelay = cs.live.Delays.Max()
+			sr.Jitter = cs.live.Delays.Jitter()
+		}
+		for i, pr := range cs.probes {
+			sr.Probes[i].MaxBits = pr.MaxBits
+			sr.Probes[i].Dropped = pr.DroppedPackets
+			sr.Dropped += pr.DroppedPackets
+		}
+		res.Sessions = append(res.Sessions, *sr)
+	}
+	res.Pool = net.PoolStats()
+	return res, nil
+}
+
+// faultedPorts returns the ports whose outgoing link the plan takes
+// down at any point (directly or through a node outage).
+func faultedPorts(sc *Scenario) map[string]bool {
+	out := make(map[string]bool)
+	if sc.Faults == nil {
+		return out
+	}
+	for _, l := range sc.Faults.Links {
+		out[l.Port] = true
+	}
+	for _, n := range sc.Faults.Nodes {
+		for _, ld := range sc.Topology.Links {
+			if ld.From == n.Node {
+				out[ld.From+"->"+ld.To] = true
+			}
+		}
+	}
+	return out
+}
+
+// cleanSurvivors filters the run's sessions down to the ones whose
+// service commitments must have survived the chaos: never churned, and
+// routed only over ports the plan never took down. A stalled source
+// does not exempt a session — its reservation was held throughout, so
+// its bounds must keep holding (isolation under silence). Churn and
+// faults elsewhere in the network must not be observable here: that is
+// the graceful-degradation guarantee under test.
+func cleanSurvivors(res *runResult, sc *Scenario) []sessResult {
+	bad := faultedPorts(sc)
+	var out []sessResult
+	for _, sr := range res.Sessions {
+		if sc.Faults.Churned(sr.Def.ID) {
+			continue
+		}
+		touched := false
+		for _, pr := range sr.Probes {
+			if bad[pr.Port] {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			out = append(out, sr)
+		}
+	}
+	return out
+}
+
+// checkChurnDrain is packet conservation under chaos: per session,
+// packets emitted across every incarnation equal deliveries plus every
+// traced packet loss (buffer-limit, fault and purge drops), and the
+// pool got every packet back once the network drained.
+func checkChurnDrain(res *runResult, rep *SeedReport) {
+	for _, sr := range res.Sessions {
+		drops := res.Counts.SessDrops[sr.Def.ID]
+		if sr.Delivered+drops != sr.Emitted {
+			rep.add(Violation{Check: "conservation", Discipline: res.Name, Session: sr.Def.ID,
+				Detail: fmt.Sprintf("emitted %d != delivered %d + dropped %d (buffer+fault+purge)",
+					sr.Emitted, sr.Delivered, drops)})
+		}
+	}
+	if res.Pool.Live != 0 || res.Pool.Released > res.Pool.Taken {
+		rep.add(Violation{Check: "pool-balance", Discipline: res.Name,
+			Detail: fmt.Sprintf("taken %d released %d live %d after drain",
+				res.Pool.Taken, res.Pool.Released, res.Pool.Live)})
+	}
+}
+
+// checkCapacity demands that after the final teardown pass every
+// link's admission controller is back to exactly zero reserved rate:
+// released capacity is really released, with no residue from churn,
+// lost signaling messages, or the retry paths.
+func checkCapacity(res *runResult, sc *Scenario, rep *SeedReport) {
+	for _, ld := range sc.Topology.Links {
+		key := ld.From + "->" + ld.To
+		ctrl, ok := res.Adm.byKey[key]
+		if !ok {
+			continue
+		}
+		if rate := ctrl.TotalRate(); rate != 0 {
+			rep.add(Violation{Check: "capacity-leak", Discipline: res.Name, Port: key,
+				Detail: fmt.Sprintf("%.9g bits/s still reserved after final teardown", rate)})
+		}
+	}
+}
+
+// checkChurnTelemetry is the fault-aware triple agreement: per port,
+// the trace stream, the metrics registry and the buffer probes must
+// tell the same story with drops partitioned by cause — buffer-limit
+// drops (also counted by the probes), fault/purge packet losses, and
+// lost signaling messages.
+func checkChurnTelemetry(res *runResult, rep *SeedReport) {
+	probeDrops := make(map[string]int64)
+	for _, sr := range res.Sessions {
+		for _, pr := range sr.Probes {
+			probeDrops[pr.Port] += pr.Dropped
+		}
+	}
+	for _, pm := range res.Reg.Ports {
+		if got := res.Counts.Arrivals[pm.Name]; got != pm.Arrivals {
+			rep.add(Violation{Check: "telemetry-agreement", Discipline: res.Name, Port: pm.Name,
+				Detail: fmt.Sprintf("trace counted %d arrivals, metrics %d", got, pm.Arrivals)})
+		}
+		if got := res.Counts.Transmits[pm.Name]; got != pm.Transmissions {
+			rep.add(Violation{Check: "telemetry-agreement", Discipline: res.Name, Port: pm.Name,
+				Detail: fmt.Sprintf("trace counted %d transmissions, metrics %d", got, pm.Transmissions)})
+		}
+		bufDrops := res.Counts.Drops[pm.Name] - res.Counts.FaultDrops[pm.Name] - res.Counts.SigDrops[pm.Name]
+		if bufDrops != pm.DroppedPackets || pm.DroppedPackets != probeDrops[pm.Name] {
+			rep.add(Violation{Check: "telemetry-agreement", Discipline: res.Name, Port: pm.Name,
+				Detail: fmt.Sprintf("buffer drops disagree: trace %d, metrics %d, probes %d",
+					bufDrops, pm.DroppedPackets, probeDrops[pm.Name])})
+		}
+		if got := res.Counts.FaultDrops[pm.Name]; got != pm.FaultDrops {
+			rep.add(Violation{Check: "telemetry-agreement", Discipline: res.Name, Port: pm.Name,
+				Detail: fmt.Sprintf("fault drops disagree: trace %d, metrics %d", got, pm.FaultDrops)})
+		}
+		if got := res.Counts.SigDrops[pm.Name]; got != pm.SignalingDrops {
+			rep.add(Violation{Check: "telemetry-agreement", Discipline: res.Name, Port: pm.Name,
+				Detail: fmt.Sprintf("signaling drops disagree: trace %d, metrics %d", got, pm.SignalingDrops)})
+		}
+	}
+	checkEngineSanity(res, rep)
+}

@@ -147,6 +147,29 @@ func less(a, b heldStamp) bool {
 // NextEligible implements network.Discipline.
 func (c *checkedDisc) NextEligible(now float64) (float64, bool) { return c.inner.NextEligible(now) }
 
+// RemoveSession implements network.SessionRemover when the wrapped
+// discipline does (ports type-assert on this decorator).
+func (c *checkedDisc) RemoveSession(id int) {
+	if r, ok := c.inner.(network.SessionRemover); ok {
+		r.RemoveSession(id)
+	}
+}
+
+// PurgeSession implements network.SessionPurger. Purged packets must
+// leave the held map too: the packet structs are pooled, so a stale
+// entry would later alias an unrelated reincarnation of the struct and
+// fabricate a deadline inversion.
+func (c *checkedDisc) PurgeSession(id int, drop func(*packet.Packet)) {
+	if sp, ok := c.inner.(network.SessionPurger); ok {
+		sp.PurgeSession(id, func(p *packet.Packet) {
+			delete(c.held, p)
+			drop(p)
+		})
+		return
+	}
+	c.RemoveSession(id)
+}
+
 // OnTransmit implements network.Discipline.
 func (c *checkedDisc) OnTransmit(p *packet.Packet, finish float64) { c.inner.OnTransmit(p, finish) }
 

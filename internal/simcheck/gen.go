@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"leaveintime/internal/admission"
+	"leaveintime/internal/faults"
 	"leaveintime/internal/rng"
 )
 
@@ -22,6 +23,35 @@ func Generate(seed uint64) Scenario {
 	genAdmissionConfig(&sc, r)
 	genSessions(&sc, r)
 	genDuration(&sc, r)
+	return sc
+}
+
+// churnSeedSalt decorrelates the fault-plan stream from the scenario
+// stream: GenerateChurn(seed) derives the identical base scenario as
+// Generate(seed) and draws the chaos plan from an independent rng, so
+// every churn seed has a fault-free twin with the same topology,
+// sessions and traffic.
+const churnSeedSalt = 0x5851f42d4c957f2d
+
+// GenerateChurn is Generate plus a deterministic chaos plan: link and
+// node outage windows, source stalls, and churn (mid-run release and
+// re-SETUP) on up to half of the admitted sessions. Like Generate it
+// is a pure function of the seed.
+func GenerateChurn(seed uint64) Scenario {
+	sc := Generate(seed)
+	in := faults.Input{Duration: sc.Duration}
+	seenNode := make(map[string]bool)
+	for _, l := range sc.Topology.Links {
+		in.Ports = append(in.Ports, l.From+"->"+l.To)
+		if !seenNode[l.From] {
+			seenNode[l.From] = true
+			in.Nodes = append(in.Nodes, l.From)
+		}
+	}
+	for _, s := range sc.Sessions {
+		in.Sessions = append(in.Sessions, s.ID)
+	}
+	sc.Faults = faults.Generate(seed^churnSeedSalt, in)
 	return sc
 }
 

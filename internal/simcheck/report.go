@@ -11,7 +11,8 @@ type Violation struct {
 	// buffer-bound, loss-free, deadline-inversion, work-conservation,
 	// eligible-idle, pool-balance, conservation, emit-divergence,
 	// vc-equivalence, approx-divergence, telemetry-agreement,
-	// engine-sanity, admission-replay.
+	// engine-sanity, admission-replay; under a fault plan additionally
+	// capacity-leak, watchdog and panic.
 	Check      string `json:"check"`
 	Discipline string `json:"discipline"`
 	Session    int    `json:"session,omitempty"`
@@ -29,12 +30,15 @@ type DiscSummary struct {
 
 // SeedReport is the outcome of checking one scenario.
 type SeedReport struct {
-	Seed        uint64        `json:"seed"`
-	Topology    string        `json:"topology"`
-	Links       int           `json:"links"`
-	Sessions    int           `json:"sessions"`
-	Proc        int           `json:"proc"`
-	Special     bool          `json:"special,omitempty"`
+	Seed     uint64 `json:"seed"`
+	Topology string `json:"topology"`
+	Links    int    `json:"links"`
+	Sessions int    `json:"sessions"`
+	Proc     int    `json:"proc"`
+	Special  bool   `json:"special,omitempty"`
+	// Churn marks a run under a fault plan (the graceful-degradation
+	// battery).
+	Churn       bool          `json:"churn,omitempty"`
 	Duration    float64       `json:"duration_s"`
 	Disciplines []DiscSummary `json:"disciplines"`
 	Violations  []Violation   `json:"violations,omitempty"`
@@ -68,8 +72,12 @@ func (r *SeedReport) Format() string {
 	if len(r.Disciplines) > 0 {
 		pkts = r.Disciplines[0].Emitted
 	}
-	fmt.Fprintf(&b, "seed %d: %s  %s links=%d sessions=%d proc=%d dur=%.3gs pkts=%d disciplines=%d\n",
-		r.Seed, status, r.Topology, r.Links, r.Sessions, r.Proc, r.Duration, pkts, len(r.Disciplines))
+	mode := ""
+	if r.Churn {
+		mode = " churn"
+	}
+	fmt.Fprintf(&b, "seed %d: %s%s  %s links=%d sessions=%d proc=%d dur=%.3gs pkts=%d disciplines=%d\n",
+		r.Seed, status, mode, r.Topology, r.Links, r.Sessions, r.Proc, r.Duration, pkts, len(r.Disciplines))
 	for _, v := range r.Violations {
 		loc := v.Discipline
 		if v.Port != "" {

@@ -34,6 +34,10 @@ type admitterSet struct {
 
 type admitter interface {
 	Remove(id int) bool
+	// TotalRate is the controller's currently reserved rate, bits/s —
+	// exactly zero once every admitted session has been removed, which
+	// the churn battery demands after its final teardown pass.
+	TotalRate() float64
 }
 
 func linkKey(l *topo.Link) string { return l.From + "->" + l.To }
@@ -168,27 +172,49 @@ type runResult struct {
 	Reg        *metrics.Registry
 	Counts     *traceCounts
 	Violations []Violation
+	// Adm holds the run's admission controllers, kept so the churn
+	// battery can demand TotalRate() == 0 after the final teardown.
+	Adm admitterSet
+	// Tripped is the watchdog's trip reason; non-empty means the run was
+	// cut short and only partial telemetry is meaningful.
+	Tripped string
 }
 
 type runOpts struct {
 	limits        bool // cap buffers at the bound for LimitBuffers sessions
 	probes        bool // track per-hop occupancy
 	collectDelays bool
+	// wd, when non-zero, arms the run's watchdog budgets; a tripped run
+	// reports a "watchdog" violation and skips drain-dependent checks.
+	wd event.Watchdog
 }
 
 // traceCounts tallies trace events per port so the battery can demand
-// metrics/trace/probe agreement.
+// metrics/trace/probe agreement. Drop events are split by cause: an
+// empty cause is a buffer-limit drop, "fault"/"purge" are packet
+// losses injected by the chaos layer, and any other cause is a lost
+// signaling message (which carries no packet).
 type traceCounts struct {
 	Arrivals  map[string]int64
 	Transmits map[string]int64
-	Drops     map[string]int64
+	Drops     map[string]int64 // every Drop event, any cause
+	// FaultDrops and SigDrops are per-port partitions of Drops;
+	// SessDrops counts per-session packet losses (buffer, fault and
+	// purge causes — signaling losses excluded), the per-session drop
+	// term of the churn conservation check.
+	FaultDrops map[string]int64
+	SigDrops   map[string]int64
+	SessDrops  map[int]int64
 }
 
 func newTraceCounts() *traceCounts {
 	return &traceCounts{
-		Arrivals:  make(map[string]int64),
-		Transmits: make(map[string]int64),
-		Drops:     make(map[string]int64),
+		Arrivals:   make(map[string]int64),
+		Transmits:  make(map[string]int64),
+		Drops:      make(map[string]int64),
+		FaultDrops: make(map[string]int64),
+		SigDrops:   make(map[string]int64),
+		SessDrops:  make(map[int]int64),
 	}
 }
 
@@ -201,6 +227,15 @@ func (t *traceCounts) Trace(e traceEvent) {
 		t.Transmits[e.Port]++
 	case traceDrop:
 		t.Drops[e.Port]++
+		switch e.Cause {
+		case "":
+			t.SessDrops[e.Session]++
+		case "fault", "purge":
+			t.SessDrops[e.Session]++
+			t.FaultDrops[e.Port]++
+		default:
+			t.SigDrops[e.Port]++
+		}
 	}
 }
 
@@ -213,6 +248,9 @@ func runScenario(sc *Scenario, spec discSpec, opts runOpts) (*runResult, error) 
 		return nil, err
 	}
 	sim := event.New()
+	if opts.wd != (event.Watchdog{}) {
+		sim.SetWatchdog(opts.wd)
+	}
 	net := network.New(sim, sc.LMax)
 	net.SetPoolDebug(true)
 	reg := metrics.NewRegistry()
@@ -236,6 +274,7 @@ func runScenario(sc *Scenario, spec discSpec, opts runOpts) (*runResult, error) 
 	})
 
 	adm := newAdmitters(sc)
+	res.Adm = adm
 	type built struct {
 		sess   *network.Session
 		sr     *sessResult
@@ -260,6 +299,13 @@ func runScenario(sc *Scenario, spec discSpec, opts runOpts) (*runResult, error) 
 	// Emission stops at Duration; everything still queued, regulated or
 	// framed then drains, so RunAll terminates with an empty network.
 	sim.RunAll()
+	if reason := sim.Tripped(); reason != "" {
+		res.Tripped = reason
+		reg.Faults.WatchdogTrips++
+		res.Violations = append(res.Violations, Violation{
+			Check: "watchdog", Discipline: spec.name, Detail: reason,
+		})
+	}
 
 	for _, b := range builds {
 		b.sr.Emitted = b.sess.Emitted

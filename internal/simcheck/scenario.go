@@ -12,6 +12,8 @@ package simcheck
 
 import (
 	"fmt"
+
+	"leaveintime/internal/faults"
 )
 
 // Scenario is a fully declarative, JSON-serializable description of one
@@ -56,6 +58,15 @@ type Scenario struct {
 	// test hook behind the injection/shrinking tests and the litcheck
 	// -bound-scale flag.
 	BoundScale float64 `json:"bound_scale,omitempty"`
+
+	// Faults, when non-nil, is the deterministic chaos plan injected
+	// into every run (see internal/faults): link and node outage
+	// windows, source stalls, and session churn through the real
+	// signaling exchange. Its presence switches the battery to the
+	// churn/fault mode — graceful-degradation invariants instead of the
+	// clean-network bound checks (see CheckScenario). Part of the
+	// scenario so repros of chaotic runs replay byte-identically.
+	Faults *faults.Plan `json:"faults,omitempty"`
 }
 
 // Topology is the network graph: directed links between named nodes.
@@ -192,6 +203,37 @@ func (sc *Scenario) Validate() error {
 		case "cbr", "onoff", "poisson", "varlen":
 		default:
 			return fmt.Errorf("simcheck: session %d: unknown source kind %q", s.ID, s.Source.Kind)
+		}
+	}
+	if sc.Faults != nil {
+		if err := sc.Faults.Validate(); err != nil {
+			return err
+		}
+		ports := make(map[string]bool, len(sc.Topology.Links))
+		nodes := make(map[string]bool)
+		for _, l := range sc.Topology.Links {
+			ports[l.From+"->"+l.To] = true
+			nodes[l.From] = true
+		}
+		for _, l := range sc.Faults.Links {
+			if !ports[l.Port] {
+				return fmt.Errorf("simcheck: fault plan names unknown port %q", l.Port)
+			}
+		}
+		for _, n := range sc.Faults.Nodes {
+			if !nodes[n.Node] {
+				return fmt.Errorf("simcheck: fault plan names unknown node %q", n.Node)
+			}
+		}
+		for _, st := range sc.Faults.Stalls {
+			if !seen[st.Session] {
+				return fmt.Errorf("simcheck: fault plan stalls unknown session %d", st.Session)
+			}
+		}
+		for _, c := range sc.Faults.Churn {
+			if !seen[c.Session] {
+				return fmt.Errorf("simcheck: fault plan churns unknown session %d", c.Session)
+			}
 		}
 	}
 	return nil

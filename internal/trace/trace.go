@@ -28,10 +28,14 @@ const (
 	// Deliver: the packet reached its exit point (after the last
 	// link's propagation delay).
 	Deliver
-	// Drop: the packet was discarded at a port's buffer limit. Emitted
-	// instead of Arrive (the port refused the packet), so a session's
-	// trace shows exactly one terminal event per packet: Deliver or
-	// Drop.
+	// Drop: the packet was discarded — at a port's buffer limit (the
+	// Cause field is empty), by an injected link fault ("fault"), by a
+	// mid-run session teardown purge ("purge"), or as a lost signaling
+	// message ("setup", "accept", "reject", "release"). A buffer-limit
+	// Drop is emitted instead of Arrive (the port refused the packet);
+	// fault and purge Drops terminate packets the port had already
+	// accepted. Either way a session's trace shows exactly one terminal
+	// event per packet: Deliver or Drop.
 	Drop
 )
 
@@ -64,6 +68,12 @@ type Event struct {
 	// node (meaningful from TransmitStart on).
 	Eligible float64
 	Deadline float64
+	// Cause qualifies Drop events: empty for buffer-limit drops,
+	// "fault" for packets lost to an injected link fault, "purge" for
+	// packets discarded by a mid-run session teardown, and
+	// "setup"/"accept"/"reject"/"release" for signaling messages lost
+	// on a faulted link (those carry Seq 0).
+	Cause string
 }
 
 // Tracer consumes events. Implementations must be fast; they run
@@ -177,8 +187,16 @@ func (w *Writer) Trace(e Event) {
 	if w.Sessions != nil && !containsID(w.Sessions, e.Session) {
 		return
 	}
-	_, err := fmt.Fprintf(w.W, "%.9f %-8s %-8s s%d/%d hop%d F=%.9f\n",
-		e.Time, e.Kind, e.Port, e.Session, e.Seq, e.Hop, e.Deadline)
+	// Fault-free events carry no Cause, so their lines are unchanged
+	// from before Cause existed — golden trace pins stay byte-identical.
+	var err error
+	if e.Cause == "" {
+		_, err = fmt.Fprintf(w.W, "%.9f %-8s %-8s s%d/%d hop%d F=%.9f\n",
+			e.Time, e.Kind, e.Port, e.Session, e.Seq, e.Hop, e.Deadline)
+	} else {
+		_, err = fmt.Fprintf(w.W, "%.9f %-8s %-8s s%d/%d hop%d F=%.9f cause=%s\n",
+			e.Time, e.Kind, e.Port, e.Session, e.Seq, e.Hop, e.Deadline, e.Cause)
+	}
 	if err != nil {
 		w.Err = err
 	}

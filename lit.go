@@ -23,9 +23,9 @@
 //
 // # Quick start
 //
-//	sys := lit.NewSystem(lit.SystemConfig{LMax: 424})
-//	a := sys.AddServer("A", 1536e3, 1e-3)
-//	b := sys.AddServer("B", 1536e3, 1e-3)
+//	sys, err := lit.NewSystem(lit.SystemConfig{LMax: 424})
+//	a, _ := sys.AddServer("A", 1536e3, 1e-3)
+//	b, _ := sys.AddServer("B", 1536e3, 1e-3)
 //	sess, bounds, err := sys.Connect(lit.ConnectRequest{
 //		Rate:  32e3,
 //		Route: []*lit.Server{a, b},

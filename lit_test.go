@@ -9,11 +9,29 @@ import (
 	lit "leaveintime"
 )
 
+func mustSystem(t *testing.T, cfg lit.SystemConfig) *lit.System {
+	t.Helper()
+	sys, err := lit.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func mustServer(t *testing.T, sys *lit.System, name string, capacity, gamma float64) *lit.Server {
+	t.Helper()
+	srv, err := sys.AddServer(name, capacity, gamma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 func newTwoHopSystem(t *testing.T) (*lit.System, []*lit.Server) {
 	t.Helper()
-	sys := lit.NewSystem(lit.SystemConfig{LMax: 1000})
-	a := sys.AddServer("A", 1e6, 1e-3)
-	b := sys.AddServer("B", 1e6, 1e-3)
+	sys := mustSystem(t, lit.SystemConfig{LMax: 1000})
+	a := mustServer(t, sys, "A", 1e6, 1e-3)
+	b := mustServer(t, sys, "B", 1e6, 1e-3)
 	return sys, []*lit.Server{a, b}
 }
 
@@ -67,9 +85,9 @@ func TestSystemRejectsOverbooking(t *testing.T) {
 func TestSystemRollbackOnPartialRejection(t *testing.T) {
 	// Fill server B only; a route through A and B must fail at B and
 	// leave A's budget untouched.
-	sys := lit.NewSystem(lit.SystemConfig{LMax: 1000})
-	a := sys.AddServer("A", 1e6, 0)
-	b := sys.AddServer("B", 1e6, 0)
+	sys := mustSystem(t, lit.SystemConfig{LMax: 1000})
+	a := mustServer(t, sys, "A", 1e6, 0)
+	b := mustServer(t, sys, "B", 1e6, 0)
 	if _, _, err := sys.Connect(lit.ConnectRequest{Rate: 1e6, Route: []*lit.Server{b}}); err != nil {
 		t.Fatal(err)
 	}
@@ -107,13 +125,45 @@ func TestSystemValidation(t *testing.T) {
 	}
 }
 
+func TestSystemConstructionErrors(t *testing.T) {
+	if _, err := lit.NewSystem(lit.SystemConfig{}); err == nil {
+		t.Error("zero LMax accepted")
+	}
+	if _, err := lit.NewSystem(lit.SystemConfig{LMax: -1}); err == nil {
+		t.Error("negative LMax accepted")
+	}
+	if _, err := lit.NewSystem(lit.SystemConfig{LMax: 400, Proc: 7}); err == nil {
+		t.Error("unknown procedure accepted")
+	}
+	sys := mustSystem(t, lit.SystemConfig{LMax: 400})
+	if _, err := sys.AddServer("bad", 0, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := sys.AddServer("bad", 1e6, -1); err == nil {
+		t.Error("negative propagation delay accepted")
+	}
+	if len(sys.Servers()) != 0 {
+		t.Errorf("rejected servers left state behind: %d servers", len(sys.Servers()))
+	}
+	// Procedure 2 requires R_P = C: a class hierarchy that tops out
+	// below the link capacity must be reported per server, not crash.
+	sys2 := mustSystem(t, lit.SystemConfig{
+		LMax:    400,
+		Classes: []lit.Class{{R: 10e6, Sigma: 1e-3}},
+		Proc:    2,
+	})
+	if _, err := sys2.AddServer("X", 100e6, 0); err == nil {
+		t.Error("class hierarchy with R_P != C accepted")
+	}
+}
+
 func TestSystemWithClasses(t *testing.T) {
-	sys := lit.NewSystem(lit.SystemConfig{
+	sys := mustSystem(t, lit.SystemConfig{
 		LMax:    400,
 		Classes: []lit.Class{{R: 10e6, Sigma: 0.2e-3}, {R: 100e6, Sigma: 4e-3}},
 		Proc:    2,
 	})
-	s := sys.AddServer("X", 100e6, 0)
+	s := mustServer(t, sys, "X", 100e6, 0)
 	_, bounds, err := sys.Connect(lit.ConnectRequest{
 		Rate: 100e3, Route: []*lit.Server{s}, Class: 1, B0: 400,
 	})

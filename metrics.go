@@ -8,7 +8,7 @@ import "leaveintime/internal/metrics"
 // cost of one branch per instrumented site, with no allocation on the
 // packet path and no change to event ordering:
 //
-//	sys := lit.NewSystem(lit.SystemConfig{LMax: 424})
+//	sys, _ := lit.NewSystem(lit.SystemConfig{LMax: 424})
 //	sys.EnableMetrics()
 //	... build and run ...
 //	snap := sys.Metrics().Snapshot(sys.Sim.Now())

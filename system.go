@@ -82,23 +82,64 @@ type Server struct {
 	ac2 *Procedure2
 }
 
-// NewSystem returns an empty system.
-func NewSystem(cfg SystemConfig) *System {
+// NewSystem returns an empty system. The configuration is validated
+// here rather than at first use: an invalid config (nonpositive LMax,
+// malformed classes, unknown procedure) is reported as an error so
+// callers can surface it instead of crashing mid-setup.
+func NewSystem(cfg SystemConfig) (*System, error) {
 	if cfg.LMax <= 0 {
-		panic("lit: SystemConfig.LMax must be positive")
+		return nil, fmt.Errorf("lit: SystemConfig.LMax must be positive, got %g", cfg.LMax)
+	}
+	switch cfg.Proc {
+	case 0, 1, 2:
+	default:
+		return nil, fmt.Errorf("lit: unsupported admission procedure %d", cfg.Proc)
 	}
 	sim := NewSimulator()
 	return &System{
 		Sim: sim,
 		Net: NewNetwork(sim, cfg.LMax),
 		cfg: cfg,
-	}
+	}, nil
 }
 
 // AddServer creates a Leave-in-Time server with an outgoing link of the
 // given capacity (bits/s) and propagation delay (seconds), guarded by
-// the system's admission procedure.
-func (s *System) AddServer(name string, capacity, gamma float64) *Server {
+// the system's admission procedure. It returns an error — leaving the
+// system unchanged — when the link parameters or the system's class
+// hierarchy are invalid for that capacity (the procedures require
+// R_P = C and positive sigma terms).
+func (s *System) AddServer(name string, capacity, gamma float64) (*Server, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("lit: server %s: capacity must be positive, got %g", name, capacity)
+	}
+	if gamma < 0 {
+		return nil, fmt.Errorf("lit: server %s: propagation delay must be nonnegative, got %g", name, gamma)
+	}
+	classes := s.cfg.Classes
+	proc := s.cfg.Proc
+	if classes == nil {
+		classes = []Class{{R: capacity, Sigma: 1}}
+		proc = 1
+	}
+	// Build the admission controller before touching the network so a
+	// rejected configuration leaves no port behind.
+	var (
+		ac1 *Procedure1
+		ac2 *Procedure2
+		err error
+	)
+	switch proc {
+	case 0, 1:
+		ac1, err = NewProcedure1(capacity, classes)
+	case 2:
+		ac2, err = NewProcedure2(capacity, classes)
+	default:
+		err = fmt.Errorf("unsupported admission procedure %d", proc)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lit: server %s: %w", name, err)
+	}
 	disc := NewLeaveInTime(LeaveInTimeConfig{
 		Capacity:    capacity,
 		LMax:        s.cfg.LMax,
@@ -108,30 +149,14 @@ func (s *System) AddServer(name string, capacity, gamma float64) *Server {
 		Port:     s.Net.NewPort(name, capacity, gamma, disc),
 		Capacity: capacity,
 		Gamma:    gamma,
-	}
-	classes := s.cfg.Classes
-	proc := s.cfg.Proc
-	if classes == nil {
-		classes = []Class{{R: capacity, Sigma: 1}}
-		proc = 1
-	}
-	var err error
-	switch proc {
-	case 0, 1:
-		srv.ac1, err = NewProcedure1(capacity, classes)
-	case 2:
-		srv.ac2, err = NewProcedure2(capacity, classes)
-	default:
-		err = fmt.Errorf("lit: unsupported admission procedure %d", proc)
-	}
-	if err != nil {
-		panic(err)
+		ac1:      ac1,
+		ac2:      ac2,
 	}
 	if s.metrics != nil {
 		srv.attachMetrics(s.metrics)
 	}
 	s.servers = append(s.servers, srv)
-	return srv
+	return srv, nil
 }
 
 // Servers returns the servers in creation order.
