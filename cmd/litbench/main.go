@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	litbench [-out BENCH_core.json] [-filter regex] [-benchtime 1s] [-gate baseline.json]
+//	litbench [-out BENCH_core.json] [-filter regex] [-benchtime 1s]
+//	         [-gate baseline.json] [-timeband 0.10] [-overheadband 0]
 //
 // For every case it records ns/op, allocs/op, B/op, the simulated time
 // one iteration advances, and the derived simulated-seconds-per-
@@ -15,13 +16,30 @@
 // reference trajectory.
 //
 // With -gate, litbench additionally loads the given baseline file and
-// exits nonzero if any measured case allocates more than its budget —
-// allocsGateFactor times the baseline's allocs_per_op plus a fixed
-// warm-up allowance. The slack absorbs run-to-run noise and the
-// warm-up-heavy counts of short -benchtime runs while still failing on
-// an order-of-magnitude regression (e.g. losing the packet pool or
-// reintroducing per-event closures). CI runs it over the paper-figure
-// cases against the committed BENCH_core.json.
+// exits nonzero if any measured case regresses past its budgets:
+//
+//   - allocations: more than allocsGateFactor times the baseline's
+//     allocs_per_op plus a fixed warm-up allowance. The slack absorbs
+//     run-to-run noise and the warm-up-heavy counts of short -benchtime
+//     runs while still failing on an order-of-magnitude regression
+//     (e.g. losing the packet pool or reintroducing per-event
+//     closures).
+//   - throughput: sim_seconds_per_wall_second below the baseline's by
+//     more than the -timeband fraction (default 0.10, i.e. a >10%
+//     slowdown fails; 0 disables the time gate). Unlike allocation
+//     counts, wall time is machine-dependent, so the time gate is only
+//     meaningful against a baseline recorded on comparable hardware —
+//     CI regenerates a same-machine baseline before gating rather than
+//     trusting the committed file's absolute numbers.
+//
+// With -overheadband, litbench compares each "X/metrics" case against
+// its base case "X" within the same run: the metrics-on variant must
+// keep at least (1 - band) of the metrics-off throughput. This is the
+// telemetry-is-nearly-free contract as a same-machine gate — both
+// sides are measured by the same process on the same hardware, so it
+// holds on any machine, including CI, without a recorded baseline.
+//
+// CI runs the gate over the paper-figure cases.
 package main
 
 import (
@@ -71,12 +89,18 @@ const (
 	allocsGateSlack  = 8192
 )
 
+// defaultTimeBand is the default -timeband: the fraction of baseline
+// sim-s/wall-s a case may lose before the gate fails.
+const defaultTimeBand = 0.10
+
 func main() {
 	var (
 		out       = flag.String("out", "BENCH_core.json", "output file (- for stdout only)")
 		filter    = flag.String("filter", "", "regex selecting cases to run (default all)")
 		benchtime = flag.String("benchtime", "", "per-case benchmark time (e.g. 2s, 100x); default 1s")
-		gate      = flag.String("gate", "", "baseline JSON file; fail if allocs/op regress past its budgets")
+		gate      = flag.String("gate", "", "baseline JSON file; fail if allocs/op or throughput regress past its budgets")
+		timeband  = flag.Float64("timeband", defaultTimeBand, "allowed fractional sim-s/wall-s loss vs the gate baseline (0 disables the time gate)")
+		overhead  = flag.Float64("overheadband", 0, "fail if an X/metrics case loses more than this fraction of case X's same-run throughput (0 disables)")
 	)
 	testing.Init()
 	flag.Parse()
@@ -125,12 +149,28 @@ func main() {
 		os.Exit(1)
 	}
 
-	if *gate != "" {
-		if err := checkGate(*gate, file.Results); err != nil {
+	if *overhead > 0 {
+		if *overhead >= 1 {
+			fmt.Fprintln(os.Stderr, "litbench: -overheadband must be in [0, 1)")
+			os.Exit(2)
+		}
+		if err := checkOverhead(file.Results, *overhead); err != nil {
 			fmt.Fprintf(os.Stderr, "litbench: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("allocation gate ok against %s\n", *gate)
+		fmt.Printf("metrics overhead within %.0f%% of the metrics-off baseline\n", *overhead*100)
+	}
+
+	if *gate != "" {
+		if *timeband < 0 || *timeband >= 1 {
+			fmt.Fprintln(os.Stderr, "litbench: -timeband must be in [0, 1)")
+			os.Exit(2)
+		}
+		if err := checkGate(*gate, file.Results, *timeband); err != nil {
+			fmt.Fprintf(os.Stderr, "litbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gate ok against %s\n", *gate)
 	}
 
 	if *out == "-" {
@@ -149,10 +189,11 @@ func main() {
 	fmt.Printf("wrote %s (%d cases)\n", *out, len(file.Results))
 }
 
-// checkGate compares measured allocs/op against the baseline file's
-// budgets. Cases absent from the baseline pass (new benchmarks gate
-// only once their baseline is committed).
-func checkGate(path string, results []Result) error {
+// checkGate compares measured allocs/op and sim-s/wall-s against the
+// baseline file's budgets. Cases absent from the baseline pass (new
+// benchmarks gate only once their baseline is committed), as do cases
+// without a simulated clock on the time side.
+func checkGate(path string, results []Result, timeband float64) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return fmt.Errorf("gate baseline: %w", err)
@@ -161,24 +202,61 @@ func checkGate(path string, results []Result) error {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		return fmt.Errorf("gate baseline %s: %w", path, err)
 	}
-	budgets := make(map[string]int64, len(base.Results))
+	baseline := make(map[string]Result, len(base.Results))
 	for _, r := range base.Results {
-		budgets[r.Name] = allocsGateFactor*r.AllocsPerOp + allocsGateSlack
+		baseline[r.Name] = r
 	}
 	var failed int
 	for _, r := range results {
-		budget, ok := budgets[r.Name]
+		b, ok := baseline[r.Name]
 		if !ok {
 			continue
 		}
-		if r.AllocsPerOp > budget {
+		if budget := allocsGateFactor*b.AllocsPerOp + allocsGateSlack; r.AllocsPerOp > budget {
 			fmt.Fprintf(os.Stderr, "litbench: %s allocates %d/op, budget %d/op (baseline x%d + %d)\n",
 				r.Name, r.AllocsPerOp, budget, allocsGateFactor, allocsGateSlack)
 			failed++
 		}
+		if timeband > 0 && b.SimSecondsPerWallSecond > 0 && r.SimSecondsPerWallSecond > 0 {
+			if floor := b.SimSecondsPerWallSecond * (1 - timeband); r.SimSecondsPerWallSecond < floor {
+				fmt.Fprintf(os.Stderr, "litbench: %s runs %.0f sim-s/wall-s, floor %.0f (baseline %.0f - %.0f%%)\n",
+					r.Name, r.SimSecondsPerWallSecond, floor, b.SimSecondsPerWallSecond, timeband*100)
+				failed++
+			}
+		}
 	}
 	if failed > 0 {
-		return fmt.Errorf("%d case(s) exceeded the allocation budget", failed)
+		return fmt.Errorf("%d budget violation(s) against the gate baseline", failed)
+	}
+	return nil
+}
+
+// checkOverhead holds every "X/metrics" case within band of its base
+// case "X" measured in the same run. Metrics pairs where either side
+// lacks a simulated clock, or whose base was filtered out, pass.
+func checkOverhead(results []Result, band float64) error {
+	byName := make(map[string]Result, len(results))
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	var failed int
+	for _, r := range results {
+		const suffix = "/metrics"
+		if len(r.Name) <= len(suffix) || r.Name[len(r.Name)-len(suffix):] != suffix {
+			continue
+		}
+		base, ok := byName[r.Name[:len(r.Name)-len(suffix)]]
+		if !ok || base.SimSecondsPerWallSecond <= 0 || r.SimSecondsPerWallSecond <= 0 {
+			continue
+		}
+		if floor := base.SimSecondsPerWallSecond * (1 - band); r.SimSecondsPerWallSecond < floor {
+			fmt.Fprintf(os.Stderr, "litbench: %s runs %.0f sim-s/wall-s vs %s at %.0f — telemetry costs more than %.0f%%\n",
+				r.Name, r.SimSecondsPerWallSecond, base.Name, base.SimSecondsPerWallSecond, band*100)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d metrics case(s) exceeded the telemetry overhead band", failed)
 	}
 	return nil
 }

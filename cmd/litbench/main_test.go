@@ -1,0 +1,87 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeBaseline(t *testing.T, results []Result) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "base.json")
+	data, err := json.Marshal(File{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCheckGateAllocs(t *testing.T) {
+	base := writeBaseline(t, []Result{{Name: "Fig07", AllocsPerOp: 1000}})
+	ok := []Result{{Name: "Fig07", AllocsPerOp: allocsGateFactor*1000 + allocsGateSlack}}
+	if err := checkGate(base, ok, 0); err != nil {
+		t.Errorf("at-budget case failed: %v", err)
+	}
+	bad := []Result{{Name: "Fig07", AllocsPerOp: allocsGateFactor*1000 + allocsGateSlack + 1}}
+	if err := checkGate(base, bad, 0); err == nil {
+		t.Error("over-budget case passed")
+	}
+}
+
+func TestCheckGateTimeBand(t *testing.T) {
+	base := writeBaseline(t, []Result{{Name: "Fig07", SimSecondsPerWallSecond: 100}})
+	// 10% band: 91 passes, 89 fails.
+	if err := checkGate(base, []Result{{Name: "Fig07", SimSecondsPerWallSecond: 91}}, 0.10); err != nil {
+		t.Errorf("within-band slowdown failed: %v", err)
+	}
+	if err := checkGate(base, []Result{{Name: "Fig07", SimSecondsPerWallSecond: 89}}, 0.10); err == nil {
+		t.Error("out-of-band slowdown passed")
+	}
+	// Band 0 disables the time gate entirely.
+	if err := checkGate(base, []Result{{Name: "Fig07", SimSecondsPerWallSecond: 1}}, 0); err != nil {
+		t.Errorf("timeband 0 still gated: %v", err)
+	}
+}
+
+// TestCheckGateSkips: cases absent from the baseline pass, as do cases
+// without a simulated clock on either side of the time comparison.
+func TestCheckGateSkips(t *testing.T) {
+	base := writeBaseline(t, []Result{
+		{Name: "Counter/arena"}, // no sim clock in the baseline
+	})
+	measured := []Result{
+		{Name: "Brand/new", AllocsPerOp: 1 << 40, SimSecondsPerWallSecond: 1e-9},
+		{Name: "Counter/arena", SimSecondsPerWallSecond: 123},
+	}
+	if err := checkGate(base, measured, 0.10); err != nil {
+		t.Errorf("skippable cases gated: %v", err)
+	}
+}
+
+func TestCheckGateMissingBaseline(t *testing.T) {
+	if err := checkGate(filepath.Join(t.TempDir(), "nope.json"), nil, 0.10); err == nil {
+		t.Error("missing baseline file passed")
+	}
+}
+
+func TestCheckOverhead(t *testing.T) {
+	results := []Result{
+		{Name: "Fig07", SimSecondsPerWallSecond: 100},
+		{Name: "Fig07/metrics", SimSecondsPerWallSecond: 91},
+	}
+	if err := checkOverhead(results, 0.10); err != nil {
+		t.Errorf("within-band overhead failed: %v", err)
+	}
+	results[1].SimSecondsPerWallSecond = 89
+	if err := checkOverhead(results, 0.10); err == nil {
+		t.Error("out-of-band overhead passed")
+	}
+	// A metrics case whose base was filtered out of the run passes.
+	if err := checkOverhead(results[1:], 0.10); err != nil {
+		t.Errorf("orphan metrics case gated: %v", err)
+	}
+}

@@ -86,13 +86,15 @@ type Procedure1 struct {
 	Classes []Class
 
 	members [][]admitted // per class
-	m       *metrics.ProcOutcome
+	ma      *metrics.Arena
+	mb      metrics.Handle
 }
 
-// SetMetrics attaches the controller's accept/reject counters. Several
+// SetMetrics attaches the controller's accept/reject counters as arena
+// slots at the given procedure block base (HAdmissionAC1..3). Several
 // controllers (one per server) typically share one procedure-wide
-// outcome struct.
-func (p *Procedure1) SetMetrics(m *metrics.ProcOutcome) { p.m = m }
+// block.
+func (p *Procedure1) SetMetrics(a *metrics.Arena, base metrics.Handle) { p.ma, p.mb = a, base }
 
 type admitted struct {
 	spec SessionSpec
@@ -146,13 +148,13 @@ type Options struct {
 // failure the controller state is unchanged.
 func (p *Procedure1) Admit(spec SessionSpec, j int, opts Options) (Assignment, error) {
 	if err := p.check(spec, j, opts); err != nil {
-		if p.m != nil {
-			p.m.Rejected++
+		if p.ma != nil {
+			p.ma.Inc(p.mb + metrics.ProcRejected)
 		}
 		return Assignment{}, err
 	}
-	if p.m != nil {
-		p.m.Accepted++
+	if p.ma != nil {
+		p.ma.Inc(p.mb + metrics.ProcAccepted)
 	}
 	p.members[j-1] = append(p.members[j-1], admitted{spec: spec, eps: opts.Eps})
 	return p.assignment(spec, j, opts), nil
@@ -235,11 +237,13 @@ type Procedure2 struct {
 	Classes []Class
 
 	members [][]admitted
-	m       *metrics.ProcOutcome
+	ma      *metrics.Arena
+	mb      metrics.Handle
 }
 
-// SetMetrics attaches the controller's accept/reject counters.
-func (p *Procedure2) SetMetrics(m *metrics.ProcOutcome) { p.m = m }
+// SetMetrics attaches the controller's accept/reject counters as arena
+// slots at the given procedure block base.
+func (p *Procedure2) SetMetrics(a *metrics.Arena, base metrics.Handle) { p.ma, p.mb = a, base }
 
 // NewProcedure2 returns an empty procedure-2 controller. R_P = C is
 // required as in procedure 1 so the whole link can be committed.
@@ -253,13 +257,13 @@ func NewProcedure2(c float64, classes []Class) (*Procedure2, error) {
 // Admit attempts to admit the session into class j (1-based).
 func (p *Procedure2) Admit(spec SessionSpec, j int, opts Options) (Assignment, error) {
 	if err := p.check(spec, j, opts); err != nil {
-		if p.m != nil {
-			p.m.Rejected++
+		if p.ma != nil {
+			p.ma.Inc(p.mb + metrics.ProcRejected)
 		}
 		return Assignment{}, err
 	}
-	if p.m != nil {
-		p.m.Accepted++
+	if p.ma != nil {
+		p.ma.Inc(p.mb + metrics.ProcAccepted)
 	}
 	p.members[j-1] = append(p.members[j-1], admitted{spec: spec, eps: opts.Eps})
 	return p.assignment(spec, j, opts), nil
@@ -365,11 +369,13 @@ type Procedure3 struct {
 
 	specs []SessionSpec
 	ds    []float64
-	m     *metrics.ProcOutcome
+	ma    *metrics.Arena
+	mb    metrics.Handle
 }
 
-// SetMetrics attaches the controller's accept/reject counters.
-func (p *Procedure3) SetMetrics(m *metrics.ProcOutcome) { p.m = m }
+// SetMetrics attaches the controller's accept/reject counters as arena
+// slots at the given procedure block base.
+func (p *Procedure3) SetMetrics(a *metrics.Arena, base metrics.Handle) { p.ma, p.mb = a, base }
 
 // NewProcedure3 returns an empty procedure-3 controller.
 func NewProcedure3(c float64) (*Procedure3, error) {
@@ -384,11 +390,11 @@ func NewProcedure3(c float64) (*Procedure3, error) {
 // candidate.
 func (p *Procedure3) Admit(spec SessionSpec, d float64) (Assignment, error) {
 	a, err := p.admit(spec, d)
-	if p.m != nil {
+	if p.ma != nil {
 		if err != nil {
-			p.m.Rejected++
+			p.ma.Inc(p.mb + metrics.ProcRejected)
 		} else {
-			p.m.Accepted++
+			p.ma.Inc(p.mb + metrics.ProcAccepted)
 		}
 	}
 	return a, err

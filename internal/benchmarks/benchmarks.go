@@ -16,6 +16,10 @@ import (
 	"testing"
 
 	lit "leaveintime"
+	"leaveintime/internal/core"
+	"leaveintime/internal/metrics"
+	"leaveintime/internal/network"
+	"leaveintime/internal/packet"
 )
 
 // Duration is the simulated run length per iteration of the
@@ -47,6 +51,24 @@ func Suite() []Case {
 			F: func(b *testing.B) { QueueAblation(b, false) }},
 		{Name: "QueueAblation/calendar", SimSeconds: Duration,
 			F: func(b *testing.B) { QueueAblation(b, true) }},
+		{Name: "Counter/raw", F: CounterRaw},
+		{Name: "Counter/arena", F: CounterArena},
+		{Name: "RegulatorPath", F: RegulatorPath},
+	}
+	// The heap-vs-calendar ablation at three event-density regimes:
+	// light (a quarter of admissible load), mid (over half), and full
+	// (the admission limit of the 1.536 Mb/s port).
+	for _, d := range []struct {
+		name     string
+		sessions int
+	}{{"light", 12}, {"mid", 30}, {"full", 48}} {
+		d := d
+		cases = append(cases,
+			Case{Name: "QueueDensity/" + d.name + "/heap", SimSeconds: Duration,
+				F: func(b *testing.B) { QueueAblationN(b, false, d.sessions) }},
+			Case{Name: "QueueDensity/" + d.name + "/calendar", SimSeconds: Duration,
+				F: func(b *testing.B) { QueueAblationN(b, true, d.sessions) }},
+		)
 	}
 	for _, n := range []int{12, 24, 48} {
 		n := n
@@ -101,7 +123,7 @@ func Fig07Metrics(b *testing.B) {
 			regs[j] = lit.NewMetricsRegistry()
 		}
 		res := lit.RunFig7Observed(Duration, uint64(i+1), regs)
-		if len(res.Rows) != 7 || regs[0].Engine.Fired == 0 {
+		if len(res.Rows) != 7 || regs[0].EngineCounters().Fired == 0 {
 			b.Fatal("bad sweep")
 		}
 	}
@@ -123,7 +145,7 @@ func Fig08Metrics(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		reg := lit.NewMetricsRegistry()
 		res := lit.RunFig8Observed(Duration, uint64(i+1), reg)
-		if res.NoCtrl.Packets == 0 || reg.Engine.Fired == 0 {
+		if res.NoCtrl.Packets == 0 || reg.EngineCounters().Fired == 0 {
 			b.Fatal("no packets")
 		}
 	}
@@ -143,8 +165,13 @@ func Fig14to17(b *testing.B) {
 }
 
 // QueueAblation drives a loaded single-port Leave-in-Time server with
-// the exact heap (approx=false) or the O(1) calendar queue.
-func QueueAblation(b *testing.B, approx bool) {
+// the exact heap (approx=false) or the O(1) calendar queue, at the
+// admission limit of 48 voice sessions.
+func QueueAblation(b *testing.B, approx bool) { QueueAblationN(b, approx, 48) }
+
+// QueueAblationN is QueueAblation at a chosen session count (event
+// density scales with it).
+func QueueAblationN(b *testing.B, approx bool, sessions int) {
 	for i := 0; i < b.N; i++ {
 		sys, err := lit.NewSystem(lit.SystemConfig{LMax: 424, Approximate: approx})
 		if err != nil {
@@ -155,8 +182,7 @@ func QueueAblation(b *testing.B, approx bool) {
 			b.Fatal(err)
 		}
 		r := lit.NewRand(1)
-		// 48 voice sessions through one port.
-		for j := 0; j < 48; j++ {
+		for j := 0; j < sessions; j++ {
 			_, _, err := sys.Connect(lit.ConnectRequest{
 				Rate:  32e3,
 				Route: []*lit.Server{srv},
@@ -168,6 +194,67 @@ func QueueAblation(b *testing.B, approx bool) {
 			}
 		}
 		sys.Run(Duration)
+	}
+}
+
+// counterSink defeats dead-code elimination in the counter benchmarks.
+var counterSink uint64
+
+// CounterRaw measures a memory-resident uint64 increment: the floor
+// the arena counter is held against (within 2x, zero allocations). The
+// counter lives in a package variable so the add hits memory each
+// iteration, like an arena slot does, rather than folding into a
+// register.
+func CounterRaw(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		counterSink++
+	}
+}
+
+// CounterArena measures one handle-addressed arena increment — the
+// whole per-event cost of an enabled telemetry site.
+func CounterArena(b *testing.B) {
+	reg := metrics.NewRegistry()
+	a, base := reg.NewPort("bench", 1536e3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Inc(base + metrics.PortArrivals)
+	}
+	counterSink = a.Uint(base + metrics.PortArrivals)
+}
+
+// RegulatorPath isolates the Leave-in-Time regulate/deadline/
+// eligibility path: jitter-controlled packets enter the regulator
+// (session lookup, eq. 6-11 arithmetic, regulator push) and are later
+// released and dequeued in deadline order — no network, no event loop.
+// One op is one packet through Enqueue plus its share of Dequeue.
+func RegulatorPath(b *testing.B) {
+	const sessions = 48
+	l := core.New(core.Config{Capacity: 1536e3, LMax: 424})
+	pkts := make([]packet.Packet, sessions)
+	for s := 0; s < sessions; s++ {
+		l.AddSession(network.SessionPort{
+			Session: s, Rate: 32e3, JitterControl: true,
+			D:    func(length float64) float64 { return length / 32e3 },
+			DMax: 424 / 32e3,
+		})
+		pkts[s] = packet.Packet{Session: s, Length: 424}
+	}
+	b.ResetTimer()
+	now := 0.0
+	for i := 0; i < b.N; i += sessions {
+		for s := 0; s < sessions; s++ {
+			p := &pkts[s]
+			p.Hold = 1e-3 // upstream slack: forces the regulator path
+			l.Enqueue(p, now)
+		}
+		now += 2e-3 // all eligibility times have passed
+		for s := 0; s < sessions; s++ {
+			if _, ok := l.Dequeue(now); !ok {
+				b.Fatal("regulator lost a packet")
+			}
+		}
+		now += 1e-3
 	}
 }
 

@@ -235,10 +235,10 @@ func (s *Scenario) RunWithMetrics(reg *metrics.Registry) (*Result, error) {
 		}
 		if reg != nil {
 			if st.ac1 != nil {
-				st.ac1.SetMetrics(&reg.Admission.AC1)
+				st.ac1.SetMetrics(reg.Arena(), metrics.HAdmissionAC1)
 			}
 			if st.ac2 != nil {
-				st.ac2.SetMetrics(&reg.Admission.AC2)
+				st.ac2.SetMetrics(reg.Arena(), metrics.HAdmissionAC2)
 			}
 		}
 		servers[sv.Name] = st

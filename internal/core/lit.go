@@ -26,6 +26,7 @@ import (
 	"leaveintime/internal/metrics"
 	"leaveintime/internal/network"
 	"leaveintime/internal/packet"
+	"leaveintime/internal/sesstab"
 )
 
 // Config parametrizes a Leave-in-Time server instance (one per port).
@@ -52,8 +53,10 @@ type Config struct {
 // LiT is a Leave-in-Time server: the scheduler attached to one port.
 // It implements network.Discipline.
 type LiT struct {
-	cfg      Config
-	sessions map[int]*sessionState
+	cfg Config
+	// sessions is a dense ID-indexed table; the per-packet lookup in
+	// Enqueue is a bounds check and an indexed load, not a map probe.
+	sessions sesstab.Table[sessionState]
 	// regulator holds not-yet-eligible packets of jitter-controlled
 	// sessions, keyed by eligibility time.
 	regulator *binHeap
@@ -61,16 +64,19 @@ type LiT struct {
 	ready pqueue
 	stamp uint64
 
-	// m, when non-nil, receives scheduler counters (regulator holds,
-	// deadline misses); attached by Network.EnableMetrics.
-	m *metrics.Sched
+	// ma/mb, when attached, receive scheduler counters (regulator holds,
+	// deadline misses) at the port's Sched* slots; wired by
+	// Network.EnableMetrics.
+	ma *metrics.Arena
+	mb metrics.Handle
 }
 
-// SetMetrics attaches the scheduler's telemetry counters: regulator
-// holds with their accumulated eligibility wait, and deadline misses —
-// transmissions finishing after F + L_MAX/C, the service guarantee
-// behind eq. 9's nonnegative holding time (Theorem 1).
-func (l *LiT) SetMetrics(m *metrics.Sched) { l.m = m }
+// SetMetrics attaches the scheduler's telemetry counters — regulator
+// holds with their accumulated eligibility wait, and deadline misses
+// (transmissions finishing after F + L_MAX/C, the service guarantee
+// behind eq. 9's nonnegative holding time, Theorem 1) — as arena slots
+// at the port's counter block.
+func (l *LiT) SetMetrics(a *metrics.Arena, base metrics.Handle) { l.ma, l.mb = a, base }
 
 type sessionState struct {
 	cfg     network.SessionPort
@@ -96,7 +102,7 @@ func New(cfg Config) *LiT {
 		}
 		nb := cfg.ApproxBuckets
 		if nb <= 0 {
-			nb = 4096
+			nb = 256
 		}
 		ready = newCalendarQueue(w, nb)
 	} else {
@@ -104,7 +110,6 @@ func New(cfg Config) *LiT {
 	}
 	return &LiT{
 		cfg:       cfg,
-		sessions:  make(map[int]*sessionState),
 		regulator: newBinHeap(),
 		ready:     ready,
 	}
@@ -115,15 +120,15 @@ func (l *LiT) AddSession(cfg network.SessionPort) {
 	if cfg.Rate <= 0 {
 		panic(fmt.Sprintf("core: session %d has nonpositive rate", cfg.Session))
 	}
-	l.sessions[cfg.Session] = &sessionState{cfg: cfg}
+	l.sessions.Put(cfg.Session, sessionState{cfg: cfg})
 }
 
 // Enqueue implements network.Discipline: it stamps the packet with its
 // eligibility time and transmission deadline, then places it in the
 // delay regulator (if not yet eligible) or the transmission queue.
 func (l *LiT) Enqueue(p *packet.Packet, now float64) {
-	s, ok := l.sessions[p.Session]
-	if !ok {
+	s := l.sessions.Get(p.Session)
+	if s == nil {
 		panic(fmt.Sprintf("core: packet for unregistered session %d", p.Session))
 	}
 	// Eligibility (eqs. 6-8). p.Hold carries A^n from the upstream
@@ -155,9 +160,9 @@ func (l *LiT) Enqueue(p *packet.Packet, now float64) {
 	l.stamp++
 	en := entry{p: p, stamp: l.stamp}
 	if e > now {
-		if l.m != nil {
-			l.m.Regulated++
-			l.m.EligibilityWait += e - now
+		if l.ma != nil {
+			l.ma.Inc(l.mb + metrics.SchedRegulated)
+			l.ma.AddFloat(l.mb+metrics.SchedEligibilityWait, e-now)
 		}
 		en.key = e
 		l.regulator.push(en)
@@ -198,10 +203,10 @@ func (l *LiT) NextEligible(now float64) (float64, bool) {
 // nonnegative when the server is not saturated; the port clamps and
 // counts violations.
 func (l *LiT) OnTransmit(p *packet.Packet, finish float64) {
-	if l.m != nil && finish > p.Deadline+l.cfg.LMax/l.cfg.Capacity+deadlineSlack {
-		l.m.DeadlineMisses++
+	if l.ma != nil && finish > p.Deadline+l.cfg.LMax/l.cfg.Capacity+deadlineSlack {
+		l.ma.Inc(l.mb + metrics.SchedDeadlineMisses)
 	}
-	s := l.sessions[p.Session]
+	s := l.sessions.Get(p.Session)
 	if s == nil || !s.cfg.JitterControl {
 		p.Hold = 0
 		return
@@ -221,7 +226,7 @@ func (l *LiT) Len() int { return l.ready.len() + l.regulator.len() }
 // session's scheduling state at teardown. Any still-queued packet of
 // the session will panic on its next Enqueue, surfacing teardown
 // before drain.
-func (l *LiT) RemoveSession(id int) { delete(l.sessions, id) }
+func (l *LiT) RemoveSession(id int) { l.sessions.Delete(id) }
 
 // PurgeSession implements network.SessionPurger: a mid-run teardown
 // that evicts the session's queued packets — regulated and eligible —
@@ -232,7 +237,7 @@ func (l *LiT) RemoveSession(id int) { delete(l.sessions, id) }
 func (l *LiT) PurgeSession(id int, drop func(*packet.Packet)) {
 	purgePQ(l.regulator, id, drop)
 	purgePQ(l.ready, id, drop)
-	delete(l.sessions, id)
+	l.sessions.Delete(id)
 }
 
 // purgePQ drains q, dropping the purged session's packets (in priority

@@ -1,8 +1,8 @@
 package core
 
 import (
-	"fmt"
 	"math"
+	"math/bits"
 
 	"leaveintime/internal/packet"
 )
@@ -114,87 +114,94 @@ func (b *binHeap) peekMin() (float64, bool) {
 // the emulation error — the amount by which service order can deviate
 // from exact deadline order — is strictly bounded by the bin width.
 //
-// The implementation is a classic ring-of-bins calendar queue (Brown
-// 1988): day d lives in physical bin d mod len(bins), so push and pop
-// are array indexing with no map hashing. The ring wraps — one bin can
-// hold entries of several days (different "years"); each element
-// carries its day so the scan serving day d skips entries of future
-// years. The search cursor (lastDay) only moves forward between pops,
-// so the ring is traversed at most once per day of key advance; if the
-// next occupied day is more than one full rotation ahead the queue
-// falls back to a direct minimum scan. The ring resizes by amortized
-// doubling/halving to keep O(1) entries per bin, and drained bins keep
-// their backing arrays so steady-state operation does not allocate.
+// The implementation is a ring-of-bins calendar queue (Brown 1988):
+// day d lives in physical bin d mod len(bins), so push and pop are
+// array indexing with no map hashing. The ring wraps — one bin can hold
+// entries of several days (different "years"); each element carries its
+// day so the scan serving day d skips entries of future years. The
+// search cursor (lastDay) only moves forward between pops, so the ring
+// is traversed at most once per day of key advance; if the next
+// occupied day is more than one full rotation ahead the queue falls
+// back to a direct minimum scan.
+//
+// # Memory layout
+//
+// Bins are intrusive FIFO lists threaded through a single node arena
+// (nodes []calNode, int32 links) with per-bin head/tail indices, so a
+// ring of N bins costs 2N int32s plus one bit of occupancy — not N
+// slice headers each growing its own backing array. Freed nodes go on a
+// free list, so steady-state operation never allocates and resizing the
+// ring only reallocates the head/tail/occupancy arrays, never the
+// entries. An occupancy bitmap (one bit per bin) lets the search skip
+// runs of empty bins 64 at a time with TrailingZeros instead of loading
+// each bin header.
+//
+// # Sizing policy
+//
+// The ring grows when occupancy exceeds two entries per bin and shrinks
+// when it falls below one entry per eight bins — an 8x hysteresis band,
+// so an event density oscillating around a threshold cannot thrash
+// resize. The floor is minCalendarBins regardless of the construction
+// hint (the hint sizes the initial ring; it is not a shrink floor, so
+// an oversized hint no longer pins an oversized ring forever). Resizing
+// preserves the service order exactly: entries of one day are
+// contiguous in list order in exactly one source bin, so walking source
+// bins in slot order and re-appending keeps FIFO-within-day intact.
+//
+// Width is fixed at construction by default (LiT passes LMax/C: one
+// maximum-size transmission time of emulation error, the bound the
+// paper's argument needs). A width of 0 requests auto mode: the queue
+// starts at 1s and re-estimates the width from the average inter-pop
+// key gap at each resize, the classic Brown rule for workloads with no
+// natural width.
 type calendarQueue struct {
-	width   float64
-	bins    []bin
-	mask    int64 // len(bins)-1; len is a power of two
+	width     float64
+	autoWidth bool
+
+	head  []int32  // per-bin first node, -1 when empty
+	tail  []int32  // per-bin last node, -1 when empty
+	occ   []uint64 // occupancy bitmap: bit s set iff head[s] >= 0
+	nodes []calNode
+	free  int32 // head of the free-node list, -1 when empty
+
+	mask    int64 // len(head)-1; len is a power of two
 	count   int
 	lastDay int64 // <= the day of every queued entry
-	minBins int   // resize floor (from the construction-time hint)
+
+	// Inter-pop gap sampling for auto-width re-estimation.
+	lastPop  float64
+	havePop  bool
+	gapSum   float64
+	gapCount int
 }
 
-// binEntry is an entry plus its day index, computed once at push time.
-type binEntry struct {
+// calNode is one queued entry in the arena: the entry, its day
+// (computed once at push time), and the intrusive FIFO link.
+type calNode struct {
 	entry
-	day int64
+	day  int64
+	next int32
 }
 
-// bin is one physical slot of the ring: entries in insertion order,
-// possibly of several different days. Vacated slots are zeroed so
-// popped packets are not pinned by the backing array, and the array is
-// compacted when the popped prefix passes half of it.
-type bin struct {
-	items []binEntry
-	head  int
-}
-
-func (b *bin) push(e binEntry) { b.items = append(b.items, e) }
-
-// takeAt removes and returns the element at position i (>= head),
-// preserving the order of the remaining elements.
-func (b *bin) takeAt(i int) binEntry {
-	e := b.items[i]
-	if i == b.head {
-		b.items[i] = binEntry{}
-		b.head++
-		switch {
-		case b.head == len(b.items):
-			b.items = b.items[:0]
-			b.head = 0
-		case b.head > len(b.items)/2:
-			n := copy(b.items, b.items[b.head:])
-			clearBinEntries(b.items[n:])
-			b.items = b.items[:n]
-			b.head = 0
-		}
-	} else {
-		copy(b.items[i:], b.items[i+1:])
-		last := len(b.items) - 1
-		b.items[last] = binEntry{}
-		b.items = b.items[:last]
-	}
-	return e
-}
-
-func (b *bin) len() int { return len(b.items) - b.head }
-
-func clearBinEntries(s []binEntry) {
-	for i := range s {
-		s[i] = binEntry{}
-	}
-}
-
-// minCalendarBins is the smallest ring size; tiny hints are rounded up
-// so the resize floor stays meaningful.
+// minCalendarBins is the smallest ring size and the shrink floor.
 const minCalendarBins = 16
+
+// autoWidthMinSamples is how many inter-pop gaps auto mode needs before
+// it trusts the average enough to re-estimate the bin width.
+const autoWidthMinSamples = 8
 
 // newCalendarQueue builds a calendar queue with the given bin width
 // (seconds of deadline). A natural width for a port of capacity C is
-// LMax/C: one maximum-size transmission time of emulation error.
-// hintBuckets sizes the initial ring (0 for the default) and acts as
-// the shrink floor.
+// LMax/C: one maximum-size transmission time of emulation error. A
+// width of 0 selects auto mode (width re-estimated from observed
+// inter-pop gaps at each resize). hintBuckets sizes the initial ring
+// (0 for the default).
 func newCalendarQueue(width float64, hintBuckets int) *calendarQueue {
+	auto := false
+	if width == 0 {
+		auto = true
+		width = 1
+	}
 	if !(width > 0) || math.IsInf(width, 0) {
 		panic("core: calendar queue needs positive finite width")
 	}
@@ -205,13 +212,19 @@ func newCalendarQueue(width float64, hintBuckets int) *calendarQueue {
 	for nb < hintBuckets {
 		nb *= 2
 	}
-	c := &calendarQueue{width: width, minBins: nb}
+	c := &calendarQueue{width: width, autoWidth: auto, free: -1}
 	c.setBins(nb)
 	return c
 }
 
 func (c *calendarQueue) setBins(nb int) {
-	c.bins = make([]bin, nb)
+	c.head = make([]int32, nb)
+	c.tail = make([]int32, nb)
+	for i := range c.head {
+		c.head[i] = -1
+		c.tail[i] = -1
+	}
+	c.occ = make([]uint64, (nb+63)/64)
 	c.mask = int64(nb - 1)
 }
 
@@ -222,108 +235,220 @@ func (c *calendarQueue) setBins(nb int) {
 // clear message instead.
 func (c *calendarQueue) dayOf(key float64) int64 {
 	d := math.Floor(key / c.width)
-	if math.IsNaN(d) {
-		panic("core: calendar queue key is NaN")
-	}
-	if d < -(1<<62) || d > 1<<62 {
-		panic(fmt.Sprintf("core: calendar queue key %g out of range (bin %g overflows int64)", key, d))
+	// The in-range comparison is also false for NaN, so one guard
+	// catches both; panicking with a constant string (rather than
+	// formatting the key) keeps dayOf within the inlining budget on
+	// the push path.
+	if !(d >= -(1<<62) && d <= 1<<62) {
+		panic("core: calendar queue key is NaN or its bin overflows int64")
 	}
 	return int64(d)
 }
 
-// slot maps a day to its physical bin. len(bins) is a power of two, so
+// slot maps a day to its physical bin. len(head) is a power of two, so
 // masking is a correct floor-mod for negative days too.
 func (c *calendarQueue) slot(day int64) int { return int(day & c.mask) }
+
+func (c *calendarQueue) allocNode() int32 {
+	if c.free >= 0 {
+		idx := c.free
+		c.free = c.nodes[idx].next
+		return idx
+	}
+	c.nodes = append(c.nodes, calNode{})
+	return int32(len(c.nodes) - 1)
+}
+
+func (c *calendarQueue) freeNode(idx int32) {
+	n := &c.nodes[idx]
+	n.p = nil // release the packet reference; push overwrites the rest
+	n.next = c.free
+	c.free = idx
+}
+
+// appendNode links an already-filled node at the tail of its day's bin.
+func (c *calendarQueue) appendNode(idx int32) {
+	n := &c.nodes[idx]
+	n.next = -1
+	s := c.slot(n.day)
+	if t := c.tail[s]; t >= 0 {
+		c.nodes[t].next = idx
+	} else {
+		c.head[s] = idx
+		c.occ[s>>6] |= 1 << (uint(s) & 63)
+	}
+	c.tail[s] = idx
+}
 
 func (c *calendarQueue) push(e entry) {
 	day := c.dayOf(e.key)
 	if c.count == 0 || day < c.lastDay {
 		c.lastDay = day
 	}
-	c.bins[c.slot(day)].push(binEntry{entry: e, day: day})
+	idx := c.allocNode()
+	n := &c.nodes[idx]
+	n.entry = e
+	n.day = day
+	c.appendNode(idx)
 	c.count++
-	if c.count > 2*len(c.bins) {
-		c.resize(2 * len(c.bins))
+	if nb := len(c.head); c.count > 2*nb {
+		c.rebuild(2 * nb)
 	}
 }
 
 func (c *calendarQueue) popMin() (entry, bool) {
-	b, i, day, ok := c.search()
+	idx, prev, day, ok := c.search()
 	if !ok {
 		return entry{}, false
 	}
-	be := b.takeAt(i)
+	n := &c.nodes[idx]
+	e := n.entry
+	// Unlink from the bin's FIFO list.
+	s := c.slot(day)
+	if prev >= 0 {
+		c.nodes[prev].next = n.next
+	} else {
+		c.head[s] = n.next
+		if n.next < 0 {
+			c.occ[s>>6] &^= 1 << (uint(s) & 63)
+		}
+	}
+	if c.tail[s] == idx {
+		c.tail[s] = prev
+	}
+	c.freeNode(idx)
 	c.lastDay = day
 	c.count--
-	if len(c.bins) > c.minBins && c.count < len(c.bins)/4 {
-		c.resize(len(c.bins) / 2)
+	if c.autoWidth {
+		if c.havePop {
+			if gap := e.key - c.lastPop; gap > 0 {
+				c.gapSum += gap
+				c.gapCount++
+			}
+		}
+		c.lastPop, c.havePop = e.key, true
 	}
-	return be.entry, true
+	if nb := len(c.head); nb > minCalendarBins && c.count < nb/8 {
+		c.rebuild(nb / 2)
+	}
+	return e, true
 }
 
 func (c *calendarQueue) peekMin() (float64, bool) {
-	b, i, _, ok := c.search()
+	idx, _, _, ok := c.search()
 	if !ok {
 		return 0, false
 	}
-	return b.items[i].key, true
+	return c.nodes[idx].key, true
 }
 
-// search locates the next entry to serve: the earliest-pushed entry of
-// the smallest occupied day. It relies on the invariant that lastDay
-// never exceeds the day of any queued entry.
-func (c *calendarQueue) search() (*bin, int, int64, bool) {
+// search locates the next entry to serve: the first-pushed entry of the
+// smallest occupied day. It returns the node index, its list
+// predecessor (-1 when it is the bin head), and its day. It relies on
+// the invariant that lastDay never exceeds the day of any queued entry.
+func (c *calendarQueue) search() (idx, prev int32, day int64, ok bool) {
 	if c.count == 0 {
-		return nil, 0, 0, false
+		return -1, -1, 0, false
 	}
-	nb := int64(len(c.bins))
-	for d := c.lastDay; d < c.lastDay+nb; d++ {
-		b := &c.bins[c.slot(d)]
-		for i := b.head; i < len(b.items); i++ {
-			if b.items[i].day == d {
-				return b, i, d, true
-			}
+	nb := len(c.head)
+	s0 := c.slot(c.lastDay)
+	// One rotation starting at lastDay's slot, skipping empty bins 64 at
+	// a time through the occupancy bitmap. Within the first rotation each
+	// day maps to a distinct slot, so slot ring-distance recovers the day.
+	for k := 0; k < nb; {
+		s := s0 + k
+		if s >= nb {
+			s -= nb
 		}
+		w := c.occ[s>>6] >> (uint(s) & 63)
+		if w == 0 {
+			// The rest of this word is empty; jump to the next word
+			// boundary.
+			k += 64 - (s & 63)
+			continue
+		}
+		z := bits.TrailingZeros64(w)
+		s += z
+		k += z
+		if k >= nb || s >= nb {
+			break
+		}
+		d := c.lastDay + int64(k)
+		p := int32(-1)
+		for i := c.head[s]; i >= 0; i = c.nodes[i].next {
+			if c.nodes[i].day == d {
+				return i, p, d, true
+			}
+			p = i
+		}
+		k++ // occupied, but only by entries of future years
 	}
 	// Nothing within one rotation: the next day is over a year ahead.
 	// Find the minimum day directly and serve its first entry.
 	best := int64(math.MaxInt64)
-	for s := range c.bins {
-		b := &c.bins[s]
-		for i := b.head; i < len(b.items); i++ {
-			if b.items[i].day < best {
-				best = b.items[i].day
+	for s := 0; s < nb; s++ {
+		if c.occ[s>>6]&(1<<(uint(s)&63)) == 0 {
+			continue
+		}
+		for i := c.head[s]; i >= 0; i = c.nodes[i].next {
+			if c.nodes[i].day < best {
+				best = c.nodes[i].day
 			}
 		}
 	}
-	b := &c.bins[c.slot(best)]
-	for i := b.head; i < len(b.items); i++ {
-		if b.items[i].day == best {
-			return b, i, best, true
+	s := c.slot(best)
+	p := int32(-1)
+	for i := c.head[s]; i >= 0; i = c.nodes[i].next {
+		if c.nodes[i].day == best {
+			return i, p, best, true
 		}
+		p = i
 	}
 	panic("core: calendar queue lost an entry")
 }
 
-// resize redistributes all entries into a ring of nb bins. Entries of
-// one day are contiguous (in insertion order) in exactly one source
-// bin, so appending source bins in order preserves the FIFO-within-day
-// service order — pop results are identical across resizes.
-func (c *calendarQueue) resize(nb int) {
-	if nb < c.minBins {
-		nb = c.minBins
+// rebuild redistributes all entries into a ring of nb bins (and, in
+// auto mode, re-estimates the bin width from sampled inter-pop gaps).
+// Entries of one day are contiguous in list order in exactly one source
+// bin, so walking source bins in slot order and re-appending preserves
+// the FIFO-within-day service order — pop results are identical across
+// resizes at fixed width.
+func (c *calendarQueue) rebuild(nb int) {
+	if nb < minCalendarBins {
+		nb = minCalendarBins
 	}
-	if nb == len(c.bins) {
+	reday := false
+	if c.autoWidth && c.gapCount >= autoWidthMinSamples {
+		// Brown's rule: width ~ 3x the average inter-event gap keeps
+		// most days at O(1) occupancy.
+		if w := 3 * c.gapSum / float64(c.gapCount); w > 0 && !math.IsInf(w, 0) && w != c.width {
+			c.width = w
+			reday = true
+		}
+		c.gapSum, c.gapCount = 0, 0
+	}
+	if nb == len(c.head) && !reday {
 		return
 	}
-	old := c.bins
+	oldHead := c.head
 	c.setBins(nb)
-	for s := range old {
-		b := &old[s]
-		for i := b.head; i < len(b.items); i++ {
-			be := b.items[i]
-			c.bins[c.slot(be.day)].push(be)
+	minDay := int64(math.MaxInt64)
+	for s := range oldHead {
+		for idx := oldHead[s]; idx >= 0; {
+			n := &c.nodes[idx]
+			next := n.next
+			if reday {
+				n.day = c.dayOf(n.key)
+			}
+			if n.day < minDay {
+				minDay = n.day
+			}
+			c.appendNode(idx)
+			idx = next
 		}
+	}
+	if c.count > 0 {
+		c.lastDay = minDay
 	}
 }
 

@@ -161,68 +161,15 @@ func TestCalendarQueueDrainRefill(t *testing.T) {
 }
 
 func TestCalendarQueuePanicsOnBadArgs(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("zero width did not panic")
-		}
-	}()
-	newCalendarQueue(0, 8)
-}
-
-func TestBinOrderAndRelease(t *testing.T) {
-	var b bin
-	for i := 1; i <= 4; i++ {
-		b.push(binEntry{entry: entry{stamp: uint64(i), p: &packet.Packet{Seq: int64(i)}}})
-	}
-	if b.len() != 4 {
-		t.Fatalf("len = %d", b.len())
-	}
-	if e := b.takeAt(b.head); e.stamp != 1 {
-		t.Fatal("bin order")
-	}
-	// The vacated slot must not pin the popped packet.
-	if b.items[0].p != nil {
-		t.Fatal("popped slot still references its packet")
-	}
-	// Out-of-order removal (a future-year entry between current-day
-	// ones) preserves the order of the rest.
-	if e := b.takeAt(b.head + 1); e.stamp != 3 {
-		t.Fatal("takeAt middle")
-	}
-	if e := b.takeAt(b.head); e.stamp != 2 {
-		t.Fatal("order after middle removal")
-	}
-	if e := b.takeAt(b.head); e.stamp != 4 || b.len() != 0 {
-		t.Fatal("bin drain")
-	}
-}
-
-// TestBinCompaction: once the popped prefix passes half the backing
-// array, the bin compacts and zeroes the tail so drained entries are
-// unreachable without waiting for a full drain.
-func TestBinCompaction(t *testing.T) {
-	var b bin
-	const n = 64
-	for i := 0; i < n; i++ {
-		b.push(binEntry{entry: entry{stamp: uint64(i), p: &packet.Packet{}}})
-	}
-	for i := 0; i < n/2+1; i++ {
-		b.takeAt(b.head)
-	}
-	if b.head != 0 {
-		t.Fatalf("head = %d after passing half capacity, want compaction", b.head)
-	}
-	for i := b.len(); i < len(b.items[:cap(b.items)]); i++ {
-		if b.items[:cap(b.items)][i].p != nil {
-			t.Fatalf("tail slot %d still references a packet after compaction", i)
-		}
-	}
-	want := uint64(n/2 + 1)
-	for b.len() > 0 {
-		if e := b.takeAt(b.head); e.stamp != want {
-			t.Fatalf("stamp = %d after compaction, want %d", e.stamp, want)
-		}
-		want++
+	for _, w := range []float64{-1, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("width %v did not panic", w)
+				}
+			}()
+			newCalendarQueue(w, 8)
+		}()
 	}
 }
 
@@ -249,7 +196,7 @@ func TestCalendarQueueRejectsBadKeys(t *testing.T) {
 // the pop order (day asc, insertion order within day) is unaffected.
 func TestCalendarQueueResizeOrder(t *testing.T) {
 	c := newCalendarQueue(1, 0)
-	initial := len(c.bins)
+	initial := len(c.head)
 	r := rng.New(7)
 	type pushed struct {
 		day   int64
@@ -261,8 +208,8 @@ func TestCalendarQueueResizeOrder(t *testing.T) {
 		c.push(entry{key: k, stamp: uint64(i)})
 		want = append(want, pushed{day: int64(k), stamp: uint64(i)})
 	}
-	if len(c.bins) <= initial {
-		t.Fatalf("ring did not grow: %d bins for %d entries", len(c.bins), c.len())
+	if len(c.head) <= initial {
+		t.Fatalf("ring did not grow: %d bins for %d entries", len(c.head), c.len())
 	}
 	sort.SliceStable(want, func(i, j int) bool { return want[i].day < want[j].day })
 	for i, w := range want {
@@ -271,7 +218,182 @@ func TestCalendarQueueResizeOrder(t *testing.T) {
 			t.Fatalf("pop %d: got stamp %d ok=%v, want %d", i, e.stamp, ok, w.stamp)
 		}
 	}
-	if len(c.bins) != initial {
-		t.Fatalf("ring did not shrink back to the floor: %d bins", len(c.bins))
+	if len(c.head) != minCalendarBins {
+		t.Fatalf("ring did not shrink back to the floor: %d bins", len(c.head))
+	}
+}
+
+// TestCalendarNodeRelease: freed arena nodes must not pin packets.
+func TestCalendarNodeRelease(t *testing.T) {
+	c := newCalendarQueue(1, 8)
+	pk := &packet.Packet{Seq: 1}
+	c.push(entry{key: 2, p: pk})
+	if e, ok := c.popMin(); !ok || e.p != pk {
+		t.Fatal("pop")
+	}
+	for i := range c.nodes {
+		if c.nodes[i].p == pk {
+			t.Fatal("freed node still references its packet")
+		}
+	}
+}
+
+// TestCalendarMultiYearFIFO: a wrapped ring bin can hold entries of
+// several years; service must take the current day's entries (in FIFO
+// order) before any future year's, even when interleaved in one bin.
+func TestCalendarMultiYearFIFO(t *testing.T) {
+	c := newCalendarQueue(1, 16)
+	// Days 3 and 19 share slot 3 in a 16-bin ring.
+	c.push(entry{key: 19.2, stamp: 0})
+	c.push(entry{key: 3.1, stamp: 1})
+	c.push(entry{key: 3.6, stamp: 2})
+	for i, want := range []uint64{1, 2, 0} {
+		if e, ok := c.popMin(); !ok || e.stamp != want {
+			t.Fatalf("pop %d: stamp %d, want %d", i, e.stamp, want)
+		}
+	}
+}
+
+// TestCalendarQueueResizeHysteresis: grow (count > 2*nb) and shrink
+// (count < nb/8) thresholds are an 8x band apart, so an event density
+// oscillating around either threshold must not thrash resizes.
+func TestCalendarQueueResizeHysteresis(t *testing.T) {
+	c := newCalendarQueue(1, 16)
+	nb0 := len(c.head)
+	var stamp uint64
+	push := func(k float64) { stamp++; c.push(entry{key: k, stamp: stamp}) }
+	// Grow exactly once.
+	for i := 0; i <= 2*nb0; i++ {
+		push(float64(i))
+	}
+	grown := len(c.head)
+	if grown != 2*nb0 {
+		t.Fatalf("grew to %d bins, want %d", grown, 2*nb0)
+	}
+	// Oscillate +-3 entries around the grow threshold 200 times: the
+	// ring must not resize again in either direction.
+	for i := 0; i < 200; i++ {
+		for j := 0; j < 3; j++ {
+			if _, ok := c.popMin(); !ok {
+				t.Fatal("unexpected empty")
+			}
+		}
+		for j := 0; j < 3; j++ {
+			push(1000 + float64(i*3+j))
+		}
+		if len(c.head) != grown {
+			t.Fatalf("resize thrash at oscillation %d: %d bins", i, len(c.head))
+		}
+	}
+	// Drain just to the shrink threshold and oscillate there too.
+	for c.len() > grown/8 {
+		if _, ok := c.popMin(); !ok {
+			t.Fatal("unexpected empty")
+		}
+	}
+	mid := len(c.head) // may have shrunk while draining; re-anchor
+	for i := 0; i < 200; i++ {
+		push(5000 + float64(i))
+		if _, ok := c.popMin(); !ok {
+			t.Fatal("unexpected empty")
+		}
+		if len(c.head) != mid {
+			t.Fatalf("resize thrash near shrink threshold: %d bins", len(c.head))
+		}
+	}
+}
+
+// TestCalendarQueueAutoWidth: width 0 requests auto mode — the bin
+// width is re-estimated from observed inter-pop gaps at resize, and
+// ordering stays correct across the re-estimation.
+func TestCalendarQueueAutoWidth(t *testing.T) {
+	c := newCalendarQueue(0, 16)
+	w0 := c.width
+	const gap = 0.001 // three orders below the initial 1s width
+	var stamp uint64
+	// Feed enough steadily-spaced keys through push/pop cycles to
+	// trigger at least one resize (and with it a re-estimation).
+	key := 0.0
+	for i := 0; i < 400; i++ {
+		key += gap
+		stamp++
+		c.push(entry{key: key, stamp: stamp})
+		if i%2 == 1 {
+			prev := -1.0
+			e, ok := c.popMin()
+			if !ok {
+				t.Fatal("unexpected empty")
+			}
+			if e.key < prev {
+				t.Fatalf("order violated: %g after %g", e.key, prev)
+			}
+			prev = e.key
+		}
+	}
+	if c.width == w0 {
+		t.Fatalf("auto width never re-estimated (still %g)", c.width)
+	}
+	if c.width > 100*gap {
+		t.Fatalf("re-estimated width %g far from gap scale %g", c.width, gap)
+	}
+	// Drain in order.
+	prev := -1.0
+	for {
+		e, ok := c.popMin()
+		if !ok {
+			break
+		}
+		if e.key < prev {
+			t.Fatalf("order violated after re-estimation: %g after %g", e.key, prev)
+		}
+		prev = e.key
+	}
+}
+
+// TestCalendarSameOrderAsHeap: when every key is a multiple of the bin
+// width (so equal-day implies equal-key), the calendar's pop order —
+// day ascending, FIFO within day — must be exactly the heap's
+// (key, stamp) order. This is the statistical conformance property the
+// goldens rely on: at the default width the two queue implementations
+// are distinguishable only within a bin.
+func TestCalendarSameOrderAsHeap(t *testing.T) {
+	const width = 0.25
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		c := newCalendarQueue(width, 16)
+		h := newBinHeap()
+		var stamp uint64
+		base := 0
+		for i := 0; i < 800; i++ {
+			if r.Float64() < 0.6 || c.len() == 0 {
+				base += int(r.Float64() * 3)
+				k := float64(base+int(r.Float64()*40)) * width
+				stamp++
+				c.push(entry{key: k, stamp: stamp})
+				h.push(entry{key: k, stamp: stamp})
+			} else {
+				ce, cok := c.popMin()
+				he, hok := h.popMin()
+				if cok != hok || ce.key != he.key || ce.stamp != he.stamp {
+					return false
+				}
+			}
+		}
+		for {
+			ce, cok := c.popMin()
+			he, hok := h.popMin()
+			if cok != hok {
+				return false
+			}
+			if !cok {
+				return true
+			}
+			if ce.key != he.key || ce.stamp != he.stamp {
+				return false
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
 	}
 }

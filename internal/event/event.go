@@ -17,9 +17,17 @@
 // Cancellation is lazy: Cancel only marks the event and drops its
 // handler; the struct stays in the heap until it surfaces at the root
 // and is skipped. That keeps Cancel O(1) and avoids the sift-down of a
-// mid-heap removal. The heap is 4-ary, which halves the tree depth of
-// a binary heap and touches fewer cache lines per operation on the
-// sift-down-heavy pop path.
+// mid-heap removal.
+//
+// The heap itself is data-oriented: it stores 24-byte value nodes
+// (time, seq, pointer) rather than *Event pointers, so every
+// comparison on the sift paths reads keys already in the node array —
+// no pointer chase into a separately-allocated Event per compare, and
+// no position write-back into the Event structs on every move (lazy
+// cancellation never needs an event's heap index). The heap is 4-ary,
+// which halves the tree depth of a binary heap; with inline keys the
+// four children of a node span at most two cache lines, where the old
+// pointer layout touched up to four random lines per level.
 package event
 
 import (
@@ -53,7 +61,6 @@ type Event struct {
 	time  float64
 	seq   uint64
 	fn    Handler
-	index int32 // position in the heap, -1 once out of it
 	state uint8
 }
 
@@ -61,19 +68,29 @@ type Event struct {
 // have fired, if canceled).
 func (e *Event) Time() float64 { return e.time }
 
+// evNode is one heap slot: the ordering key inline plus the event it
+// stands for. Keys ride in the node so sift comparisons never
+// dereference the Event.
+type evNode struct {
+	time float64
+	seq  uint64
+	e    *Event
+}
+
 // Simulator is a discrete-event simulator. The zero value is ready to
 // use and starts at time 0.
 type Simulator struct {
 	now     float64
 	seq     uint64
-	heap    []*Event // 4-ary min-heap ordered by (time, seq)
+	heap    []evNode // 4-ary min-heap ordered by (time, seq)
 	free    []*Event // recycled Event structs
 	pending int      // scheduled and not canceled
 	stopped bool
 
-	// m, when non-nil, receives engine counters (one branch per
-	// schedule/cancel/fire; see internal/metrics).
-	m *metrics.Engine
+	// m, when non-nil, receives engine counters through the fixed
+	// HEngine* handles (one branch per schedule/cancel/fire; see
+	// internal/metrics).
+	m *metrics.Arena
 
 	// Watchdog state (see watchdog.go): run budgets checked before each
 	// fire, one branch per event when disarmed.
@@ -84,10 +101,10 @@ type Simulator struct {
 	wdStart   time.Time
 }
 
-// SetMetrics attaches (or, with nil, detaches) the engine's telemetry
-// counters. Counting costs one branch per Schedule, Cancel and fired
-// event and never allocates.
-func (s *Simulator) SetMetrics(m *metrics.Engine) { s.m = m }
+// SetMetrics attaches (or, with nil, detaches) the telemetry arena the
+// engine counts into (fixed HEngine* handles). Counting costs one
+// branch per Schedule, Cancel and fired event and never allocates.
+func (s *Simulator) SetMetrics(a *metrics.Arena) { s.m = a }
 
 // New returns a simulator starting at time 0.
 func New() *Simulator { return &Simulator{} }
@@ -115,10 +132,8 @@ func (s *Simulator) Schedule(t float64, fn Handler) *Event {
 	s.pending++
 	s.heapPush(e)
 	if s.m != nil {
-		s.m.Scheduled++
-		if n := int64(len(s.heap)); n > s.m.HeapHighWater {
-			s.m.HeapHighWater = n
-		}
+		s.m.Inc(metrics.HEngineScheduled)
+		s.m.MaxUint(metrics.HEngineHeapHighWater, uint64(len(s.heap)))
 	}
 	return e
 }
@@ -140,7 +155,7 @@ func (s *Simulator) Cancel(e *Event) {
 	e.fn = nil // release the closure now, not at pop time
 	s.pending--
 	if s.m != nil {
-		s.m.Canceled++
+		s.m.Inc(metrics.HEngineCanceled)
 	}
 }
 
@@ -168,7 +183,7 @@ func (s *Simulator) Step() bool {
 		fn := e.fn
 		s.recycle(e)
 		if s.m != nil {
-			s.m.Fired++
+			s.m.Inc(metrics.HEngineFired)
 		}
 		fn()
 		return true
@@ -207,7 +222,7 @@ func (s *Simulator) Stop() { s.stopped = true }
 
 func (s *Simulator) peek() *Event {
 	for len(s.heap) > 0 {
-		e := s.heap[0]
+		e := s.heap[0].e
 		if e.state != stateCanceled {
 			return e
 		}
@@ -235,13 +250,12 @@ func (s *Simulator) alloc() *Event {
 func (s *Simulator) recycle(e *Event) {
 	e.fn = nil
 	e.state = stateFree
-	e.index = -1
 	s.free = append(s.free, e)
 }
 
-// less orders events by (time, seq): earlier first, ties in scheduling
-// order — the engine's determinism contract.
-func less(a, b *Event) bool {
+// nodeLess orders heap nodes by (time, seq): earlier first, ties in
+// scheduling order — the engine's determinism contract.
+func nodeLess(a, b evNode) bool {
 	if a.time != b.time {
 		return a.time < b.time
 	}
@@ -249,44 +263,42 @@ func less(a, b *Event) bool {
 }
 
 func (s *Simulator) heapPush(e *Event) {
-	s.heap = append(s.heap, e)
+	s.heap = append(s.heap, evNode{time: e.time, seq: e.seq, e: e})
 	s.siftUp(len(s.heap) - 1)
 }
 
 func (s *Simulator) heapPop() *Event {
 	h := s.heap
-	root := h[0]
+	root := h[0].e
 	last := len(h) - 1
-	h[0] = h[last]
-	h[last] = nil
+	n := h[last]
+	h[last] = evNode{}
 	s.heap = h[:last]
 	if last > 0 {
+		s.heap[0] = n
 		s.siftDown(0)
 	}
-	root.index = -1
 	return root
 }
 
 func (s *Simulator) siftUp(i int) {
 	h := s.heap
-	e := h[i]
+	n := h[i]
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !less(e, h[p]) {
+		if !nodeLess(n, h[p]) {
 			break
 		}
 		h[i] = h[p]
-		h[i].index = int32(i)
 		i = p
 	}
-	h[i] = e
-	e.index = int32(i)
+	h[i] = n
 }
 
 func (s *Simulator) siftDown(i int) {
 	h := s.heap
 	n := len(h)
-	e := h[i]
+	x := h[i]
 	for {
 		c := i<<2 + 1
 		if c >= n {
@@ -298,17 +310,15 @@ func (s *Simulator) siftDown(i int) {
 			end = n
 		}
 		for j := c + 1; j < end; j++ {
-			if less(h[j], h[m]) {
+			if nodeLess(h[j], h[m]) {
 				m = j
 			}
 		}
-		if !less(h[m], e) {
+		if !nodeLess(h[m], x) {
 			break
 		}
 		h[i] = h[m]
-		h[i].index = int32(i)
 		i = m
 	}
-	h[i] = e
-	e.index = int32(i)
+	h[i] = x
 }

@@ -1,167 +1,359 @@
 // Package metrics is the simulator's run-telemetry substrate: a flat,
-// fixed-layout registry of counters and gauges covering the event
-// engine, the network ports, the schedulers, the packet pool, and the
-// admission controllers.
+// cache-line-padded counter arena covering the event engine, the
+// network ports, the schedulers, the packet pool, the admission
+// controllers, and the fault layer.
 //
-// The design contract is zero cost when disabled and allocation-free
-// when enabled:
+// The design contract is zero cost when disabled and truly free when
+// enabled:
 //
-//   - Every instrumented component holds a plain typed pointer into the
-//     registry (*Engine, *Port, *Sched, ...). A nil pointer disables
-//     the site at the price of one branch — no interface boxing, no
-//     map lookup, no atomic, no per-event allocation.
-//   - Counters are plain int64/float64 fields incremented in place.
+//   - All counters live in one flat []uint64 arena per Registry.
+//     Every instrumented component resolves its slots ONCE at wiring
+//     time into an *Arena plus small integer Handles; the enabled hot
+//     path is a single indexed increment — no nil checks beyond the
+//     one enable branch, no pointer chase through per-layer structs,
+//     no map lookup, no atomic, no allocation.
+//   - The arena is padded: one full cache line of unused slots at the
+//     head and tail, and every section (engine, pool, admission,
+//     faults, each port) starts on a cache-line boundary. Concurrent
+//     sweeps run one registry per sweep point; the edge padding
+//     guarantees two registries never share a cache line even when the
+//     allocator places their arenas back to back — the false-sharing
+//     mechanism that made the old pointer-per-layer registry halve
+//     multi-core sweep throughput.
+//   - Counters are uint64 slots. Integer counters use Inc/MaxUint;
+//     bit/seconds accumulators store an IEEE float64 bit pattern and
+//     use AddFloat (Float64bits/Float64frombits compile to plain
+//     register moves, so a float add costs the same as an int add).
 //     The registry inherits the simulator's single-threaded discipline
 //     (one registry per simulator; concurrent sweeps use one registry
 //     per sweep point).
-//   - All allocation happens at wiring time (Registry and per-port
-//     structs); the hot path only writes through pre-resolved pointers.
-//     The litbench allocation gate runs the figure benchmarks with
-//     metrics enabled to keep this true.
 //
-// Snapshot derives the JSON-facing view (utilization, pool live count)
-// from the raw counters at any instant; cmd/litsim and cmd/litrun
-// write it via their -telemetry flag, and lit.System exposes it through
-// System.Metrics().
+// Snapshot copies the arena in one memmove and derives the JSON-facing
+// view (utilization, pool live count) from the copy, so taking a
+// snapshot never stalls or tears the hot loop's counters. cmd/litsim
+// and cmd/litrun write it via their -telemetry flag, and lit.System
+// exposes it through System.Metrics().
 package metrics
 
-// Engine counts discrete-event engine activity.
+import "math"
+
+// Handle addresses one counter slot in an Arena. Handles are resolved
+// at wiring time (fixed-section constants below, NewPort for ports)
+// and are stable for the registry's lifetime.
+type Handle = int32
+
+// Arena is the flat counter storage. Methods are the complete hot-path
+// surface: a handful of indexed read-modify-write operations.
+type Arena struct {
+	slots []uint64
+}
+
+// Inc adds one to an integer counter.
+func (a *Arena) Inc(h Handle) { a.slots[h]++ }
+
+// AddUint adds v to an integer counter.
+func (a *Arena) AddUint(h Handle, v uint64) { a.slots[h] += v }
+
+// MaxUint raises an integer high-water mark to v if it is larger.
+func (a *Arena) MaxUint(h Handle, v uint64) {
+	if v > a.slots[h] {
+		a.slots[h] = v
+	}
+}
+
+// AddFloat adds v to a float64 accumulator slot.
+func (a *Arena) AddFloat(h Handle, v float64) {
+	a.slots[h] = math.Float64bits(math.Float64frombits(a.slots[h]) + v)
+}
+
+// Uint reads an integer counter.
+func (a *Arena) Uint(h Handle) uint64 { return a.slots[h] }
+
+// Int reads an integer counter as int64.
+func (a *Arena) Int(h Handle) int64 { return int64(a.slots[h]) }
+
+// Float reads a float64 accumulator.
+func (a *Arena) Float(h Handle) float64 { return math.Float64frombits(a.slots[h]) }
+
+// lineSlots is one cache line's worth of uint64 slots. Sections are
+// padded to multiples of it and the arena carries one line of padding
+// at each edge.
+const lineSlots = 8
+
+// Fixed-section handles. The head pad line occupies slots 0..7; the
+// fixed sections follow, each starting on a line boundary.
+const (
+	// Engine section: discrete-event engine activity.
+	HEngineScheduled     Handle = lineSlots + iota // Schedule calls
+	HEngineCanceled                                // Cancel calls
+	HEngineFired                                   // handler executions
+	HEngineHeapHighWater                           // max events resident in the heap
+)
+
+const (
+	// Pool section: packet-pool ownership transfers.
+	HPoolTaken Handle = 2*lineSlots + iota
+	HPoolReleased
+)
+
+// Admission section: accept/reject per procedure. Each procedure's
+// block is ProcSlots wide with ProcAccepted/ProcRejected offsets.
+const (
+	HAdmissionAC1 Handle = 3 * lineSlots
+	HAdmissionAC2 Handle = HAdmissionAC1 + ProcSlots
+	HAdmissionAC3 Handle = HAdmissionAC2 + ProcSlots
+
+	// ProcAccepted and ProcRejected are offsets into one procedure's
+	// block.
+	ProcAccepted Handle = 0
+	ProcRejected Handle = 1
+	// ProcSlots is the stride between procedure blocks.
+	ProcSlots Handle = 2
+)
+
+// Faults section: injected-fault and churn activity. All counters stay
+// zero on fault-free runs, so enabling them costs nothing and changes
+// nothing.
+const (
+	HFaultLinkDowns      Handle = 4*lineSlots + iota // fault transitions down
+	HFaultLinkUps                                    // fault transitions up
+	HFaultInFlightDrops                              // packets lost on a failed link
+	HFaultPurgeDrops                                 // packets discarded by mid-run teardown
+	HFaultSignalingDrops                             // signaling messages lost to link faults
+	HFaultSessionsPurged                             // mid-run session removals (per node visit)
+	HFaultReleases                                   // churn: signaled teardowns initiated
+	HFaultResetups                                   // churn: re-establishments accepted
+	HFaultResetupRejects                             // churn: re-establishments rejected or lost
+	HFaultStalls                                     // source stall windows begun
+	HFaultWatchdogTrips                              // runs aborted by the event-engine watchdog
+)
+
+// fixedSlots is the arena length before the first port block: head pad
+// + engine + pool + admission + faults (faults needs two lines).
+const fixedSlots = 6 * lineSlots
+
+// Per-port block offsets. Each port's block is PortSlots wide and
+// holds the port counters followed by its discipline's scheduler
+// counters, so one wiring-time base handle serves both.
+const (
+	PortArrivals         Handle = iota // packets accepted (post drop check)
+	PortArrivedBits                    // float64: bits accepted
+	PortTransmissions                  // packets whose last bit left the link
+	PortTransmittedBits                // float64: bits transmitted
+	PortDroppedPackets                 // buffer-limit drops
+	PortDroppedBits                    // float64: bits dropped at buffer limits
+	PortFaultDrops                     // packets lost to link faults / purges
+	PortFaultDroppedBits               // float64: bits lost to faults / purges
+	PortSignalingDrops                 // signaling messages lost on this link
+	PortQueueHighWater                 // max packets ever held by the discipline
+
+	// Scheduler counters (disciplines without a delay regulator leave
+	// the first two at zero).
+	SchedRegulated       // arrivals held by the delay regulator
+	SchedEligibilityWait // float64: seconds of scheduled holding (E - arrival)
+	SchedDeadlineMisses  // transmissions finishing after the service guarantee
+
+	// PortSlots is the per-port block stride (two cache lines).
+	PortSlots Handle = 2 * lineSlots
+)
+
+// Registry is the root of a run's telemetry: one arena plus the port
+// metadata (names, capacities) needed to render snapshots. All
+// allocation happens at wiring time.
+type Registry struct {
+	arena Arena
+	ports []portInfo
+}
+
+type portInfo struct {
+	name     string
+	capacity float64
+	base     Handle
+}
+
+// NewRegistry returns a registry with the fixed sections allocated and
+// zeroed.
+func NewRegistry() *Registry {
+	r := &Registry{}
+	// Head pad + fixed sections + tail pad. Port blocks are inserted
+	// before the tail pad by NewPort.
+	r.arena.slots = make([]uint64, fixedSlots+lineSlots)
+	return r
+}
+
+// Arena returns the registry's counter arena, for wiring fixed-section
+// handles into instrumented components.
+func (r *Registry) Arena() *Arena { return &r.arena }
+
+// NewPort registers a port and returns the arena and the port's block
+// base handle. Called once per port at wiring time, in port creation
+// order.
+func (r *Registry) NewPort(name string, capacity float64) (*Arena, Handle) {
+	base := Handle(len(r.arena.slots)) - lineSlots // overwrite the tail pad...
+	block := make([]uint64, PortSlots)
+	r.arena.slots = append(r.arena.slots[:base], block...)
+	// ...and restore it after the new block.
+	r.arena.slots = append(r.arena.slots, make([]uint64, lineSlots)...)
+	r.ports = append(r.ports, portInfo{name: name, capacity: capacity, base: base})
+	return &r.arena, base
+}
+
+// NumPorts returns the number of registered ports.
+func (r *Registry) NumPorts() int { return len(r.ports) }
+
+// Engine is the read-side view of the engine section.
 type Engine struct {
-	// Scheduled, Canceled and Fired count Schedule/Cancel calls and
-	// handler executions.
-	Scheduled int64
-	Canceled  int64
-	Fired     int64
-	// HeapHighWater is the maximum number of events (pending plus
-	// lazily-canceled) ever resident in the engine's heap.
+	Scheduled     int64
+	Canceled      int64
+	Fired         int64
 	HeapHighWater int64
 }
 
-// Pool counts packet-pool ownership transfers (the live counterpart of
-// network.PoolStats).
+// Pool is the read-side view of the packet-pool section.
 type Pool struct {
-	// Taken counts packets handed out by the pool; Released counts
-	// packets returned (delivered or dropped). Taken - Released is the
-	// number of packets currently inside the network.
 	Taken    int64
 	Released int64
 }
 
-// Sched counts scheduler-level behavior at one port's discipline.
-// Disciplines without a delay regulator leave Regulated and
-// EligibilityWait at zero.
+// Sched is the read-side view of one port discipline's scheduler
+// counters.
 type Sched struct {
-	// Regulated counts arrivals held by the delay regulator (eligibility
-	// time in the future); EligibilityWait accumulates the seconds those
-	// packets were scheduled to be held (E - arrival).
 	Regulated       int64
 	EligibilityWait float64
-	// DeadlineMisses counts transmissions that finished after the
-	// discipline's service guarantee for the packet's header-carried
-	// deadline: Fhat > F + L_MAX/C for Leave-in-Time (the bound behind
-	// eq. 9's nonnegative holding time), Fhat > F for the EDD family.
-	DeadlineMisses int64
+	DeadlineMisses  int64
 }
 
-// Port counts one port's packet flow. Bits ride along with packet
-// counts so utilization and loss rate fall out of the snapshot without
-// extra hot-path state.
+// Port is the read-side view of one port's counters plus its
+// construction metadata.
 type Port struct {
-	// Name and Capacity echo the port's construction parameters.
 	Name     string
 	Capacity float64
 
-	// Arrivals counts packets accepted at the port (post drop check);
-	// Transmissions counts packets whose last bit left the link.
-	Arrivals        int64
-	ArrivedBits     float64
-	Transmissions   int64
-	TransmittedBits float64
-	// DroppedPackets/DroppedBits count buffer-limit drops at this port,
-	// across all sessions — the sum of the per-probe counters.
-	DroppedPackets int64
-	DroppedBits    float64
-	// FaultDrops/FaultDroppedBits count packets this port lost to an
-	// injected link fault (in flight or under transmission) or to a
-	// mid-run session teardown purge. SignalingDrops counts signaling
-	// messages (SETUP/ACCEPT/REJECT/RELEASE) lost on this port's link.
-	// Trace/metrics agreement under faults is
-	// DroppedPackets + FaultDrops + SignalingDrops == traced Drops.
+	Arrivals         int64
+	ArrivedBits      float64
+	Transmissions    int64
+	TransmittedBits  float64
+	DroppedPackets   int64
+	DroppedBits      float64
 	FaultDrops       int64
 	FaultDroppedBits float64
 	SignalingDrops   int64
-	// QueueHighWater is the maximum number of packets ever held by the
-	// port's discipline (regulated plus eligible), sampled at arrival.
-	QueueHighWater int64
+	QueueHighWater   int64
 
-	// Sched is filled by the port's discipline when it supports
-	// scheduler-level metrics.
 	Sched Sched
 }
 
-// ProcOutcome counts one admission procedure's decisions.
+// ProcOutcome is the read-side view of one admission procedure's
+// decisions.
 type ProcOutcome struct {
 	Accepted int64
 	Rejected int64
 }
 
-// Admission aggregates decisions per admission control procedure
-// (AC1-AC3); every controller instance of a procedure shares the
-// procedure's outcome struct.
+// Admission aggregates decisions per admission control procedure.
 type Admission struct {
 	AC1 ProcOutcome
 	AC2 ProcOutcome
 	AC3 ProcOutcome
 }
 
-// Faults aggregates the run's injected-fault and churn activity. All
-// counters stay zero on fault-free runs, so enabling them costs
-// nothing and changes nothing.
+// Faults is the read-side view of the injected-fault section.
 type Faults struct {
-	// LinkDowns and LinkUps count fault transitions on ports.
-	LinkDowns int64
-	LinkUps   int64
-	// InFlightDrops counts packets lost because their link went down
-	// while they were traversing it (or under transmission on it).
-	InFlightDrops int64
-	// PurgeDrops counts packets discarded by mid-run session teardown.
-	PurgeDrops int64
-	// SignalingDrops counts signaling messages lost to link faults.
+	LinkDowns      int64
+	LinkUps        int64
+	InFlightDrops  int64
+	PurgeDrops     int64
 	SignalingDrops int64
-	// SessionsPurged counts mid-run session removals (per node visit).
 	SessionsPurged int64
-	// Releases, Resetups and ResetupRejects count churn activity:
-	// signaled teardowns initiated, re-establishments accepted, and
-	// re-establishment attempts that were rejected or lost.
 	Releases       int64
 	Resetups       int64
 	ResetupRejects int64
-	// Stalls counts source stall windows that began.
-	Stalls int64
-	// WatchdogTrips counts runs aborted by the event-engine watchdog.
-	WatchdogTrips int64
+	Stalls         int64
+	WatchdogTrips  int64
 }
 
-// Registry is the root of a run's telemetry: one flat struct per layer,
-// allocated once at wiring time. Instrumented components write through
-// typed pointers into it.
-type Registry struct {
-	Engine    Engine
-	Pool      Pool
-	Admission Admission
-	Faults    Faults
-	Ports     []*Port
+// EngineCounters materializes the engine section.
+func (r *Registry) EngineCounters() Engine { return engineView(&r.arena) }
+
+func engineView(a *Arena) Engine {
+	return Engine{
+		Scheduled:     a.Int(HEngineScheduled),
+		Canceled:      a.Int(HEngineCanceled),
+		Fired:         a.Int(HEngineFired),
+		HeapHighWater: a.Int(HEngineHeapHighWater),
+	}
 }
 
-// NewRegistry returns an empty registry.
-func NewRegistry() *Registry { return &Registry{} }
+// PoolCounters materializes the packet-pool section.
+func (r *Registry) PoolCounters() Pool { return poolView(&r.arena) }
 
-// NewPort registers a port and returns its counter struct. Called once
-// per port at wiring time, in port creation order.
-func (r *Registry) NewPort(name string, capacity float64) *Port {
-	p := &Port{Name: name, Capacity: capacity}
-	r.Ports = append(r.Ports, p)
-	return p
+func poolView(a *Arena) Pool {
+	return Pool{Taken: a.Int(HPoolTaken), Released: a.Int(HPoolReleased)}
+}
+
+// AdmissionCounters materializes the admission section.
+func (r *Registry) AdmissionCounters() Admission { return admissionView(&r.arena) }
+
+func admissionView(a *Arena) Admission {
+	proc := func(base Handle) ProcOutcome {
+		return ProcOutcome{
+			Accepted: a.Int(base + ProcAccepted),
+			Rejected: a.Int(base + ProcRejected),
+		}
+	}
+	return Admission{AC1: proc(HAdmissionAC1), AC2: proc(HAdmissionAC2), AC3: proc(HAdmissionAC3)}
+}
+
+// FaultCounters materializes the faults section.
+func (r *Registry) FaultCounters() Faults { return faultsView(&r.arena) }
+
+func faultsView(a *Arena) Faults {
+	return Faults{
+		LinkDowns:      a.Int(HFaultLinkDowns),
+		LinkUps:        a.Int(HFaultLinkUps),
+		InFlightDrops:  a.Int(HFaultInFlightDrops),
+		PurgeDrops:     a.Int(HFaultPurgeDrops),
+		SignalingDrops: a.Int(HFaultSignalingDrops),
+		SessionsPurged: a.Int(HFaultSessionsPurged),
+		Releases:       a.Int(HFaultReleases),
+		Resetups:       a.Int(HFaultResetups),
+		ResetupRejects: a.Int(HFaultResetupRejects),
+		Stalls:         a.Int(HFaultStalls),
+		WatchdogTrips:  a.Int(HFaultWatchdogTrips),
+	}
+}
+
+// PortCounters materializes every port's counters, in port creation
+// order.
+func (r *Registry) PortCounters() []Port {
+	out := make([]Port, len(r.ports))
+	for i := range r.ports {
+		out[i] = portView(&r.arena, &r.ports[i])
+	}
+	return out
+}
+
+func portView(a *Arena, pi *portInfo) Port {
+	b := pi.base
+	return Port{
+		Name:             pi.name,
+		Capacity:         pi.capacity,
+		Arrivals:         a.Int(b + PortArrivals),
+		ArrivedBits:      a.Float(b + PortArrivedBits),
+		Transmissions:    a.Int(b + PortTransmissions),
+		TransmittedBits:  a.Float(b + PortTransmittedBits),
+		DroppedPackets:   a.Int(b + PortDroppedPackets),
+		DroppedBits:      a.Float(b + PortDroppedBits),
+		FaultDrops:       a.Int(b + PortFaultDrops),
+		FaultDroppedBits: a.Float(b + PortFaultDroppedBits),
+		SignalingDrops:   a.Int(b + PortSignalingDrops),
+		QueueHighWater:   a.Int(b + PortQueueHighWater),
+		Sched: Sched{
+			Regulated:       a.Int(b + SchedRegulated),
+			EligibilityWait: a.Float(b + SchedEligibilityWait),
+			DeadlineMisses:  a.Int(b + SchedDeadlineMisses),
+		},
+	}
 }
 
 // Snapshot is the JSON-facing view of a registry at one instant:
@@ -256,41 +448,32 @@ type PortSnapshot struct {
 
 // Snapshot derives the JSON-facing view of the registry at simulated
 // time now (runs start at 0, so now is also the observation duration).
+// The arena is copied in one memmove first, so rendering reads a
+// consistent instant and the hot loop's counters are never stalled or
+// re-read mid-derivation.
 func (r *Registry) Snapshot(now float64) *Snapshot {
+	copied := Arena{slots: append([]uint64(nil), r.arena.slots...)}
+	a := &copied
+	adm := admissionView(a)
 	s := &Snapshot{
 		Duration: now,
-		Engine: EngineSnapshot{
-			Scheduled:     r.Engine.Scheduled,
-			Canceled:      r.Engine.Canceled,
-			Fired:         r.Engine.Fired,
-			HeapHighWater: r.Engine.HeapHighWater,
-		},
-		Pool: PoolSnapshot{
-			Taken:    r.Pool.Taken,
-			Released: r.Pool.Released,
-			Live:     r.Pool.Taken - r.Pool.Released,
-		},
+		Engine:   EngineSnapshot(engineView(a)),
 		Admission: AdmissionSnapshot{
-			AC1: ProcSnapshot(r.Admission.AC1),
-			AC2: ProcSnapshot(r.Admission.AC2),
-			AC3: ProcSnapshot(r.Admission.AC3),
+			AC1: ProcSnapshot(adm.AC1),
+			AC2: ProcSnapshot(adm.AC2),
+			AC3: ProcSnapshot(adm.AC3),
 		},
-		Faults: FaultsSnapshot{
-			LinkDowns:      r.Faults.LinkDowns,
-			LinkUps:        r.Faults.LinkUps,
-			InFlightDrops:  r.Faults.InFlightDrops,
-			PurgeDrops:     r.Faults.PurgeDrops,
-			SignalingDrops: r.Faults.SignalingDrops,
-			SessionsPurged: r.Faults.SessionsPurged,
-			Releases:       r.Faults.Releases,
-			Resetups:       r.Faults.Resetups,
-			ResetupRejects: r.Faults.ResetupRejects,
-			Stalls:         r.Faults.Stalls,
-			WatchdogTrips:  r.Faults.WatchdogTrips,
-		},
-		Ports: make([]PortSnapshot, len(r.Ports)),
+		Faults: FaultsSnapshot(faultsView(a)),
+		Ports:  make([]PortSnapshot, len(r.ports)),
 	}
-	for i, p := range r.Ports {
+	pool := poolView(a)
+	s.Pool = PoolSnapshot{
+		Taken:    pool.Taken,
+		Released: pool.Released,
+		Live:     pool.Taken - pool.Released,
+	}
+	for i := range r.ports {
+		p := portView(a, &r.ports[i])
 		ps := PortSnapshot{
 			Name:             p.Name,
 			Capacity:         p.Capacity,

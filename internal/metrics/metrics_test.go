@@ -8,20 +8,27 @@ import (
 
 func TestSnapshotDerivedFields(t *testing.T) {
 	r := NewRegistry()
-	p := r.NewPort("node1", 1000)
-	r.NewPort("node2", 1000)
+	a, p1 := r.NewPort("node1", 1000)
+	_, _ = r.NewPort("node2", 1000)
 
-	r.Engine = Engine{Scheduled: 10, Canceled: 2, Fired: 8, HeapHighWater: 5}
-	r.Pool = Pool{Taken: 7, Released: 4}
-	r.Admission.AC1 = ProcOutcome{Accepted: 3, Rejected: 1}
-	p.Arrivals = 6
-	p.ArrivedBits = 600
-	p.Transmissions = 5
-	p.TransmittedBits = 500
-	p.DroppedPackets = 1
-	p.DroppedBits = 100
-	p.QueueHighWater = 4
-	p.Sched = Sched{Regulated: 2, EligibilityWait: 0.5, DeadlineMisses: 1}
+	a.AddUint(HEngineScheduled, 10)
+	a.AddUint(HEngineCanceled, 2)
+	a.AddUint(HEngineFired, 8)
+	a.MaxUint(HEngineHeapHighWater, 5)
+	a.AddUint(HPoolTaken, 7)
+	a.AddUint(HPoolReleased, 4)
+	a.AddUint(HAdmissionAC1+ProcAccepted, 3)
+	a.AddUint(HAdmissionAC1+ProcRejected, 1)
+	a.AddUint(p1+PortArrivals, 6)
+	a.AddFloat(p1+PortArrivedBits, 600)
+	a.AddUint(p1+PortTransmissions, 5)
+	a.AddFloat(p1+PortTransmittedBits, 500)
+	a.AddUint(p1+PortDroppedPackets, 1)
+	a.AddFloat(p1+PortDroppedBits, 100)
+	a.MaxUint(p1+PortQueueHighWater, 4)
+	a.AddUint(p1+SchedRegulated, 2)
+	a.AddFloat(p1+SchedEligibilityWait, 0.5)
+	a.AddUint(p1+SchedDeadlineMisses, 1)
 
 	s := r.Snapshot(2)
 	if s.Duration != 2 {
@@ -46,6 +53,9 @@ func TestSnapshotDerivedFields(t *testing.T) {
 	if s.Ports[0].Sched.DeadlineMisses != 1 || s.Ports[0].DroppedPackets != 1 {
 		t.Errorf("port snapshot = %+v", s.Ports[0])
 	}
+	if s.Ports[0].Sched.EligibilityWait != 0.5 {
+		t.Errorf("EligibilityWait = %v, want 0.5", s.Ports[0].Sched.EligibilityWait)
+	}
 	if s.Ports[1].Utilization != 0 {
 		t.Errorf("idle port utilization = %v", s.Ports[1].Utilization)
 	}
@@ -53,6 +63,46 @@ func TestSnapshotDerivedFields(t *testing.T) {
 	// A zero-duration snapshot must not divide by zero.
 	if got := r.Snapshot(0).Ports[0].Utilization; got != 0 {
 		t.Errorf("zero-duration utilization = %v", got)
+	}
+}
+
+// TestSnapshotCopiesArena: a snapshot is a point-in-time copy — counter
+// updates after Snapshot must not show in an earlier snapshot.
+func TestSnapshotCopiesArena(t *testing.T) {
+	r := NewRegistry()
+	a, p1 := r.NewPort("node1", 1000)
+	a.Inc(p1 + PortArrivals)
+	s := r.Snapshot(1)
+	a.Inc(p1 + PortArrivals)
+	a.Inc(HEngineFired)
+	if s.Ports[0].Arrivals != 1 {
+		t.Errorf("snapshot arrivals = %d, want 1", s.Ports[0].Arrivals)
+	}
+	if s.Engine.Fired != 0 {
+		t.Errorf("snapshot fired = %d, want 0", s.Engine.Fired)
+	}
+	if s2 := r.Snapshot(1); s2.Ports[0].Arrivals != 2 || s2.Engine.Fired != 1 {
+		t.Errorf("second snapshot = %+v", s2)
+	}
+}
+
+// TestPortBlocksAfterGrowth: NewPort appends blocks to the arena, so
+// handles issued earlier must keep addressing their own counters after
+// later ports grow the slot array.
+func TestPortBlocksAfterGrowth(t *testing.T) {
+	r := NewRegistry()
+	a1, b1 := r.NewPort("n1", 1000)
+	a1.Inc(b1 + PortArrivals)
+	_, b2 := r.NewPort("n2", 1000)
+	a1.Inc(b1 + PortTransmissions)
+	a1.Inc(b2 + PortArrivals)
+	a1.Inc(b2 + PortArrivals)
+	ports := r.PortCounters()
+	if ports[0].Arrivals != 1 || ports[0].Transmissions != 1 {
+		t.Errorf("port 0 = %+v", ports[0])
+	}
+	if ports[1].Arrivals != 2 || ports[1].Transmissions != 0 {
+		t.Errorf("port 1 = %+v", ports[1])
 	}
 }
 
@@ -79,31 +129,42 @@ func TestSnapshotJSONFieldNames(t *testing.T) {
 var sink int64
 
 // TestCounterUpdatesAllocationFree pins the package's core contract:
-// an instrumented site — nil-checked pointer, plain field increments —
+// an instrumented site — nil-checked arena pointer, indexed slot adds —
 // never allocates, whether the registry is attached or not. (The
 // end-to-end version of this check is the litbench allocation gate,
 // which runs the figure benchmarks with metrics enabled.)
 func TestCounterUpdatesAllocationFree(t *testing.T) {
 	r := NewRegistry()
-	p := r.NewPort("node1", 1536e3)
-	site := func(e *Engine, port *Port) {
-		if e != nil {
-			e.Scheduled++
-			if n := e.Scheduled; n > e.HeapHighWater {
-				e.HeapHighWater = n
-			}
-		}
-		if port != nil {
-			port.Arrivals++
-			port.ArrivedBits += 424
-			port.Sched.Regulated++
+	a, base := r.NewPort("node1", 1536e3)
+	site := func(a *Arena, base Handle) {
+		if a != nil {
+			a.Inc(HEngineScheduled)
+			a.MaxUint(HEngineHeapHighWater, a.Uint(HEngineScheduled))
+			a.Inc(base + PortArrivals)
+			a.AddFloat(base+PortArrivedBits, 424)
+			a.Inc(base + SchedRegulated)
 		}
 	}
-	if n := testing.AllocsPerRun(1000, func() { site(nil, nil) }); n != 0 {
+	if n := testing.AllocsPerRun(1000, func() { site(nil, 0) }); n != 0 {
 		t.Errorf("disabled site allocates %v per event", n)
 	}
-	if n := testing.AllocsPerRun(1000, func() { site(&r.Engine, p) }); n != 0 {
+	if n := testing.AllocsPerRun(1000, func() { site(a, base) }); n != 0 {
 		t.Errorf("enabled site allocates %v per event", n)
 	}
-	sink = r.Engine.Scheduled + p.Arrivals
+	sink = a.Int(HEngineScheduled) + a.Int(base+PortArrivals)
+}
+
+// TestFloatCounters: float counters ride in uint64 slots via bit casts;
+// accumulation must be exact float64 addition.
+func TestFloatCounters(t *testing.T) {
+	var a Arena
+	a.slots = make([]uint64, 4)
+	a.AddFloat(1, 0.1)
+	a.AddFloat(1, 0.25)
+	if got := a.Float(1); got != 0.35 {
+		t.Errorf("Float = %v, want 0.35", got)
+	}
+	if got := a.Uint(2); got != 0 {
+		t.Errorf("untouched slot = %d", got)
+	}
 }

@@ -1,6 +1,7 @@
 package network
 
 import (
+	"leaveintime/internal/metrics"
 	"leaveintime/internal/packet"
 	"leaveintime/internal/trace"
 )
@@ -42,7 +43,7 @@ func (p *Port) FailLink() {
 	}
 	p.down = true
 	if m := p.net.metrics; m != nil {
-		m.Faults.LinkDowns++
+		m.Arena().Inc(metrics.HFaultLinkDowns)
 	}
 	now := p.net.Sim.Now()
 	// Lose everything on the wire. The flight entries stay in the FIFO
@@ -68,7 +69,7 @@ func (p *Port) RestoreLink() {
 	}
 	p.down = false
 	if m := p.net.metrics; m != nil {
-		m.Faults.LinkUps++
+		m.Arena().Inc(metrics.HFaultLinkUps)
 	}
 	p.maybeStart(p.net.Sim.Now())
 }
@@ -82,21 +83,21 @@ const (
 // release. The packet has already been accepted at this port, so its
 // buffer-probe occupancy (if tracked) is returned too.
 func (p *Port) dropFault(pkt *packet.Packet, now float64, cause string) {
-	if probe, ok := p.trackBuf[pkt.Session]; ok {
+	if probe := p.probeFor(pkt.Session); probe != nil {
 		probe.Bits -= pkt.Length
 		if probe.Bits < 0 {
 			probe.Bits = 0
 		}
 	}
-	if p.m != nil {
-		p.m.FaultDrops++
-		p.m.FaultDroppedBits += pkt.Length
+	if p.ma != nil {
+		p.ma.Inc(p.mb + metrics.PortFaultDrops)
+		p.ma.AddFloat(p.mb+metrics.PortFaultDroppedBits, pkt.Length)
 	}
 	if m := p.net.metrics; m != nil {
 		if cause == causePurge {
-			m.Faults.PurgeDrops++
+			m.Arena().Inc(metrics.HFaultPurgeDrops)
 		} else {
-			m.Faults.InFlightDrops++
+			m.Arena().Inc(metrics.HFaultInFlightDrops)
 		}
 	}
 	p.net.trace(trace.Event{Time: now, Kind: trace.Drop, Port: p.Name,
@@ -134,10 +135,11 @@ func (p *Port) PurgeSession(id int) {
 	if p.txPkt != nil && p.txPkt.Session == id {
 		p.txLost = causePurge
 	}
-	delete(p.nextHop, id)
-	delete(p.trackBuf, id)
+	if id >= 0 && id < len(p.trackBuf) {
+		p.trackBuf[id] = nil
+	}
 	if m := p.net.metrics; m != nil {
-		m.Faults.SessionsPurged++
+		m.Arena().Inc(metrics.HFaultSessionsPurged)
 	}
 }
 
@@ -146,11 +148,11 @@ func (p *Port) PurgeSession(id int) {
 // with the message kind as cause and Seq 0, mirrored into the port and
 // fault counters so trace/metrics agreement holds under faults.
 func (p *Port) NoteSignalingLoss(kind string, session, hop int) {
-	if p.m != nil {
-		p.m.SignalingDrops++
+	if p.ma != nil {
+		p.ma.Inc(p.mb + metrics.PortSignalingDrops)
 	}
 	if m := p.net.metrics; m != nil {
-		m.Faults.SignalingDrops++
+		m.Arena().Inc(metrics.HFaultSignalingDrops)
 	}
 	p.net.trace(trace.Event{Time: p.net.Sim.Now(), Kind: trace.Drop, Port: p.Name,
 		Session: session, Hop: hop, Cause: kind})
@@ -192,7 +194,7 @@ func (s *Session) Stop() {
 func (s *Session) SetStalled(on bool) {
 	if on && !s.stalled {
 		if m := s.net.metrics; m != nil {
-			m.Faults.Stalls++
+			m.Arena().Inc(metrics.HFaultStalls)
 		}
 	}
 	s.stalled = on

@@ -120,26 +120,34 @@ type Network struct {
 
 	ports    []*Port
 	sessions []*Session
+	// sessByID maps session ID -> session, dense (IDs are small
+	// sequential integers). It replaces the per-port nextHop maps: a
+	// packet's next hop is derived from its session's route and current
+	// hop index, so forwarding is two indexed loads instead of a map
+	// probe per hop.
+	sessByID []*Session
 	pool     pktPool
 	metrics  *metrics.Registry
 }
 
 // schedMetricsSetter is implemented by disciplines that expose
-// scheduler-level counters (regulator holds, deadline misses).
+// scheduler-level counters (regulator holds, deadline misses), wired
+// as arena slots at the owning port's block base.
 type schedMetricsSetter interface {
-	SetMetrics(*metrics.Sched)
+	SetMetrics(a *metrics.Arena, base metrics.Handle)
 }
 
 // EnableMetrics attaches a telemetry registry to the network: the event
 // engine, the packet pool, every existing port (and every port created
 // afterwards), and each port's discipline when it supports scheduler
-// metrics. Counting costs one nil-check branch per instrumented site
-// and never allocates on the packet path; it does not perturb event
-// ordering, so instrumented runs are bit-identical to bare ones.
+// metrics. Counting costs one nil-check branch and an indexed add per
+// instrumented site and never allocates on the packet path; it does not
+// perturb event ordering, so instrumented runs are bit-identical to
+// bare ones.
 func (n *Network) EnableMetrics(reg *metrics.Registry) {
 	n.metrics = reg
-	n.Sim.SetMetrics(&reg.Engine)
-	n.pool.m = &reg.Pool
+	n.Sim.SetMetrics(reg.Arena())
+	n.pool.m = reg.Arena()
 	for _, p := range n.ports {
 		p.attachMetrics(reg)
 	}
@@ -149,9 +157,9 @@ func (n *Network) EnableMetrics(reg *metrics.Registry) {
 func (n *Network) Metrics() *metrics.Registry { return n.metrics }
 
 func (p *Port) attachMetrics(reg *metrics.Registry) {
-	p.m = reg.NewPort(p.Name, p.C)
+	p.ma, p.mb = reg.NewPort(p.Name, p.C)
 	if s, ok := p.Disc.(schedMetricsSetter); ok {
-		s.SetMetrics(&p.m.Sched)
+		s.SetMetrics(p.ma, p.mb)
 	}
 }
 
@@ -221,9 +229,8 @@ type Port struct {
 	// Util measures the busy fraction of the link.
 	Util stats.Utilization
 
-	busy    bool
-	waker   *event.Event
-	nextHop map[int]*hop // session -> downstream
+	busy  bool
+	waker *event.Event
 
 	// Fault state (see fault.go): down marks the outgoing link failed —
 	// the port keeps accepting and queueing packets but starts no
@@ -246,22 +253,20 @@ type Port struct {
 	wakeFn   event.Handler
 
 	// Buffer tracking (Figures 12-13): per-session bits currently at
-	// this node, counting the packet under transmission.
-	trackBuf map[int]*BufferProbe
+	// this node, counting the packet under transmission. Indexed by
+	// session ID (dense, nil = untracked), so the per-arrival probe
+	// lookup is a bounds check and a load.
+	trackBuf []*BufferProbe
 
 	// HoldClamped counts eq.-9 holding times that came out negative and
 	// were clamped to zero; nonzero values indicate scheduler
 	// saturation (see Section 2 of the paper).
 	HoldClamped int64
 
-	// m, when non-nil, receives the port's telemetry counters (see
-	// Network.EnableMetrics).
-	m *metrics.Port
-}
-
-type hop struct {
-	port *Port
-	sink Sink
+	// ma/mb, when attached, receive the port's telemetry counters as
+	// arena slots at block base mb (see Network.EnableMetrics).
+	ma *metrics.Arena
+	mb metrics.Handle
 }
 
 // flight is one packet traversing the outgoing link: its destination
@@ -337,12 +342,20 @@ type BufferProbe struct {
 // TrackBuffer enables buffer-occupancy sampling for the session at this
 // port and returns the probe.
 func (p *Port) TrackBuffer(session int) *BufferProbe {
-	if p.trackBuf == nil {
-		p.trackBuf = make(map[int]*BufferProbe)
+	for session >= len(p.trackBuf) {
+		p.trackBuf = append(p.trackBuf, nil)
 	}
 	probe := &BufferProbe{}
 	p.trackBuf[session] = probe
 	return probe
+}
+
+// probeFor returns the session's buffer probe at this port, or nil.
+func (p *Port) probeFor(session int) *BufferProbe {
+	if uint(session) < uint(len(p.trackBuf)) {
+		return p.trackBuf[session]
+	}
+	return nil
 }
 
 // LimitBuffer allocates a finite buffer of the given size (bits) to the
@@ -358,13 +371,13 @@ func (p *Port) LimitBuffer(session int, bits float64) *BufferProbe {
 // last bit arrives, per the paper's convention).
 func (p *Port) Arrive(pkt *packet.Packet, now float64) {
 	pkt.NodeArrive = now
-	if probe, ok := p.trackBuf[pkt.Session]; ok {
+	if probe := p.probeFor(pkt.Session); probe != nil {
 		if probe.Limit > 0 && probe.Bits+pkt.Length > probe.Limit+1e-9 {
 			probe.DroppedPackets++
 			probe.DroppedBits += pkt.Length
-			if p.m != nil {
-				p.m.DroppedPackets++
-				p.m.DroppedBits += pkt.Length
+			if p.ma != nil {
+				p.ma.Inc(p.mb + metrics.PortDroppedPackets)
+				p.ma.AddFloat(p.mb+metrics.PortDroppedBits, pkt.Length)
 			}
 			// Traced before the packet is pooled: a drop is a terminal
 			// event, visible to tracers like Deliver is.
@@ -385,12 +398,10 @@ func (p *Port) Arrive(pkt *packet.Packet, now float64) {
 	p.net.trace(trace.Event{Time: now, Kind: trace.Arrive, Port: p.Name,
 		Session: pkt.Session, Seq: pkt.Seq, Hop: pkt.Hop})
 	p.Disc.Enqueue(pkt, now)
-	if p.m != nil {
-		p.m.Arrivals++
-		p.m.ArrivedBits += pkt.Length
-		if q := int64(p.Disc.Len()); q > p.m.QueueHighWater {
-			p.m.QueueHighWater = q
-		}
+	if p.ma != nil {
+		p.ma.Inc(p.mb + metrics.PortArrivals)
+		p.ma.AddFloat(p.mb+metrics.PortArrivedBits, pkt.Length)
+		p.ma.MaxUint(p.mb+metrics.PortQueueHighWater, uint64(p.Disc.Len()))
 	}
 	p.maybeStart(now)
 }
@@ -455,7 +466,7 @@ func (p *Port) finish(pkt *packet.Packet) {
 		pkt.Hold = 0
 		p.HoldClamped++
 	}
-	if probe, ok := p.trackBuf[pkt.Session]; ok {
+	if probe := p.probeFor(pkt.Session); probe != nil {
 		probe.Bits -= pkt.Length
 		if probe.Bits < 0 {
 			probe.Bits = 0
@@ -463,27 +474,35 @@ func (p *Port) finish(pkt *packet.Packet) {
 	}
 	p.busy = false
 	p.Util.SetBusy(now, false)
-	if p.m != nil {
-		p.m.Transmissions++
-		p.m.TransmittedBits += pkt.Length
+	if p.ma != nil {
+		p.ma.Inc(p.mb + metrics.PortTransmissions)
+		p.ma.AddFloat(p.mb+metrics.PortTransmittedBits, pkt.Length)
 	}
 	p.net.trace(trace.Event{Time: now, Kind: trace.TransmitEnd, Port: p.Name,
 		Session: pkt.Session, Seq: pkt.Seq, Hop: pkt.Hop,
 		Eligible: pkt.Eligible, Deadline: pkt.Deadline})
 
-	h, ok := p.nextHop[pkt.Session]
-	if !ok {
+	// The downstream hop is derived from the session's route and the
+	// packet's hop index: the next port when one remains, otherwise the
+	// session itself as the exit sink.
+	sess := p.net.sessionByID(pkt.Session)
+	if sess == nil {
 		panic(fmt.Sprintf("network: no route out of port %s for session %d", p.Name, pkt.Session))
 	}
 	arrive := now + p.Gamma
-	if h.port != nil {
+	var next *Port
+	var sink Sink
+	if pkt.Hop+1 < len(sess.Route) {
+		next = sess.Route[pkt.Hop+1]
 		pkt.Hop++
+	} else {
+		sink = sess
 	}
 	// Transmissions on one port finish at strictly increasing instants
 	// and every departure experiences the same propagation delay, so
 	// link arrivals happen in departure order: a FIFO plus one
 	// pre-bound handler replaces a per-packet closure.
-	p.inflight.push(flight{pkt: pkt, next: h.port, sink: h.sink, at: arrive})
+	p.inflight.push(flight{pkt: pkt, next: next, sink: sink, at: arrive})
 	p.net.Sim.Schedule(arrive, p.linkFn)
 	p.maybeStart(now)
 }
@@ -507,11 +526,13 @@ func (p *Port) deliverHead() {
 	}
 }
 
-func (p *Port) setNext(session int, next *Port, sink Sink) {
-	if p.nextHop == nil {
-		p.nextHop = make(map[int]*hop)
+// sessionByID returns the session with the given ID, or nil when it is
+// not (or no longer) established.
+func (n *Network) sessionByID(id int) *Session {
+	if uint(id) < uint(len(n.sessByID)) {
+		return n.sessByID[id]
 	}
-	p.nextHop[session] = &hop{port: next, sink: sink}
+	return nil
 }
 
 // Session is an established connection: a source, a route of ports, and
@@ -619,12 +640,14 @@ func (n *Network) AddSession(id int, rate float64, jitterControl bool, route []*
 		cfg.Rate = rate
 		cfg.JitterControl = jitterControl
 		port.Disc.AddSession(cfg)
-		if i+1 < len(route) {
-			port.setNext(id, route[i+1], nil)
-		} else {
-			port.setNext(id, nil, s)
-		}
 	}
+	if id < 0 {
+		panic(fmt.Sprintf("network: negative session id %d", id))
+	}
+	for id >= len(n.sessByID) {
+		n.sessByID = append(n.sessByID, nil)
+	}
+	n.sessByID[id] = s
 	n.sessions = append(n.sessions, s)
 	return s
 }
@@ -693,13 +716,17 @@ func (n *Network) RemoveSession(s *Session) {
 		if r, ok := port.Disc.(SessionRemover); ok {
 			r.RemoveSession(s.ID)
 		}
-		delete(port.nextHop, s.ID)
-		delete(port.trackBuf, s.ID)
+		if s.ID < len(port.trackBuf) {
+			port.trackBuf[s.ID] = nil
+		}
 	}
 	n.unregister(s)
 }
 
 func (n *Network) unregister(s *Session) {
+	if s.ID < len(n.sessByID) && n.sessByID[s.ID] == s {
+		n.sessByID[s.ID] = nil
+	}
 	for i, other := range n.sessions {
 		if other == s {
 			last := len(n.sessions) - 1

@@ -7,63 +7,74 @@ import (
 	"leaveintime/internal/packet"
 )
 
-// pktChunk is how many Packet structs one free-list refill allocates.
-const pktChunk = 64
+// slabBits sizes the pool's slabs: 1<<slabBits Packet structs per slab.
+const slabBits = 8
 
-// pktPool is the per-Network packet free list. Ownership is explicit:
-// a packet is taken exactly once per lifetime (Session.send, i.e. a
-// source emission or InjectAt), flows through ports and disciplines by
-// pointer, and is released exactly once — at the sink when it leaves
-// the network, or at the port that drops it on a buffer overflow.
-// Between release and the next take the struct sits on the free list;
-// a long run recycles a working set bounded by the peak number of
-// packets simultaneously inside the network.
+// pktPool is the per-Network packet arena. Packets live in fixed slabs
+// of 256 structs — contiguous, never moved, never individually freed —
+// and are addressed by index: Packet.PoolIndex is slab number in the
+// high bits, slot within the slab in the low slabBits. The free list
+// holds indices, not pointers, and debug-mode liveness is one bit per
+// slot in a bitset rather than a map of pointers, so ownership checks
+// are an indexed load instead of a hash probe.
+//
+// Ownership is explicit: a packet is taken exactly once per lifetime
+// (Session.send, i.e. a source emission or InjectAt), flows through
+// ports and disciplines by pointer, and is released exactly once — at
+// the sink when it leaves the network, or at the port that drops it on
+// a buffer overflow. Between release and the next take the slot sits on
+// the free list; a long run recycles a working set bounded by the peak
+// number of packets simultaneously inside the network.
 //
 // The pool is not safe for concurrent use; it inherits the simulator's
 // single-threaded discipline (one pool per Network, one Network per
 // simulator, sweep points own disjoint simulators).
 type pktPool struct {
-	free     []*packet.Packet
+	slabs    [][]packet.Packet
+	free     []int32 // indices of released slots
 	taken    int64
 	released int64
 
 	// m, when non-nil, mirrors the ownership counters into the metrics
-	// registry (see Network.EnableMetrics), folding PoolStats into the
-	// run's telemetry snapshot.
-	m *metrics.Pool
+	// arena at the fixed HPool* handles (see Network.EnableMetrics),
+	// folding PoolStats into the run's telemetry snapshot.
+	m *metrics.Arena
 
-	// debug, when set before the first take, tracks live packets
-	// individually so a double release (or a release of a packet the
-	// pool never issued) panics at the faulty call site instead of
-	// silently corrupting the free list.
+	// debug, when set, tracks live slots in a bitset so a double release
+	// (or a release of a packet the pool never issued) panics at the
+	// faulty call site instead of silently corrupting the free list.
 	debug bool
-	live  map[*packet.Packet]struct{}
+	live  []uint64 // one bit per slot, indexed by PoolIndex
 }
 
-// get takes a zeroed packet from the pool, refilling the free list with
-// a chunk when empty so allocations amortize to zero on the hot path.
+// at returns the packet struct at pool index idx.
+func (pp *pktPool) at(idx int32) *packet.Packet {
+	return &pp.slabs[idx>>slabBits][idx&(1<<slabBits-1)]
+}
+
+// get takes a zeroed packet from the pool, growing by one slab when the
+// free list is empty so allocations amortize to zero on the hot path.
 func (pp *pktPool) get() *packet.Packet {
-	var p *packet.Packet
-	if n := len(pp.free); n > 0 {
-		p = pp.free[n-1]
-		pp.free[n-1] = nil
-		pp.free = pp.free[:n-1]
-	} else {
-		chunk := make([]packet.Packet, pktChunk)
-		for i := pktChunk - 1; i > 0; i-- {
-			pp.free = append(pp.free, &chunk[i])
+	if len(pp.free) == 0 {
+		slab := make([]packet.Packet, 1<<slabBits)
+		base := int32(len(pp.slabs)) << slabBits
+		pp.slabs = append(pp.slabs, slab)
+		for i := int32(1 << slabBits); i > 0; i-- {
+			pp.free = append(pp.free, base+i-1)
 		}
-		p = &chunk[0]
+		pp.live = append(pp.live, make([]uint64, (1<<slabBits)/64)...)
 	}
+	n := len(pp.free) - 1
+	idx := pp.free[n]
+	pp.free = pp.free[:n]
+	p := pp.at(idx)
+	p.PoolIndex = idx
 	pp.taken++
 	if pp.m != nil {
-		pp.m.Taken++
+		pp.m.Inc(metrics.HPoolTaken)
 	}
 	if pp.debug {
-		if pp.live == nil {
-			pp.live = make(map[*packet.Packet]struct{})
-		}
-		pp.live[p] = struct{}{}
+		pp.live[idx>>6] |= 1 << (uint(idx) & 63)
 	}
 	return p
 }
@@ -72,18 +83,25 @@ func (pp *pktPool) get() *packet.Packet {
 // packet (have received it from get, directly or through the network)
 // and must not touch it afterwards.
 func (pp *pktPool) put(p *packet.Packet) {
+	idx := p.PoolIndex
 	if pp.debug {
-		if _, ok := pp.live[p]; !ok {
+		// The index must name a slot this pool issued, the slot must be
+		// live, and p must be that slot — a stale PoolIndex on a foreign
+		// or stack-allocated packet cannot pass the identity check.
+		if uint32(idx) >= uint32(len(pp.slabs))<<slabBits ||
+			pp.live[idx>>6]&(1<<(uint(idx)&63)) == 0 ||
+			pp.at(idx) != p {
 			panic(fmt.Sprintf("network: double release of packet (session %d, seq %d) or release of a packet not taken from this pool", p.Session, p.Seq))
 		}
-		delete(pp.live, p)
+		pp.live[idx>>6] &^= 1 << (uint(idx) & 63)
 	}
 	*p = packet.Packet{}
+	p.PoolIndex = idx // the handle survives zeroing; it names the slot
 	pp.released++
 	if pp.m != nil {
-		pp.m.Released++
+		pp.m.Inc(metrics.HPoolReleased)
 	}
-	pp.free = append(pp.free, p)
+	pp.free = append(pp.free, idx)
 }
 
 // PoolStats is a snapshot of the packet pool's ownership counters.
@@ -110,6 +128,7 @@ func (n *Network) PoolStats() PoolStats {
 
 // SetPoolDebug enables (or disables) per-packet ownership tracking:
 // with it on, releasing a packet twice panics instead of corrupting
-// the free list. Debug mode costs one map operation per packet take
-// and release; enable it in tests, not in measured runs.
+// the free list. Debug mode costs two bitset operations and an identity
+// check per packet lifetime — cheap enough for tests and conformance
+// runs, off by default in measured runs.
 func (n *Network) SetPoolDebug(on bool) { n.pool.debug = on }

@@ -16,6 +16,12 @@ package packet
 // tracers, and delivery/drop hooks must therefore not retain a *Packet
 // past the callback that handed it to them — copy the fields instead.
 type Packet struct {
+	// PoolIndex is the packet's slot in its Network's slab pool — the
+	// pool's handle, not simulation state. Disciplines must treat it as
+	// opaque; the pool restores it after zeroing on release and uses it
+	// for O(1) double-release detection in debug mode.
+	PoolIndex int32
+
 	// Session identifies the session (connection) the packet belongs to.
 	Session int
 

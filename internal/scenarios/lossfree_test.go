@@ -86,7 +86,7 @@ func TestLossFreeProvisioning(t *testing.T) {
 				}
 			}
 		}
-		for _, pm := range reg.Ports {
+		for _, pm := range reg.PortCounters() {
 			metricDrops += pm.DroppedPackets
 		}
 		if dropEvents != dropped {

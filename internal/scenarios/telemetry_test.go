@@ -88,16 +88,16 @@ func TestFig7ObservedPerPointRegistries(t *testing.T) {
 		t.Fatal("instrumented Fig7 sweep differs from bare sweep")
 	}
 	for i, reg := range regs {
-		if reg.Engine.Fired == 0 {
+		if reg.EngineCounters().Fired == 0 {
 			t.Errorf("point %d: registry never written", i)
 		}
-		if reg.Pool.Taken == 0 || reg.Pool.Released > reg.Pool.Taken {
-			t.Errorf("point %d: pool ownership out of balance: %+v", i, reg.Pool)
+		if pool := reg.PoolCounters(); pool.Taken == 0 || pool.Released > pool.Taken {
+			t.Errorf("point %d: pool ownership out of balance: %+v", i, pool)
 		}
 		// MIX establishes 116 sessions; session hops sum to 116 routes'
 		// worth of AC1 admissions — at least one per session.
-		if reg.Admission.AC1.Accepted < 116 {
-			t.Errorf("point %d: only %d AC1 admissions", i, reg.Admission.AC1.Accepted)
+		if adm := reg.AdmissionCounters(); adm.AC1.Accepted < 116 {
+			t.Errorf("point %d: only %d AC1 admissions", i, adm.AC1.Accepted)
 		}
 	}
 

@@ -126,10 +126,10 @@ func NewTandem(opt TandemOptions) *Tandem {
 func (t *Tandem) Instrument(reg *metrics.Registry) {
 	t.Net.EnableMetrics(reg)
 	for _, ac := range t.AC1 {
-		ac.SetMetrics(&reg.Admission.AC1)
+		ac.SetMetrics(reg.Arena(), metrics.HAdmissionAC1)
 	}
 	for _, ac := range t.AC2 {
-		ac.SetMetrics(&reg.Admission.AC2)
+		ac.SetMetrics(reg.Arena(), metrics.HAdmissionAC2)
 	}
 }
 

@@ -6,6 +6,7 @@ import (
 	"leaveintime/internal/metrics"
 	"leaveintime/internal/network"
 	"leaveintime/internal/packet"
+	"leaveintime/internal/sesstab"
 )
 
 // DelayEDD is the Delay-EDD (earliest-due-date) discipline of Ferrari &
@@ -20,19 +21,22 @@ import (
 // Leave-in-Time's eq. 11), which is why Delay-EDD needs a separate
 // schedulability test at establishment time.
 type DelayEDD struct {
-	sessions map[int]*eddState
+	// sessions is a dense ID-indexed table; the per-packet lookup in
+	// Enqueue is a bounds check and an indexed load, not a map probe.
+	sessions sesstab.Table[eddState]
 	ready    pktHeap
 	stamp    uint64
 
-	// m, when non-nil, receives scheduler counters; attached by
-	// Network.EnableMetrics.
-	m *metrics.Sched
+	// ma/mb, when attached, receive scheduler counters at the port's
+	// Sched* arena slots; wired by Network.EnableMetrics.
+	ma *metrics.Arena
+	mb metrics.Handle
 }
 
 // SetMetrics attaches the scheduler's telemetry counters. A deadline
 // miss is a transmission finishing after the packet's due date — the
 // local delay budget the schedulability test promised.
-func (d *DelayEDD) SetMetrics(m *metrics.Sched) { d.m = m }
+func (d *DelayEDD) SetMetrics(a *metrics.Arena, base metrics.Handle) { d.ma, d.mb = a, base }
 
 type eddState struct {
 	cfg     network.SessionPort
@@ -41,9 +45,7 @@ type eddState struct {
 }
 
 // NewDelayEDD returns an empty Delay-EDD server.
-func NewDelayEDD() *DelayEDD {
-	return &DelayEDD{sessions: make(map[int]*eddState)}
-}
+func NewDelayEDD() *DelayEDD { return &DelayEDD{} }
 
 // AddSession implements network.Discipline. The session's LocalDelay
 // and XMin fields of SessionPort configure the deadline computation.
@@ -51,13 +53,13 @@ func (d *DelayEDD) AddSession(cfg network.SessionPort) {
 	if cfg.LocalDelay <= 0 {
 		panic(fmt.Sprintf("sched: Delay-EDD session %d needs positive LocalDelay", cfg.Session))
 	}
-	d.sessions[cfg.Session] = &eddState{cfg: cfg}
+	d.sessions.Put(cfg.Session, eddState{cfg: cfg})
 }
 
 // Enqueue implements network.Discipline.
 func (d *DelayEDD) Enqueue(p *packet.Packet, now float64) {
-	s, ok := d.sessions[p.Session]
-	if !ok {
+	s := d.sessions.Get(p.Session)
+	if s == nil {
 		panic(fmt.Sprintf("sched: Delay-EDD packet for unregistered session %d", p.Session))
 	}
 	exp := d.expectedArrival(s, now)
@@ -87,8 +89,8 @@ func (d *DelayEDD) NextEligible(now float64) (float64, bool) { return 0, false }
 
 // OnTransmit implements network.Discipline.
 func (d *DelayEDD) OnTransmit(p *packet.Packet, finish float64) {
-	if d.m != nil && finish > p.Deadline+1e-9 {
-		d.m.DeadlineMisses++
+	if d.ma != nil && finish > p.Deadline+1e-9 {
+		d.ma.Inc(d.mb + metrics.SchedDeadlineMisses)
 	}
 	p.Hold = 0
 }
@@ -112,12 +114,12 @@ type JitterEDD struct {
 // SetMetrics attaches the scheduler's telemetry counters: regulator
 // holds with their accumulated eligibility wait, and the inner
 // Delay-EDD deadline misses.
-func (j *JitterEDD) SetMetrics(m *metrics.Sched) { j.inner.m = m }
+func (j *JitterEDD) SetMetrics(a *metrics.Arena, base metrics.Handle) {
+	j.inner.SetMetrics(a, base)
+}
 
 // NewJitterEDD returns an empty Jitter-EDD server.
-func NewJitterEDD() *JitterEDD {
-	return &JitterEDD{inner: DelayEDD{sessions: make(map[int]*eddState)}}
-}
+func NewJitterEDD() *JitterEDD { return &JitterEDD{} }
 
 // AddSession implements network.Discipline.
 func (j *JitterEDD) AddSession(cfg network.SessionPort) { j.inner.AddSession(cfg) }
@@ -127,9 +129,9 @@ func (j *JitterEDD) AddSession(cfg network.SessionPort) { j.inner.AddSession(cfg
 func (j *JitterEDD) Enqueue(p *packet.Packet, now float64) {
 	e := now + p.Hold
 	if e > now {
-		if j.inner.m != nil {
-			j.inner.m.Regulated++
-			j.inner.m.EligibilityWait += p.Hold
+		if j.inner.ma != nil {
+			j.inner.ma.Inc(j.inner.mb + metrics.SchedRegulated)
+			j.inner.ma.AddFloat(j.inner.mb+metrics.SchedEligibilityWait, p.Hold)
 		}
 		p.Eligible = e
 		j.stamp++
@@ -170,8 +172,8 @@ func (j *JitterEDD) release(now float64) {
 // OnTransmit implements network.Discipline: the slack deadline - finish
 // becomes the downstream holding time.
 func (j *JitterEDD) OnTransmit(p *packet.Packet, finish float64) {
-	if j.inner.m != nil && finish > p.Deadline+1e-9 {
-		j.inner.m.DeadlineMisses++
+	if j.inner.ma != nil && finish > p.Deadline+1e-9 {
+		j.inner.ma.Inc(j.inner.mb + metrics.SchedDeadlineMisses)
 	}
 	p.Hold = p.Deadline - finish
 	if p.Hold < 0 {

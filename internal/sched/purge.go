@@ -87,7 +87,7 @@ func (f *FCFS) PurgeSession(id int, drop func(*packet.Packet)) {
 // PurgeSession implements network.SessionPurger.
 func (v *VirtualClock) PurgeSession(id int, drop func(*packet.Packet)) {
 	v.ready.purge(id, drop)
-	delete(v.sessions, id)
+	v.sessions.Delete(id)
 }
 
 // PurgeSession implements network.SessionPurger. If the purge drains
@@ -180,12 +180,12 @@ func (q *wf2qHeap) siftDown(i int) {
 }
 
 // RemoveSession implements network.SessionRemover.
-func (d *DelayEDD) RemoveSession(id int) { delete(d.sessions, id) }
+func (d *DelayEDD) RemoveSession(id int) { d.sessions.Delete(id) }
 
 // PurgeSession implements network.SessionPurger.
 func (d *DelayEDD) PurgeSession(id int, drop func(*packet.Packet)) {
 	d.ready.purge(id, drop)
-	delete(d.sessions, id)
+	d.sessions.Delete(id)
 }
 
 // RemoveSession implements network.SessionRemover.

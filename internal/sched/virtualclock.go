@@ -5,6 +5,7 @@ import (
 
 	"leaveintime/internal/network"
 	"leaveintime/internal/packet"
+	"leaveintime/internal/sesstab"
 )
 
 // VirtualClock is L. Zhang's VirtualClock discipline (ToCS 1991): each
@@ -18,7 +19,9 @@ import (
 // d = L/r); tests cross-check the two implementations packet for
 // packet.
 type VirtualClock struct {
-	sessions map[int]*vcState
+	// sessions is a dense ID-indexed table; the per-packet lookup in
+	// Enqueue is a bounds check and an indexed load, not a map probe.
+	sessions sesstab.Table[vcState]
 	ready    pktHeap
 	stamp    uint64
 }
@@ -30,22 +33,20 @@ type vcState struct {
 }
 
 // NewVirtualClock returns an empty VirtualClock server.
-func NewVirtualClock() *VirtualClock {
-	return &VirtualClock{sessions: make(map[int]*vcState)}
-}
+func NewVirtualClock() *VirtualClock { return &VirtualClock{} }
 
 // AddSession implements network.Discipline.
 func (v *VirtualClock) AddSession(cfg network.SessionPort) {
 	if cfg.Rate <= 0 {
 		panic(fmt.Sprintf("sched: VirtualClock session %d needs positive rate", cfg.Session))
 	}
-	v.sessions[cfg.Session] = &vcState{rate: cfg.Rate}
+	v.sessions.Put(cfg.Session, vcState{rate: cfg.Rate})
 }
 
 // Enqueue implements network.Discipline.
 func (v *VirtualClock) Enqueue(p *packet.Packet, now float64) {
-	s, ok := v.sessions[p.Session]
-	if !ok {
+	s := v.sessions.Get(p.Session)
+	if s == nil {
 		panic(fmt.Sprintf("sched: VirtualClock packet for unregistered session %d", p.Session))
 	}
 	if !s.started {
@@ -81,4 +82,4 @@ func (v *VirtualClock) OnTransmit(p *packet.Packet, finish float64) { p.Hold = 0
 func (v *VirtualClock) Len() int { return v.ready.len() }
 
 // RemoveSession implements network.SessionRemover.
-func (v *VirtualClock) RemoveSession(id int) { delete(v.sessions, id) }
+func (v *VirtualClock) RemoveSession(id int) { v.sessions.Delete(id) }

@@ -1,0 +1,91 @@
+// Package sesstab provides a dense, index-addressed per-session state
+// table: the data-oriented replacement for the map[int]*state pattern
+// on the per-packet hot path.
+//
+// Session IDs in this repository are small sequential integers (the
+// System allocates them in admission order; simcheck and the tests
+// follow the same convention), so per-session state can live in a flat
+// slice indexed by ID instead of behind a hash lookup and a pointer
+// chase. A Get is then a bounds check plus an indexed load into a
+// contiguous array — branch-predictable, prefetch-friendly, and
+// allocation-free — where the map costs a hash, a bucket walk, and a
+// cache miss on the separately-allocated state struct.
+//
+// The table stores states by value. Pointers returned by Get and Put
+// are valid until the next Put (which may grow the backing array);
+// callers on the hot path look the state up once per packet and never
+// retain the pointer across insertions, matching how the disciplines
+// already used their maps.
+package sesstab
+
+import "fmt"
+
+// Table is a dense per-session state table. The zero value is an empty
+// table ready for use.
+type Table[T any] struct {
+	slots []T
+	ok    []bool
+	n     int
+}
+
+// Get returns the state for id, or nil when absent. It never allocates.
+func (t *Table[T]) Get(id int) *T {
+	if uint(id) < uint(len(t.ok)) && t.ok[id] {
+		return &t.slots[id]
+	}
+	return nil
+}
+
+// Put inserts (or replaces) the state for id and returns its slot.
+// IDs must be nonnegative; the table grows to cover the largest ID
+// ever inserted.
+func (t *Table[T]) Put(id int, v T) *T {
+	if id < 0 {
+		panic(fmt.Sprintf("sesstab: negative session id %d", id))
+	}
+	if id >= len(t.ok) {
+		t.grow(id + 1)
+	}
+	if !t.ok[id] {
+		t.ok[id] = true
+		t.n++
+	}
+	t.slots[id] = v
+	return &t.slots[id]
+}
+
+func (t *Table[T]) grow(n int) {
+	if n < 2*len(t.ok) {
+		n = 2 * len(t.ok)
+	}
+	slots := make([]T, n)
+	ok := make([]bool, n)
+	copy(slots, t.slots)
+	copy(ok, t.ok)
+	t.slots, t.ok = slots, ok
+}
+
+// Delete removes the state for id, zeroing its slot so freed state does
+// not pin memory. Deleting an absent id is a no-op.
+func (t *Table[T]) Delete(id int) {
+	if uint(id) >= uint(len(t.ok)) || !t.ok[id] {
+		return
+	}
+	var zero T
+	t.slots[id] = zero
+	t.ok[id] = false
+	t.n--
+}
+
+// Len returns the number of sessions present.
+func (t *Table[T]) Len() int { return t.n }
+
+// Range calls f for every present session in increasing ID order —
+// a deterministic iteration order, unlike a map's.
+func (t *Table[T]) Range(f func(id int, v *T)) {
+	for id := range t.ok {
+		if t.ok[id] {
+			f(id, &t.slots[id])
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package sesstab
+
+import (
+	"testing"
+)
+
+type state struct {
+	kPrev   float64
+	started bool
+}
+
+func TestPutGetDelete(t *testing.T) {
+	var tb Table[state]
+	if tb.Get(0) != nil || tb.Len() != 0 {
+		t.Fatal("zero table not empty")
+	}
+	p := tb.Put(3, state{kPrev: 1.5})
+	if p.kPrev != 1.5 {
+		t.Fatalf("Put returned wrong slot: %+v", *p)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tb.Len())
+	}
+	if g := tb.Get(3); g == nil || g.kPrev != 1.5 {
+		t.Fatalf("Get(3) = %v", g)
+	}
+	// Absent IDs inside and outside the grown range.
+	if tb.Get(2) != nil || tb.Get(100) != nil || tb.Get(-1) != nil {
+		t.Fatal("absent id returned state")
+	}
+	// Replace keeps Len stable.
+	tb.Put(3, state{kPrev: 2.5})
+	if tb.Len() != 1 || tb.Get(3).kPrev != 2.5 {
+		t.Fatalf("replace: len=%d state=%+v", tb.Len(), *tb.Get(3))
+	}
+	tb.Delete(3)
+	if tb.Get(3) != nil || tb.Len() != 0 {
+		t.Fatal("Delete left state behind")
+	}
+	// Deleting an absent or out-of-range id is a no-op.
+	tb.Delete(3)
+	tb.Delete(1000)
+	tb.Delete(-5)
+	if tb.Len() != 0 {
+		t.Fatalf("Len = %d after no-op deletes", tb.Len())
+	}
+}
+
+// TestDeleteZeroesSlot: a deleted slot must not pin its old value —
+// re-inserting the id must not resurrect stale fields.
+func TestDeleteZeroesSlot(t *testing.T) {
+	var tb Table[state]
+	tb.Put(0, state{kPrev: 9, started: true})
+	tb.Delete(0)
+	if tb.slots[0] != (state{}) {
+		t.Fatalf("slot not zeroed: %+v", tb.slots[0])
+	}
+}
+
+func TestGrowthPreservesState(t *testing.T) {
+	var tb Table[state]
+	for id := 0; id < 200; id++ {
+		tb.Put(id, state{kPrev: float64(id)})
+	}
+	if tb.Len() != 200 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	for id := 0; id < 200; id++ {
+		if g := tb.Get(id); g == nil || g.kPrev != float64(id) {
+			t.Fatalf("Get(%d) = %v after growth", id, g)
+		}
+	}
+}
+
+func TestNegativeIDPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Put(-1) did not panic")
+		}
+	}()
+	var tb Table[state]
+	tb.Put(-1, state{})
+}
+
+func TestRangeOrderAndSkips(t *testing.T) {
+	var tb Table[state]
+	for _, id := range []int{7, 2, 11, 4} {
+		tb.Put(id, state{kPrev: float64(id)})
+	}
+	tb.Delete(4)
+	var got []int
+	tb.Range(func(id int, v *state) {
+		if v.kPrev != float64(id) {
+			t.Fatalf("Range handed id %d state %+v", id, *v)
+		}
+		got = append(got, id)
+	})
+	want := []int{2, 7, 11}
+	if len(got) != len(want) {
+		t.Fatalf("Range visited %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Range order %v, want increasing %v", got, want)
+		}
+	}
+}
+
+// TestGetAllocationFree pins the hot-path contract: lookups never
+// allocate (hit or miss).
+func TestGetAllocationFree(t *testing.T) {
+	var tb Table[state]
+	for id := 0; id < 48; id++ {
+		tb.Put(id, state{kPrev: float64(id)})
+	}
+	var s float64
+	if n := testing.AllocsPerRun(1000, func() {
+		if g := tb.Get(17); g != nil {
+			s += g.kPrev
+		}
+		if g := tb.Get(10_000); g != nil {
+			s += g.kPrev
+		}
+	}); n != 0 {
+		t.Errorf("Get allocates %v per call pair", n)
+	}
+	benchSink = s
+}
+
+var benchSink float64
+
+// BenchmarkGet compares the dense table lookup against the
+// map[int]*state pattern it replaced — same 48-session working set the
+// QueueAblation load uses.
+func BenchmarkGet(b *testing.B) {
+	const sessions = 48
+	b.Run("table", func(b *testing.B) {
+		var tb Table[state]
+		for id := 0; id < sessions; id++ {
+			tb.Put(id, state{kPrev: float64(id)})
+		}
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += tb.Get(i % sessions).kPrev
+		}
+		benchSink = s
+	})
+	b.Run("map", func(b *testing.B) {
+		m := make(map[int]*state, sessions)
+		for id := 0; id < sessions; id++ {
+			m[id] = &state{kPrev: float64(id)}
+		}
+		var s float64
+		for i := 0; i < b.N; i++ {
+			s += m[i%sessions].kPrev
+		}
+		benchSink = s
+	})
+}

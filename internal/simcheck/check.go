@@ -279,7 +279,7 @@ func checkTelemetry(res *runResult, rep *SeedReport) {
 			probeDrops[pr.Port] += pr.Dropped
 		}
 	}
-	for _, pm := range res.Reg.Ports {
+	for _, pm := range res.Reg.PortCounters() {
 		if got := res.Counts.Arrivals[pm.Name]; got != pm.Arrivals {
 			rep.add(Violation{Check: "telemetry-agreement", Discipline: res.Name, Port: pm.Name,
 				Detail: fmt.Sprintf("trace counted %d arrivals, metrics %d", got, pm.Arrivals)})
@@ -304,14 +304,15 @@ func checkEngineSanity(res *runResult, rep *SeedReport) {
 	for _, sr := range res.Sessions {
 		emitted += sr.Emitted
 	}
-	if emitted > 0 && res.Reg.Engine.Fired == 0 {
+	eng := res.Reg.EngineCounters()
+	if emitted > 0 && eng.Fired == 0 {
 		rep.add(Violation{Check: "engine-sanity", Discipline: res.Name,
 			Detail: "packets emitted but the engine counted no fired events"})
 	}
-	if res.Reg.Engine.Scheduled < res.Reg.Engine.Fired {
+	if eng.Scheduled < eng.Fired {
 		rep.add(Violation{Check: "engine-sanity", Discipline: res.Name,
 			Detail: fmt.Sprintf("scheduled %d < fired %d",
-				res.Reg.Engine.Scheduled, res.Reg.Engine.Fired)})
+				eng.Scheduled, eng.Fired)})
 	}
 }
 

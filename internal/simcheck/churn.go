@@ -129,7 +129,7 @@ func (r *churnRun) ReleaseSession(id int) {
 		cs.live = nil
 	}
 	if m := r.net.Metrics(); m != nil {
-		m.Faults.Releases++
+		m.Arena().Inc(metrics.HFaultReleases)
 	}
 	_ = cs.sig.Teardown(id, nil)
 }
@@ -166,12 +166,12 @@ func (r *churnRun) resetup(cs *churnSess) {
 			// stranded by a lost ACCEPT/REJECT wait for the final
 			// teardown pass.
 			if m != nil {
-				m.Faults.ResetupRejects++
+				m.Arena().Inc(metrics.HFaultResetupRejects)
 			}
 			return
 		}
 		if m != nil {
-			m.Faults.Resetups++
+			m.Arena().Inc(metrics.HFaultResetups)
 		}
 		now := r.sim.Now()
 		cfgs := make([]network.SessionPort, len(cs.links))
@@ -317,7 +317,7 @@ func runChurn(sc *Scenario, spec discSpec, opts runOpts) (*runResult, error) {
 	sim.RunAll()
 	if reason := sim.Tripped(); reason != "" {
 		res.Tripped = reason
-		reg.Faults.WatchdogTrips++
+		reg.Arena().Inc(metrics.HFaultWatchdogTrips)
 		res.Violations = append(res.Violations, Violation{
 			Check: "watchdog", Discipline: spec.name, Detail: reason,
 		})
@@ -457,7 +457,7 @@ func checkChurnTelemetry(res *runResult, rep *SeedReport) {
 			probeDrops[pr.Port] += pr.Dropped
 		}
 	}
-	for _, pm := range res.Reg.Ports {
+	for _, pm := range res.Reg.PortCounters() {
 		if got := res.Counts.Arrivals[pm.Name]; got != pm.Arrivals {
 			rep.add(Violation{Check: "telemetry-agreement", Discipline: res.Name, Port: pm.Name,
 				Detail: fmt.Sprintf("trace counted %d arrivals, metrics %d", got, pm.Arrivals)})

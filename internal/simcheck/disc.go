@@ -179,9 +179,11 @@ func (c *checkedDisc) Len() int { return c.inner.Len() }
 // SetMetrics forwards the scheduler counters to the wrapped discipline
 // (Network.EnableMetrics type-asserts on the port's discipline, which
 // is this decorator).
-func (c *checkedDisc) SetMetrics(m *metrics.Sched) {
-	if s, ok := c.inner.(interface{ SetMetrics(*metrics.Sched) }); ok {
-		s.SetMetrics(m)
+func (c *checkedDisc) SetMetrics(a *metrics.Arena, base metrics.Handle) {
+	if s, ok := c.inner.(interface {
+		SetMetrics(*metrics.Arena, metrics.Handle)
+	}); ok {
+		s.SetMetrics(a, base)
 	}
 }
 

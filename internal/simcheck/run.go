@@ -301,7 +301,7 @@ func runScenario(sc *Scenario, spec discSpec, opts runOpts) (*runResult, error) 
 	sim.RunAll()
 	if reason := sim.Tripped(); reason != "" {
 		res.Tripped = reason
-		reg.Faults.WatchdogTrips++
+		reg.Arena().Inc(metrics.HFaultWatchdogTrips)
 		res.Violations = append(res.Violations, Violation{
 			Check: "watchdog", Discipline: spec.name, Detail: reason,
 		})

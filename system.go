@@ -64,10 +64,10 @@ func (s *System) Metrics() *MetricsRegistry { return s.metrics }
 
 func (srv *Server) attachMetrics(reg *metrics.Registry) {
 	if srv.ac1 != nil {
-		srv.ac1.SetMetrics(&reg.Admission.AC1)
+		srv.ac1.SetMetrics(reg.Arena(), metrics.HAdmissionAC1)
 	}
 	if srv.ac2 != nil {
-		srv.ac2.SetMetrics(&reg.Admission.AC2)
+		srv.ac2.SetMetrics(reg.Arena(), metrics.HAdmissionAC2)
 	}
 }
 
