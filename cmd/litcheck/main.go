@@ -11,6 +11,7 @@
 //	litcheck -seed 17 -seeds 5          # check seeds 17..21
 //	litcheck -churn -seeds 200          # chaos mode: fault/churn plans
 //	litcheck -replay repro.json         # re-check a written repro
+//	litcheck -shards 4 -seeds 25        # shard-invariance battery
 //
 // Seeds run on a GOMAXPROCS worker pool; reports print in seed order
 // and each seed's report is deterministic (same seed, byte-identical
@@ -34,6 +35,14 @@
 // -bound-scale tightens the checked analytic bounds by a factor; values
 // below 1 demand more than the theorems promise and exist to prove the
 // harness can fail, shrink and replay (see the acceptance tests).
+//
+// -shards N (N >= 2) switches to the shard-invariance battery: each
+// seed's scenario runs under exact Leave-in-Time on the
+// conservative-parallel runtime at shards=1 and shards=N, and the two
+// runs must agree byte for byte — canonical traces, per-session
+// statistics, checker violation sets, merged telemetry. -shards is
+// incompatible with -churn (fault plans address a single engine) and
+// with -replay; an invalid count exits with status 2 and usage.
 package main
 
 import (
@@ -59,9 +68,25 @@ func main() {
 		churn      = flag.Bool("churn", false, "attach a deterministic fault/churn plan to every seed")
 		maxEvents  = flag.Int64("max-events", 0, "watchdog: fired-event budget per run (0 = default in churn mode, unlimited otherwise)")
 		maxWall    = flag.Duration("max-wall", 0, "watchdog: wall-clock budget per run (0 = unlimited)")
+		shards     = flag.Int("shards", 1, "shard-invariance battery: compare shards=1 against this shard count (1 = serial battery)")
 		verbose    = flag.Bool("v", false, "print every seed's report line, not only failures")
 	)
 	flag.Parse()
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "litcheck: -shards must be at least 1, got %d\n", *shards)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *shards > 1 && *churn {
+		fmt.Fprintln(os.Stderr, "litcheck: -shards is incompatible with -churn (fault plans are serial-only)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *shards > 1 && *replay != "" {
+		fmt.Fprintln(os.Stderr, "litcheck: -shards is incompatible with -replay")
+		flag.Usage()
+		os.Exit(2)
+	}
 	opt := simcheck.Options{
 		BoundScale: *boundScale,
 		Churn:      *churn,
@@ -112,6 +137,12 @@ func main() {
 					return
 				}
 				seed := *seed0 + uint64(i)
+				if *shards > 1 {
+					// Invariance divergences have no shrink/repro path:
+					// the reproduction command is the seed itself.
+					reports[i] = simcheck.CheckShardInvariance(seed, *shards, opt)
+					continue
+				}
 				rep := simcheck.CheckSeed(seed, opt)
 				if !rep.OK() && *reproDir != "" {
 					// Chaos scenarios are written as-is: shrink

@@ -4,11 +4,20 @@
 // Usage:
 //
 //	litsim -experiment fig7 [-duration 300] [-seed 1]
+//	litsim -experiment metro -shards 4
 //	litsim -experiment all
 //
 // Experiments: fig7, fig8, fig9, fig10, fig11, fig12 (alias of fig8's
 // buffer view), fig14 (figures 14-17, procedure 2), fig14ac1 (same
-// under procedure 1), section4, all.
+// under procedure 1), section4, metro, all.
+//
+// metro runs the metro-scale ring-of-rings workload (208 switches by
+// default) on the conservative-parallel shard runtime. -shards N
+// partitions the network into N shards (default 1, the serial path)
+// and -workers caps the goroutines driving them (0 = one per CPU).
+// Results are identical at every shard and worker count; an invalid
+// count, or -shards above 1 with any other experiment, exits with
+// status 2 and usage.
 //
 // Durations default to the paper's (300 s for the MIX sweeps, 600 s for
 // the CROSS distribution runs); pass -duration to shorten exploratory
@@ -54,7 +63,7 @@ func reproCommand() string {
 
 func main() {
 	var (
-		exp       = flag.String("experiment", "all", "which experiment to run (fig7, fig8, fig9, fig10, fig11, fig12, fig14, fig14ac1, perhop, establish, blocking, saturation, section4, all)")
+		exp       = flag.String("experiment", "all", "which experiment to run (fig7, fig8, fig9, fig10, fig11, fig12, fig14, fig14ac1, perhop, establish, blocking, saturation, section4, metro, all)")
 		duration  = flag.Float64("duration", 0, "run length in simulated seconds (0 = the paper's duration)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		asPlot    = flag.Bool("plot", false, "render distribution figures as terminal charts")
@@ -63,8 +72,21 @@ func main() {
 		maxWall   = flag.Duration("max-wall", 0, "watchdog: abort with a reproduction command after this much wall-clock time (0 = unlimited)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf   = flag.String("memprofile", "", "write an allocation profile of the run to this file")
+		shards    = flag.Int("shards", 1, "shard count for the metro experiment (1 = serial path)")
+		workers   = flag.Int("workers", 0, "goroutines driving the shards (0 = one per CPU, capped at -shards)")
 	)
 	flag.Parse()
+
+	if *shards < 1 {
+		fmt.Fprintf(os.Stderr, "litsim: -shards must be at least 1, got %d\n", *shards)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *shards > 1 && *exp != "metro" {
+		fmt.Fprintf(os.Stderr, "litsim: -shards above 1 requires -experiment metro, got %q\n", *exp)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *maxWall > 0 {
 		time.AfterFunc(*maxWall, func() {
@@ -241,6 +263,19 @@ func main() {
 	if run("saturation") {
 		any = true
 		fmt.Print(lit.RunSaturation(dur(30), *seed, 8, 5).Format())
+		fmt.Println()
+	}
+	if run("metro") {
+		any = true
+		res, err := lit.RunMetro(lit.MetroOptions{
+			Duration: dur(10), Seed: *seed,
+			Shards: *shards, Workers: *workers, Metrics: true,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "litsim: metro: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Format())
 		fmt.Println()
 	}
 	if run("section4") {

@@ -158,3 +158,18 @@ func RunEstablishment(seed uint64, processing float64) *EstablishmentResult {
 func RunSaturation(duration float64, seed uint64, n int, overcommit float64) *SaturationResult {
 	return scenarios.RunSaturation(duration, seed, n, overcommit)
 }
+
+// MetroOptions parameterize the metro-scale ring-of-rings workload
+// that showcases sharded conservative-parallel execution.
+type MetroOptions = scenarios.MetroOptions
+
+// MetroResult summarizes one metro run.
+type MetroResult = scenarios.MetroResult
+
+// RunMetro plans and runs the metro workload: hundreds of switches in
+// a ring-of-rings topology, partitioned into shards that advance in
+// conservative time windows. Deterministic in the options: every shard
+// and worker count produces identical results.
+func RunMetro(opt MetroOptions) (*MetroResult, error) {
+	return scenarios.RunMetro(opt)
+}

@@ -20,6 +20,7 @@ import (
 	"leaveintime/internal/metrics"
 	"leaveintime/internal/network"
 	"leaveintime/internal/packet"
+	"leaveintime/internal/scenarios"
 )
 
 // Duration is the simulated run length per iteration of the
@@ -76,6 +77,20 @@ func Suite() []Case {
 			Name:       fmt.Sprintf("Scale/voice%d", n),
 			SimSeconds: Duration,
 			F:          func(b *testing.B) { Scale(b, n) },
+		})
+	}
+	// The metro workload at increasing shard counts: identical results
+	// at every count, so the series isolates the cost (or, on multi-core
+	// hardware, the win) of conservative-parallel execution. On a
+	// single-CPU host the expectation is parity, not speedup — the
+	// shards time-slice one core and the series measures windowing
+	// overhead.
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		cases = append(cases, Case{
+			Name:       fmt.Sprintf("Metro/shards=%d", n),
+			SimSeconds: Duration,
+			F:          func(b *testing.B) { Metro(b, n) },
 		})
 	}
 	return cases
@@ -255,6 +270,30 @@ func RegulatorPath(b *testing.B) {
 			}
 		}
 		now += 1e-3
+	}
+}
+
+// Metro runs the metro-scale ring-of-rings workload (208 switches, 64
+// sessions) on the conservative-parallel shard runtime at the given
+// shard count. The plan (Dijkstra routing over the metro) is built once
+// outside the timed loop; each iteration regenerates the graph and
+// replays the routed sessions, which is what a fresh run costs.
+func Metro(b *testing.B, shards int) {
+	plan, err := scenarios.PlanMetro(scenarios.MetroOptions{
+		Duration: Duration, Shards: shards,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := plan.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Delivered == 0 || res.Tripped != "" {
+			b.Fatalf("bad metro run: %+v", res)
+		}
 	}
 }
 

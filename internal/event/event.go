@@ -19,15 +19,30 @@
 // and is skipped. That keeps Cancel O(1) and avoids the sift-down of a
 // mid-heap removal.
 //
-// The heap itself is data-oriented: it stores 24-byte value nodes
-// (time, seq, pointer) rather than *Event pointers, so every
+// The heap itself is data-oriented: it stores 32-byte value nodes
+// (time, sched, tie, pointer) rather than *Event pointers, so every
 // comparison on the sift paths reads keys already in the node array —
 // no pointer chase into a separately-allocated Event per compare, and
 // no position write-back into the Event structs on every move (lazy
 // cancellation never needs an event's heap index). The heap is 4-ary,
 // which halves the tree depth of a binary heap; with inline keys the
-// four children of a node span at most two cache lines, where the old
-// pointer layout touched up to four random lines per level.
+// four children of a node span at most three cache lines, where the
+// old pointer layout touched up to four random lines per level.
+//
+// # Ordering key
+//
+// Events are ordered by the triple (fire time, schedule time, tie).
+// Schedule stamps the current clock as the schedule time and a
+// monotone sequence number as the tie, which makes the triple order
+// identical to the classic (time, seq) order: the sequence number is
+// monotone in the schedule instant, so comparing schedule times first
+// never disagrees with comparing sequence numbers. The extra key
+// components exist for sharded execution (internal/shard):
+// ScheduleStamped lets a cross-shard packet injection carry the
+// schedule instant and tie of the *upstream* shard's transmission, so
+// the receiving engine interleaves remote arrivals with local events
+// in an order that depends only on the simulated history, never on
+// how the network was partitioned.
 package event
 
 import (
@@ -59,7 +74,8 @@ const poolChunk = 64
 // inside the handler, as a wake-up timer naturally does).
 type Event struct {
 	time  float64
-	seq   uint64
+	sched float64
+	tie   uint64
 	fn    Handler
 	state uint8
 }
@@ -72,9 +88,10 @@ func (e *Event) Time() float64 { return e.time }
 // stands for. Keys ride in the node so sift comparisons never
 // dereference the Event.
 type evNode struct {
-	time float64
-	seq  uint64
-	e    *Event
+	time  float64
+	sched float64
+	tie   uint64
+	e     *Event
 }
 
 // Simulator is a discrete-event simulator. The zero value is ready to
@@ -82,15 +99,18 @@ type evNode struct {
 type Simulator struct {
 	now     float64
 	seq     uint64
-	heap    []evNode // 4-ary min-heap ordered by (time, seq)
+	heap    []evNode // 4-ary min-heap ordered by (time, sched, tie)
 	free    []*Event // recycled Event structs
 	pending int      // scheduled and not canceled
 	stopped bool
 
 	// m, when non-nil, receives engine counters through the fixed
 	// HEngine* handles (one branch per schedule/cancel/fire; see
-	// internal/metrics).
-	m *metrics.Arena
+	// internal/metrics). heapHW shadows the published heap high-water
+	// so the steady state (heap at or below a seen size) costs one
+	// integer compare instead of an arena access per schedule.
+	m      *metrics.Arena
+	heapHW int
 
 	// Watchdog state (see watchdog.go): run budgets checked before each
 	// fire, one branch per event when disarmed.
@@ -116,6 +136,17 @@ func (s *Simulator) Now() float64 { return s.now }
 // a live counter, O(1).
 func (s *Simulator) Pending() int { return s.pending }
 
+// NextTime returns the fire time of the earliest pending event, or
+// false when the queue is empty. Sharded execution uses it to
+// fast-forward idle synchronization windows.
+func (s *Simulator) NextTime() (float64, bool) {
+	e := s.peek()
+	if e == nil {
+		return 0, false
+	}
+	return e.time, true
+}
+
 // Schedule registers fn to run at absolute time t. Scheduling in the
 // past (t < Now) panics: it would silently reorder causality. Events
 // scheduled for the same instant fire in scheduling order.
@@ -123,9 +154,35 @@ func (s *Simulator) Schedule(t float64, fn Handler) *Event {
 	if t < s.now {
 		panic("event: scheduled in the past")
 	}
+	return s.push(t, s.now, s.seq, fn)
+}
+
+// ScheduleStamped registers fn to run at absolute time t with an
+// explicit (schedule time, tie) pair instead of the engine's own
+// clock and sequence counter. It exists for conservative-parallel
+// execution: a cross-shard packet injection carries the upstream
+// shard's transmission instant as sched and a partition-independent
+// tie (internal/shard sets the top tie bit, which no local sequence
+// number reaches, so stamped events never collide with local ones),
+// making the merge order of remote arrivals a pure function of the
+// simulated history. Callers must guarantee tie uniqueness among
+// stamped events at the same (t, sched); the engine only guarantees
+// it for its own Schedule calls.
+func (s *Simulator) ScheduleStamped(t, sched float64, tie uint64, fn Handler) *Event {
+	if t < s.now {
+		panic("event: scheduled in the past")
+	}
+	if sched > t {
+		panic("event: stamped schedule time after fire time")
+	}
+	return s.push(t, sched, tie, fn)
+}
+
+func (s *Simulator) push(t, sched float64, tie uint64, fn Handler) *Event {
 	e := s.alloc()
 	e.time = t
-	e.seq = s.seq
+	e.sched = sched
+	e.tie = tie
 	e.fn = fn
 	e.state = statePending
 	s.seq++
@@ -133,7 +190,10 @@ func (s *Simulator) Schedule(t float64, fn Handler) *Event {
 	s.heapPush(e)
 	if s.m != nil {
 		s.m.Inc(metrics.HEngineScheduled)
-		s.m.MaxUint(metrics.HEngineHeapHighWater, uint64(len(s.heap)))
+		if n := len(s.heap); n > s.heapHW {
+			s.heapHW = n
+			s.m.MaxUint(metrics.HEngineHeapHighWater, uint64(n))
+		}
 	}
 	return e
 }
@@ -209,6 +269,26 @@ func (s *Simulator) Run(until float64) {
 	}
 }
 
+// RunBefore processes events in time order while they fire strictly
+// before until, then clamps the clock forward to until. It is the
+// conservative-window primitive of sharded execution: a shard runs
+// its local events up to (but excluding) the window boundary, so
+// cross-shard injections scheduled exactly at the boundary are merged
+// into the heap before any local event at that instant fires.
+func (s *Simulator) RunBefore(until float64) {
+	s.stopped = false
+	for !s.stopped {
+		e := s.peek()
+		if e == nil || e.time >= until {
+			break
+		}
+		s.Step()
+	}
+	if s.now < until {
+		s.now = until
+	}
+}
+
 // RunAll processes events until the queue is empty.
 func (s *Simulator) RunAll() {
 	s.stopped = false
@@ -253,17 +333,22 @@ func (s *Simulator) recycle(e *Event) {
 	s.free = append(s.free, e)
 }
 
-// nodeLess orders heap nodes by (time, seq): earlier first, ties in
-// scheduling order — the engine's determinism contract.
+// nodeLess orders heap nodes by (fire time, schedule time, tie):
+// earlier first, ties in scheduling order — the engine's determinism
+// contract, extended so stamped cross-shard events merge at a
+// partition-independent position (see the package comment).
 func nodeLess(a, b evNode) bool {
 	if a.time != b.time {
 		return a.time < b.time
 	}
-	return a.seq < b.seq
+	if a.sched != b.sched {
+		return a.sched < b.sched
+	}
+	return a.tie < b.tie
 }
 
 func (s *Simulator) heapPush(e *Event) {
-	s.heap = append(s.heap, evNode{time: e.time, seq: e.seq, e: e})
+	s.heap = append(s.heap, evNode{time: e.time, sched: e.sched, tie: e.tie, e: e})
 	s.siftUp(len(s.heap) - 1)
 }
 

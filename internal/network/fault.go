@@ -124,6 +124,9 @@ func (p *Port) PurgeSession(id int) {
 	} else if r, ok := p.Disc.(SessionRemover); ok {
 		r.RemoveSession(id)
 	}
+	// The purge evicted queued packets behind the port's back: resync
+	// the mirrored queue length (the only such path; see Port.qlen).
+	p.qlen = p.Disc.Len()
 	for i := p.inflight.head; i < len(p.inflight.items); i++ {
 		pkt := p.inflight.items[i].pkt
 		if pkt == nil || pkt.Session != id {

@@ -193,6 +193,7 @@ func (n *Network) NewPort(name string, capacity, gamma float64, disc Discipline)
 		Gamma: gamma,
 		Disc:  disc,
 	}
+	p.SetTieBase(len(n.ports))
 	// Pre-bind the port's event handlers once: the transmission-finish,
 	// link-delivery and wake-up events on the per-packet path reuse
 	// these closures instead of allocating a fresh one per occurrence.
@@ -211,6 +212,16 @@ func (n *Network) NewPort(name string, capacity, gamma float64, disc Discipline)
 
 // Ports returns all ports in creation order.
 func (n *Network) Ports() []*Port { return n.ports }
+
+// SetTieBase pins the port identity used in the canonical ordering
+// stamp of its link-delivery events. The default (creation order
+// within the Network) is correct for serial runs; the shard runtime
+// overrides it with the port's global link index so every shard
+// count — including one — stamps identical keys. Call before any
+// packet flows.
+func (p *Port) SetTieBase(id int) {
+	p.tieBase = 1<<63 | uint64(id)<<32
+}
 
 // Sessions returns all sessions in creation order.
 func (n *Network) Sessions() []*Session { return n.sessions }
@@ -252,6 +263,19 @@ type Port struct {
 	linkFn   event.Handler
 	wakeFn   event.Handler
 
+	// tieBase and txSeq form the canonical ordering stamp of this
+	// port's link-delivery events: (top bit | port ID << 32 | per-port
+	// transmission count). Stamping deliveries with a key derived from
+	// the port's identity and transmit history — rather than the
+	// engine's schedule counter — makes the interleaving of same-
+	// instant arrivals at a downstream node independent of how the
+	// network is partitioned into shards, which is what lets a sharded
+	// run (internal/shard) reproduce a serial run's event order
+	// exactly. NewPort derives the ID from creation order; the shard
+	// runtime overrides it with the global link index via SetTieBase.
+	tieBase uint64
+	txSeq   uint64
+
 	// Buffer tracking (Figures 12-13): per-session bits currently at
 	// this node, counting the packet under transmission. Indexed by
 	// session ID (dense, nil = untracked), so the per-arrival probe
@@ -264,9 +288,17 @@ type Port struct {
 	HoldClamped int64
 
 	// ma/mb, when attached, receive the port's telemetry counters as
-	// arena slots at block base mb (see Network.EnableMetrics).
-	ma *metrics.Arena
-	mb metrics.Handle
+	// arena slots at block base mb (see Network.EnableMetrics). qlen
+	// mirrors Disc.Len() (packets enter the discipline only through
+	// Enqueue and leave only through Dequeue; the purge path resyncs)
+	// so the per-arrival queue high-water check costs two integer
+	// operations instead of an interface call, and qhw shadows the
+	// published high-water so arrivals that do not raise it skip the
+	// arena access too.
+	ma   *metrics.Arena
+	mb   metrics.Handle
+	qlen int
+	qhw  int
 }
 
 // flight is one packet traversing the outgoing link: its destination
@@ -398,10 +430,14 @@ func (p *Port) Arrive(pkt *packet.Packet, now float64) {
 	p.net.trace(trace.Event{Time: now, Kind: trace.Arrive, Port: p.Name,
 		Session: pkt.Session, Seq: pkt.Seq, Hop: pkt.Hop})
 	p.Disc.Enqueue(pkt, now)
+	p.qlen++
 	if p.ma != nil {
 		p.ma.Inc(p.mb + metrics.PortArrivals)
 		p.ma.AddFloat(p.mb+metrics.PortArrivedBits, pkt.Length)
-		p.ma.MaxUint(p.mb+metrics.PortQueueHighWater, uint64(p.Disc.Len()))
+		if p.qlen > p.qhw {
+			p.qhw = p.qlen
+			p.ma.MaxUint(p.mb+metrics.PortQueueHighWater, uint64(p.qlen))
+		}
 	}
 	p.maybeStart(now)
 }
@@ -427,6 +463,7 @@ func (p *Port) maybeStart(now float64) {
 		}
 		return
 	}
+	p.qlen--
 	p.busy = true
 	p.Util.SetBusy(now, true)
 	p.net.trace(trace.Event{Time: now, Kind: trace.TransmitStart, Port: p.Name,
@@ -484,26 +521,45 @@ func (p *Port) finish(pkt *packet.Packet) {
 
 	// The downstream hop is derived from the session's route and the
 	// packet's hop index: the next port when one remains, otherwise the
-	// session itself as the exit sink.
+	// session itself as the exit sink — or, for a non-final shard
+	// segment, the Forward hook. Handing off at the transmission-finish
+	// instant (not at link arrival) matters for conservative windows:
+	// finish is always inside the current window, while arrival on a
+	// cut link may fall past its end.
 	sess := p.net.sessionByID(pkt.Session)
 	if sess == nil {
 		panic(fmt.Sprintf("network: no route out of port %s for session %d", p.Name, pkt.Session))
 	}
 	arrive := now + p.Gamma
+	p.txSeq++
+	tie := p.tieBase | p.txSeq
 	var next *Port
 	var sink Sink
-	if pkt.Hop+1 < len(sess.Route) {
-		next = sess.Route[pkt.Hop+1]
+	if lh := pkt.Hop + 1 - sess.HopOffset; lh < len(sess.Route) {
+		next = sess.Route[lh]
 		pkt.Hop++
+	} else if sess.Forward != nil {
+		h := Handoff{
+			Session: pkt.Session, Seq: pkt.Seq, Hop: pkt.Hop + 1,
+			Length: pkt.Length, SourceTime: pkt.SourceTime, Hold: pkt.Hold,
+			Sched: now, Tie: tie,
+		}
+		p.net.pool.put(pkt)
+		sess.Forward(h, now, arrive)
+		p.maybeStart(now)
+		return
 	} else {
 		sink = sess
 	}
 	// Transmissions on one port finish at strictly increasing instants
 	// and every departure experiences the same propagation delay, so
 	// link arrivals happen in departure order: a FIFO plus one
-	// pre-bound handler replaces a per-packet closure.
+	// pre-bound handler replaces a per-packet closure. The delivery is
+	// stamped with the port's canonical (identity, transmit count) tie
+	// so same-instant arrivals downstream interleave in a partition-
+	// independent order (see tieBase).
 	p.inflight.push(flight{pkt: pkt, next: next, sink: sink, at: arrive})
-	p.net.Sim.Schedule(arrive, p.linkFn)
+	p.net.Sim.ScheduleStamped(arrive, now, tie, p.linkFn)
 	p.maybeStart(now)
 }
 
@@ -561,6 +617,21 @@ type Session struct {
 
 	// OnDeliver, if non-nil, observes every delivered packet.
 	OnDeliver func(p *packet.Packet, delay float64)
+
+	// HopOffset is the global hop index of Route[0]. It is zero for a
+	// whole session and nonzero for a downstream segment of a session
+	// whose route was split across network shards (internal/shard):
+	// packets keep their global hop numbers, so traces from a sharded
+	// run merge byte-identically with a serial run's.
+	HopOffset int
+
+	// Forward, when non-nil, marks this session as a non-final segment
+	// of a sharded route: a packet finishing the segment's last hop is
+	// handed to Forward (at its transmission-finish instant, with its
+	// link arrival instant precomputed) instead of being delivered.
+	// The packet itself is released to this network's pool before the
+	// call — the Handoff value is the complete cross-shard state.
+	Forward func(h Handoff, finish, arrive float64)
 
 	// Delivered counts packets that completed the route.
 	Delivered int64
@@ -702,6 +773,7 @@ func (s *Session) send(t, length float64) {
 	p.Seq = s.seq
 	p.Length = length
 	p.SourceTime = t
+	p.Hop = s.HopOffset
 	s.Route[0].Arrive(p, t)
 }
 
@@ -742,3 +814,46 @@ func (n *Network) unregister(s *Session) {
 // first node at time t (must be the current simulation time). It is
 // used by tests to drive hand-built arrival patterns.
 func (s *Session) InjectAt(t, length float64) { s.send(t, length) }
+
+// Handoff is the complete cross-shard state of a packet leaving one
+// network segment for the next: everything a downstream shard needs
+// to reconstruct the packet in its own pool. Per-node scheduling
+// fields (Eligible, Deadline, NodeArrive, ...) are deliberately
+// absent — they are recomputed at every node, exactly as they would
+// be after a serial link traversal.
+type Handoff struct {
+	Session int
+	Seq     int64
+	// Hop is the global hop index of the node the packet arrives at.
+	Hop int
+	// Length, SourceTime and Hold are the packet header fields that
+	// survive a link traversal (Hold is eq. 9's holding time, already
+	// computed by the upstream discipline's OnTransmit).
+	Length     float64
+	SourceTime float64
+	Hold       float64
+
+	// Sched and Tie are the engine ordering stamps of the arrival the
+	// handoff replaces: the upstream transmission-finish instant and
+	// the transmitting port's canonical delivery tie. Scheduling the
+	// downstream injection with exactly these stamps reproduces the
+	// serial run's event interleaving.
+	Sched float64
+	Tie   uint64
+}
+
+// InjectArrival lands a handed-off packet at a port of this network:
+// it takes a fresh packet from the local pool, restores the carried
+// header fields, and runs the normal arrival path. now must be the
+// packet's link arrival instant (upstream finish plus the cut link's
+// propagation delay) and the current simulation time.
+func (n *Network) InjectArrival(at *Port, h Handoff, now float64) {
+	p := n.pool.get()
+	p.Session = h.Session
+	p.Seq = h.Seq
+	p.Hop = h.Hop
+	p.Length = h.Length
+	p.SourceTime = h.SourceTime
+	p.Hold = h.Hold
+	at.Arrive(p, now)
+}

@@ -1,0 +1,73 @@
+package scenarios
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestMetroShardInvariant runs a reduced metro workload at several
+// shard counts and demands identical results — the scenario-level end
+// of the determinism contract.
+func TestMetroShardInvariant(t *testing.T) {
+	opt := MetroOptions{Rings: 6, RingSize: 4, Duration: 0.5, Seed: 3, Metrics: true}
+	var base *MetroResult
+	for _, shards := range []int{1, 2, 3, 6} {
+		o := opt
+		o.Shards = shards
+		res, err := RunMetro(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Tripped != "" {
+			t.Fatalf("shards=%d tripped: %s", shards, res.Tripped)
+		}
+		if res.Delivered == 0 {
+			t.Fatalf("shards=%d delivered nothing", shards)
+		}
+		if shards == 1 {
+			if res.Crossings != 0 {
+				t.Fatalf("shards=1 reported %d crossings", res.Crossings)
+			}
+			base = res
+			continue
+		}
+		if res.Crossings == 0 {
+			t.Fatalf("shards=%d: no cross-shard handoffs — workload not exercising the backbone", shards)
+		}
+		// Everything except the partition geometry must match shards=1.
+		a, b := *base, *res
+		a.Shards, b.Shards = 0, 0
+		a.CutLinks, b.CutLinks = 0, 0
+		a.Lookahead, b.Lookahead = 0, 0
+		a.Crossings, b.Crossings = 0, 0
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("shards=%d diverges:\n got %+v\nwant %+v", shards, b, a)
+		}
+	}
+}
+
+// TestMetroPlanReuse runs one plan twice: a plan must be reusable
+// (graphs are single-use, plans are not) and deterministic.
+func TestMetroPlanReuse(t *testing.T) {
+	p, err := PlanMetro(MetroOptions{Rings: 4, RingSize: 2, Duration: 0.3, Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("plan reruns diverge:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestMetroRejectsBadShards(t *testing.T) {
+	if _, err := PlanMetro(MetroOptions{Shards: -1}); err == nil {
+		t.Fatal("negative shard count accepted")
+	}
+}

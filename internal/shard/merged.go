@@ -1,0 +1,90 @@
+package shard
+
+import "leaveintime/internal/metrics"
+
+// MergedRegistry folds the per-shard registries into one canonical
+// network-wide registry, invariant under the shard count:
+//
+//   - engine counters sum (the cross-shard handoff replaces exactly
+//     one upstream link-delivery event with one downstream injection,
+//     so the totals match a serial run event for event), except heap
+//     high-water, which is a per-engine capacity gauge with no
+//     partition-independent meaning — the merge zeroes it;
+//   - pool counters sum minus one take and one release per crossing
+//     (a handed-off packet is released upstream and re-taken
+//     downstream, where a serial run keeps one packet throughout);
+//   - admission and fault counters sum;
+//   - port blocks copy through unchanged, in global link order — a
+//     port lives wholly inside one shard, so its counters are already
+//     partition-independent.
+//
+// Returns nil when the runtime was built without Config.Metrics.
+func (rt *Runtime) MergedRegistry() *metrics.Registry {
+	if !rt.cfg.Metrics {
+		return nil
+	}
+	m := metrics.NewRegistry()
+	a := m.Arena()
+	for _, sh := range rt.Shards {
+		r := sh.Reg
+		e := r.EngineCounters()
+		a.AddUint(metrics.HEngineScheduled, uint64(e.Scheduled))
+		a.AddUint(metrics.HEngineCanceled, uint64(e.Canceled))
+		a.AddUint(metrics.HEngineFired, uint64(e.Fired))
+		p := r.PoolCounters()
+		a.AddUint(metrics.HPoolTaken, uint64(p.Taken))
+		a.AddUint(metrics.HPoolReleased, uint64(p.Released))
+		ad := r.AdmissionCounters()
+		for i, proc := range []metrics.ProcOutcome{ad.AC1, ad.AC2, ad.AC3} {
+			base := metrics.HAdmissionAC1 + metrics.Handle(i)*metrics.ProcSlots
+			a.AddUint(base+metrics.ProcAccepted, uint64(proc.Accepted))
+			a.AddUint(base+metrics.ProcRejected, uint64(proc.Rejected))
+		}
+		f := r.FaultCounters()
+		for h, v := range map[metrics.Handle]int64{
+			metrics.HFaultLinkDowns: f.LinkDowns, metrics.HFaultLinkUps: f.LinkUps,
+			metrics.HFaultInFlightDrops: f.InFlightDrops, metrics.HFaultPurgeDrops: f.PurgeDrops,
+			metrics.HFaultSignalingDrops: f.SignalingDrops, metrics.HFaultSessionsPurged: f.SessionsPurged,
+			metrics.HFaultReleases: f.Releases, metrics.HFaultResetups: f.Resetups,
+			metrics.HFaultResetupRejects: f.ResetupRejects, metrics.HFaultStalls: f.Stalls,
+			metrics.HFaultWatchdogTrips: f.WatchdogTrips,
+		} {
+			a.AddUint(h, uint64(v))
+		}
+	}
+	// Cancel the per-crossing pool churn so live == taken - released
+	// matches the serial run.
+	crossed := uint64(rt.crossed)
+	a.AddUint(metrics.HPoolTaken, -crossed)
+	a.AddUint(metrics.HPoolReleased, -crossed)
+
+	// Port blocks, re-registered in global link order. Each shard's
+	// registry holds its ports in local creation order, which New
+	// produced by walking the global link list — so walking it again
+	// and consuming each shard's next port keeps the two in lockstep.
+	perShard := make([][]metrics.Port, len(rt.Shards))
+	for i, sh := range rt.Shards {
+		perShard[i] = sh.Reg.PortCounters()
+	}
+	next := make([]int, len(rt.Shards))
+	for _, l := range rt.cfg.Graph.Links() {
+		s := rt.Part.Assign[l.From]
+		pc := perShard[s][next[s]]
+		next[s]++
+		arena, base := m.NewPort(pc.Name, pc.Capacity)
+		arena.AddUint(base+metrics.PortArrivals, uint64(pc.Arrivals))
+		arena.AddFloat(base+metrics.PortArrivedBits, pc.ArrivedBits)
+		arena.AddUint(base+metrics.PortTransmissions, uint64(pc.Transmissions))
+		arena.AddFloat(base+metrics.PortTransmittedBits, pc.TransmittedBits)
+		arena.AddUint(base+metrics.PortDroppedPackets, uint64(pc.DroppedPackets))
+		arena.AddFloat(base+metrics.PortDroppedBits, pc.DroppedBits)
+		arena.AddUint(base+metrics.PortFaultDrops, uint64(pc.FaultDrops))
+		arena.AddFloat(base+metrics.PortFaultDroppedBits, pc.FaultDroppedBits)
+		arena.AddUint(base+metrics.PortSignalingDrops, uint64(pc.SignalingDrops))
+		arena.AddUint(base+metrics.PortQueueHighWater, uint64(pc.QueueHighWater))
+		arena.AddUint(base+metrics.SchedRegulated, uint64(pc.Sched.Regulated))
+		arena.AddFloat(base+metrics.SchedEligibilityWait, pc.Sched.EligibilityWait)
+		arena.AddUint(base+metrics.SchedDeadlineMisses, uint64(pc.Sched.DeadlineMisses))
+	}
+	return m
+}

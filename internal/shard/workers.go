@@ -1,0 +1,79 @@
+package shard
+
+import (
+	"runtime"
+	"sync"
+)
+
+// workerPool drives the shards through each synchronization window.
+// Every worker goroutine owns a fixed subset of the shards (round-robin
+// by shard index), so a shard's engine is always advanced by the same
+// goroutine — no shard state ever migrates between OS threads mid-run,
+// and the memory each engine touches stays in one core's cache.
+//
+// The coordinator (Runtime.Run) alternates with the workers: it blocks
+// in run() until every worker finishes the window, then performs the
+// exchange alone. Shard state is therefore never accessed concurrently;
+// the channels provide the happens-before edges the race detector
+// wants across window boundaries.
+type workerPool struct {
+	groups [][]*Shard
+	start  []chan float64
+	wg     sync.WaitGroup
+}
+
+// startWorkers spins up the pool, or returns nil when one worker
+// would drive everything — then the caller runs shards inline on its
+// own goroutine with zero synchronization, the right degenerate case
+// for a single-core host.
+func (rt *Runtime) startWorkers() *workerPool {
+	w := rt.cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(rt.Shards) {
+		w = len(rt.Shards)
+	}
+	if w <= 1 {
+		return nil
+	}
+	p := &workerPool{groups: make([][]*Shard, w), start: make([]chan float64, w)}
+	for i, sh := range rt.Shards {
+		p.groups[i%w] = append(p.groups[i%w], sh)
+	}
+	for i := range p.groups {
+		p.start[i] = make(chan float64)
+		go p.worker(p.groups[i], p.start[i])
+	}
+	return p
+}
+
+func (p *workerPool) worker(shards []*Shard, start <-chan float64) {
+	for until := range start {
+		for _, sh := range shards {
+			runShard(sh, until)
+		}
+		p.wg.Done()
+	}
+}
+
+// run advances every shard to the window boundary and blocks until all
+// workers are parked again.
+func (p *workerPool) run(until float64) {
+	p.wg.Add(len(p.start))
+	for _, c := range p.start {
+		c <- until
+	}
+	p.wg.Wait()
+}
+
+// stop releases the worker goroutines. Safe on the nil pool of an
+// inline run.
+func (p *workerPool) stop() {
+	if p == nil {
+		return
+	}
+	for _, c := range p.start {
+		close(c)
+	}
+}

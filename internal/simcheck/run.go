@@ -325,29 +325,38 @@ func runScenario(sc *Scenario, spec discSpec, opts runOpts) (*runResult, error) 
 	return res, nil
 }
 
-// establish admits the session at every hop (replaying what the
-// generator verified), derives its analytic bounds from the resulting
-// assignments, and wires it into the network.
-func establish(sc *Scenario, g *topo.Graph, net *network.Network, adm admitterSet,
-	def SessionDef, spec discSpec, opts runOpts) (*sessResult, *network.Session, []*network.BufferProbe, error) {
+// admitted is a session's route after the admission replay: the links
+// it traverses and everything the assignments determined.
+type admitted struct {
+	links  []*topo.Link
+	cfgs   []network.SessionPort
+	hops   []admission.Hop
+	minCap float64
+	route  admission.Route
+}
 
+// replayAdmission routes the session and replays admission at every hop
+// (re-verifying what the generator admitted), producing the per-node
+// session-port configurations and the analytic route description. It
+// is the discipline- and runtime-independent half of establish, shared
+// with the sharded runner.
+func replayAdmission(sc *Scenario, g *topo.Graph, adm admitterSet, def SessionDef) (*admitted, error) {
 	links, err := g.RouteLinks(def.From, def.To)
 	if err != nil {
-		return nil, nil, nil, err
-	}
-	ports, err := g.Route(def.From, def.To)
-	if err != nil {
-		return nil, nil, nil, err
+		return nil, err
 	}
 	aspec := admission.SessionSpec{ID: def.ID, Rate: def.Rate, LMax: def.LMax, LMin: def.LMin}
-	cfgs := make([]network.SessionPort, len(links))
-	hops := make([]admission.Hop, len(links))
-	minCap := links[0].Capacity
+	out := &admitted{
+		links:  links,
+		cfgs:   make([]network.SessionPort, len(links)),
+		hops:   make([]admission.Hop, len(links)),
+		minCap: links[0].Capacity,
+	}
 	var last admission.Assignment
 	for i, l := range links {
 		a, err := adm.admit(l, aspec, def)
 		if err != nil {
-			return nil, nil, nil, err
+			return nil, err
 		}
 		last = a
 		d := a.D
@@ -358,7 +367,7 @@ func establish(sc *Scenario, g *topo.Graph, net *network.Network, adm admitterSe
 			// closure would round L*C/(r*C) differently from L/r).
 			d = nil
 		}
-		cfgs[i] = network.SessionPort{
+		out.cfgs[i] = network.SessionPort{
 			D:    d,
 			DMax: a.DMax,
 			// Per-node budget for the EDD baselines: generous enough
@@ -367,18 +376,37 @@ func establish(sc *Scenario, g *topo.Graph, net *network.Network, adm admitterSe
 			LocalDelay: def.LMax/def.Rate + float64(len(sc.Sessions)+2)*sc.LMax/l.Capacity,
 			XMin:       def.LMin / def.Rate,
 		}
-		hops[i] = admission.Hop{C: l.Capacity, Gamma: l.Gamma, DMax: a.DMax}
-		if l.Capacity < minCap {
-			minCap = l.Capacity
+		out.hops[i] = admission.Hop{C: l.Capacity, Gamma: l.Gamma, DMax: a.DMax}
+		if l.Capacity < out.minCap {
+			out.minCap = l.Capacity
 		}
 	}
+	out.route = admission.Route{Hops: out.hops, LMax: sc.LMax, Alpha: last.Alpha(aspec)}
+	return out, nil
+}
 
-	route := admission.Route{Hops: hops, LMax: sc.LMax, Alpha: last.Alpha(aspec)}
+// establish admits the session at every hop (replaying what the
+// generator verified), derives its analytic bounds from the resulting
+// assignments, and wires it into the network.
+func establish(sc *Scenario, g *topo.Graph, net *network.Network, adm admitterSet,
+	def SessionDef, spec discSpec, opts runOpts) (*sessResult, *network.Session, []*network.BufferProbe, error) {
+
+	ad, err := replayAdmission(sc, g, adm, def)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	links, cfgs := ad.links, ad.cfgs
+	ports, err := g.Route(def.From, def.To)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+
+	route := ad.route
 	dRef := def.Burst / def.Rate
 	sr := &sessResult{
 		Def:        def,
 		Hops:       len(links),
-		MinLinkCap: minCap,
+		MinLinkCap: ad.minCap,
 		DelayBound: route.DelayBound(dRef),
 	}
 	if def.JitterCtrl {

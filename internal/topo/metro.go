@@ -1,0 +1,86 @@
+package topo
+
+import "fmt"
+
+// MetroConfig describes a generated metropolitan-area topology: a
+// backbone ring of hub switches, each hub anchoring a local ring of
+// access switches — the classic SONET-style ring-of-rings a metro
+// carrier deploys, and the showcase workload for sharded execution
+// (hundreds of switches, with the backbone propagation delay as the
+// natural conservative lookahead).
+type MetroConfig struct {
+	// Rings is the number of backbone hubs (each with one local ring).
+	Rings int
+	// RingSize is the number of access switches per local ring, not
+	// counting the hub.
+	RingSize int
+
+	// BackboneCapacity and RingCapacity are link rates in bits/s.
+	BackboneCapacity float64
+	RingCapacity     float64
+	// BackboneGamma and RingGamma are propagation delays in seconds.
+	// BackboneGamma is the inter-shard lookahead when the partition
+	// cuts only backbone links (which contiguous sorted-name
+	// assignment produces whenever the shard count divides Rings).
+	BackboneGamma float64
+	RingGamma     float64
+}
+
+// DefaultMetro returns a realistic parameterization: 150 Mb/s backbone
+// spans of 40 km fiber (200 us at 5 us/km), 45 Mb/s local rings with
+// 5 km spans (25 us).
+func DefaultMetro(rings, ringSize int) MetroConfig {
+	return MetroConfig{
+		Rings: rings, RingSize: ringSize,
+		BackboneCapacity: 150e6, RingCapacity: 45e6,
+		BackboneGamma: 200e-6, RingGamma: 25e-6,
+	}
+}
+
+// MetroHub returns the name of ring i's hub switch.
+func MetroHub(i int) string { return fmt.Sprintf("r%02dh", i) }
+
+// MetroNode returns the name of access switch j on ring i. Names sort
+// so each ring (hub first, then its access switches) is contiguous,
+// which is what lets Partition's block assignment keep rings whole.
+func MetroNode(i, j int) string { return fmt.Sprintf("r%02dn%02d", i, j) }
+
+// Metro generates the ring-of-rings graph: duplex backbone links
+// between consecutive hubs (closing the ring), and per ring a duplex
+// cycle hub -> n00 -> n01 -> ... -> hub.
+func Metro(cfg MetroConfig) *Graph {
+	if cfg.Rings < 1 || cfg.RingSize < 1 {
+		panic("topo: metro needs at least one ring with one access switch")
+	}
+	if cfg.Rings > 100 || cfg.RingSize > 100 {
+		panic("topo: metro naming supports at most 100 rings of 100 switches")
+	}
+	g := New()
+	for i := 0; i < cfg.Rings; i++ {
+		hub := MetroHub(i)
+		prev := hub
+		for j := 0; j < cfg.RingSize; j++ {
+			n := MetroNode(i, j)
+			g.AddDuplex(prev, n, cfg.RingCapacity, cfg.RingGamma)
+			prev = n
+		}
+		if cfg.RingSize > 1 {
+			// Close the local ring (a single access switch already has
+			// its duplex pair to the hub).
+			g.AddDuplex(prev, hub, cfg.RingCapacity, cfg.RingGamma)
+		}
+	}
+	for i := 0; i < cfg.Rings; i++ {
+		next := (i + 1) % cfg.Rings
+		if next <= i {
+			// next <= i only on the closing span (or with fewer than
+			// three rings, where a "ring" degenerates: one ring has no
+			// backbone, two rings need a single duplex pair).
+			if next == i || cfg.Rings == 2 {
+				break
+			}
+		}
+		g.AddDuplex(MetroHub(i), MetroHub(next), cfg.BackboneCapacity, cfg.BackboneGamma)
+	}
+	return g
+}

@@ -1,0 +1,111 @@
+package topo
+
+import (
+	"fmt"
+	"math"
+)
+
+// Partition is a deterministic assignment of every node to exactly one
+// shard, computed by Graph.Partition for conservative-parallel
+// execution (internal/shard). The invariants the shard runtime relies
+// on:
+//
+//   - every node appears in Assign exactly once;
+//   - no zero-propagation-delay link is cut (its endpoints share a
+//     shard), so Lookahead is strictly positive whenever any link is
+//     cut;
+//   - the assignment is a pure function of the graph and the shard
+//     count — same input, same partition, on every run.
+type Partition struct {
+	// Shards is the requested shard count. Shards may be empty when it
+	// exceeds the number of contractable node groups.
+	Shards int
+	// Assign maps node name -> shard index in [0, Shards).
+	Assign map[string]int
+	// Lookahead is the conservative synchronization window: the
+	// minimum propagation delay over all cut links. It is +Inf when no
+	// link is cut (one shard, or fully independent components), in
+	// which case shards never need to synchronize.
+	Lookahead float64
+	// CutLinks counts links whose endpoints landed in different
+	// shards.
+	CutLinks int
+}
+
+// Partition splits the graph's nodes into k shards. Nodes joined by a
+// zero-propagation-delay link are contracted into one atom first (a
+// cut link's delay is the synchronization lookahead, so a zero-delay
+// cut would force a zero-length window — such links must stay
+// intra-shard; a graph whose zero-delay links connect everything
+// degenerates to a single effective shard). Atoms are then assigned in
+// canonical sorted-name order to k contiguous, balanced blocks, which
+// keeps name-adjacent regions (like the metro generator's rings)
+// together.
+func (g *Graph) Partition(k int) (*Partition, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topo: shard count must be at least 1, got %d", k)
+	}
+	nodes := g.Nodes() // sorted: the canonical assignment order
+	idx := make(map[string]int, len(nodes))
+	for i, n := range nodes {
+		idx[n] = i
+	}
+
+	// Union-find over nodes, contracting zero-delay links.
+	parent := make([]int, len(nodes))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for parent[i] != i {
+			parent[i] = parent[parent[i]]
+			i = parent[i]
+		}
+		return i
+	}
+	for _, l := range g.links {
+		if l.Gamma <= 0 {
+			a, b := find(idx[l.From]), find(idx[l.To])
+			if a != b {
+				// Union by smaller index keeps roots canonical.
+				if a > b {
+					a, b = b, a
+				}
+				parent[b] = a
+			}
+		}
+	}
+
+	// Number atoms by first appearance in sorted node order, then hand
+	// atom a of A to shard a*k/A — contiguous blocks, sizes differing
+	// by at most one.
+	atomOf := make(map[int]int)
+	for _, n := range nodes {
+		r := find(idx[n])
+		if _, ok := atomOf[r]; !ok {
+			atomOf[r] = len(atomOf)
+		}
+	}
+	p := &Partition{Shards: k, Assign: make(map[string]int, len(nodes)), Lookahead: math.Inf(1)}
+	if atoms := len(atomOf); atoms > 0 {
+		for _, n := range nodes {
+			p.Assign[n] = atomOf[find(idx[n])] * k / atoms
+		}
+	}
+
+	for _, l := range g.links {
+		if p.Assign[l.From] != p.Assign[l.To] {
+			p.CutLinks++
+			if l.Gamma < p.Lookahead {
+				p.Lookahead = l.Gamma
+			}
+		}
+	}
+	if p.CutLinks > 0 && p.Lookahead <= 0 {
+		// Unreachable by construction (zero-delay links are never
+		// cut); kept as a guard on the invariant the runtime trusts.
+		return nil, fmt.Errorf("topo: partition cut a zero-delay link")
+	}
+	return p, nil
+}

@@ -1,0 +1,176 @@
+package topo
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestPartitionInvariants(t *testing.T) {
+	g := Metro(DefaultMetro(4, 3))
+	for _, k := range []int{1, 2, 3, 4, 8} {
+		p, err := g.Partition(k)
+		if err != nil {
+			t.Fatalf("Partition(%d): %v", k, err)
+		}
+		// Every node assigned exactly once, to a valid shard.
+		if len(p.Assign) != len(g.Nodes()) {
+			t.Fatalf("k=%d: %d assignments for %d nodes", k, len(p.Assign), len(g.Nodes()))
+		}
+		for n, s := range p.Assign {
+			if s < 0 || s >= k {
+				t.Fatalf("k=%d: node %s assigned to shard %d", k, n, s)
+			}
+		}
+		// Every cut link's delay is at least the lookahead, and the
+		// lookahead is positive whenever anything is cut.
+		cuts := 0
+		for _, l := range g.Links() {
+			if p.Assign[l.From] != p.Assign[l.To] {
+				cuts++
+				if l.Gamma < p.Lookahead {
+					t.Fatalf("k=%d: cut link %s->%s gamma %g < lookahead %g", k, l.From, l.To, l.Gamma, p.Lookahead)
+				}
+			}
+		}
+		if cuts != p.CutLinks {
+			t.Fatalf("k=%d: CutLinks=%d, counted %d", k, p.CutLinks, cuts)
+		}
+		if cuts > 0 && p.Lookahead <= 0 {
+			t.Fatalf("k=%d: %d cut links but lookahead %g", k, cuts, p.Lookahead)
+		}
+		if cuts == 0 && !math.IsInf(p.Lookahead, 1) {
+			t.Fatalf("k=%d: no cuts but lookahead %g", k, p.Lookahead)
+		}
+	}
+}
+
+func TestPartitionDeterministic(t *testing.T) {
+	g := Metro(DefaultMetro(6, 4))
+	a, err := g.Partition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.Partition(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two partitions of the same graph differ")
+	}
+}
+
+func TestPartitionMetroAlignsWithRings(t *testing.T) {
+	// When the shard count divides the ring count, block assignment
+	// keeps every local ring whole: only backbone links are cut, so
+	// the lookahead is the backbone propagation delay.
+	cfg := DefaultMetro(4, 5)
+	g := Metro(cfg)
+	p, err := g.Partition(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cfg.Rings; i++ {
+		hub := p.Assign[MetroHub(i)]
+		for j := 0; j < cfg.RingSize; j++ {
+			if s := p.Assign[MetroNode(i, j)]; s != hub {
+				t.Fatalf("ring %d split: hub in %d, n%02d in %d", i, hub, j, s)
+			}
+		}
+	}
+	if p.Lookahead != cfg.BackboneGamma {
+		t.Fatalf("lookahead %g, want backbone gamma %g", p.Lookahead, cfg.BackboneGamma)
+	}
+	for _, l := range g.Links() {
+		if p.Assign[l.From] != p.Assign[l.To] && l.Gamma != cfg.BackboneGamma {
+			t.Fatalf("cut non-backbone link %s->%s", l.From, l.To)
+		}
+	}
+}
+
+func TestPartitionContractsZeroDelayLinks(t *testing.T) {
+	g := New()
+	// Two zero-delay pairs bridged by a delayed link: the pairs must
+	// never be split, whatever the shard count.
+	g.AddDuplex("a1", "a2", 1e6, 0)
+	g.AddDuplex("b1", "b2", 1e6, 0)
+	g.AddDuplex("a2", "b1", 1e6, 1e-3)
+	for _, k := range []int{1, 2, 4} {
+		p, err := g.Partition(k)
+		if err != nil {
+			t.Fatalf("Partition(%d): %v", k, err)
+		}
+		if p.Assign["a1"] != p.Assign["a2"] || p.Assign["b1"] != p.Assign["b2"] {
+			t.Fatalf("k=%d: zero-delay pair split: %v", k, p.Assign)
+		}
+		if k >= 2 {
+			if p.Assign["a1"] == p.Assign["b1"] {
+				t.Fatalf("k=%d: expected the delayed bridge to be cut", k)
+			}
+			if p.Lookahead != 1e-3 {
+				t.Fatalf("k=%d: lookahead %g, want 1e-3", k, p.Lookahead)
+			}
+		}
+	}
+}
+
+func TestPartitionRejectsBadShardCount(t *testing.T) {
+	g := Metro(DefaultMetro(2, 2))
+	if _, err := g.Partition(0); err == nil {
+		t.Fatal("Partition(0) succeeded")
+	}
+	if _, err := g.Partition(-3); err == nil {
+		t.Fatal("Partition(-3) succeeded")
+	}
+}
+
+func TestMetroShape(t *testing.T) {
+	cfg := DefaultMetro(3, 4)
+	g := Metro(cfg)
+	wantNodes := cfg.Rings * (cfg.RingSize + 1)
+	if got := len(g.Nodes()); got != wantNodes {
+		t.Fatalf("%d nodes, want %d", got, wantNodes)
+	}
+	// Per ring: RingSize+1 duplex spans (cycle through the hub); plus
+	// Rings duplex backbone spans closing the hub ring.
+	wantLinks := 2 * (cfg.Rings*(cfg.RingSize+1) + cfg.Rings)
+	if got := len(g.Links()); got != wantLinks {
+		t.Fatalf("%d links, want %d", got, wantLinks)
+	}
+	// No duplicate directed links.
+	seen := map[string]bool{}
+	for _, l := range g.Links() {
+		key := l.From + ">" + l.To
+		if seen[key] {
+			t.Fatalf("duplicate link %s", key)
+		}
+		seen[key] = true
+	}
+	// Every access node is reachable from every hub.
+	if _, err := g.RouteLinks(MetroHub(0), MetroNode(2, 3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMetroTwoRings(t *testing.T) {
+	// Rings=2 must produce exactly one backbone duplex pair, not two.
+	g := Metro(DefaultMetro(2, 1))
+	back := 0
+	for _, l := range g.Links() {
+		if l.Gamma == DefaultMetro(2, 1).BackboneGamma {
+			back++
+		}
+	}
+	if back != 2 {
+		t.Fatalf("%d backbone directed links, want 2", back)
+	}
+}
+
+func TestMetroOneRing(t *testing.T) {
+	g := Metro(DefaultMetro(1, 3))
+	for _, l := range g.Links() {
+		if l.Gamma != DefaultMetro(1, 3).RingGamma {
+			t.Fatalf("single-ring metro has a backbone link %s->%s", l.From, l.To)
+		}
+	}
+}

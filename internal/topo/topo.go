@@ -121,20 +121,20 @@ func (g *Graph) RouteLinks(src, dst string) ([]*Link, error) {
 	dist := map[string]float64{src: 0}
 	prev := map[string]*Link{}
 	visited := map[string]bool{}
+	// All nodes in sorted order, once: the extraction scan below walks
+	// this list so ties break by name without re-sorting the frontier
+	// on every pop (which made routing quadratic-with-a-sort on the
+	// metro-scale graphs).
+	names := g.Nodes()
 	for {
 		// Extract the unvisited node with the smallest distance
-		// (ties by name for determinism). Linear scan: topologies are
-		// small.
+		// (ties by name for determinism). Linear scan: even the metro
+		// graphs have only a few hundred nodes.
 		cur := ""
 		best := math.Inf(1)
-		var names []string
-		for n := range dist {
-			names = append(names, n)
-		}
-		sort.Strings(names)
 		for _, n := range names {
-			if !visited[n] && dist[n] < best {
-				best = dist[n]
+			if d, ok := dist[n]; ok && !visited[n] && d < best {
+				best = d
 				cur = n
 			}
 		}

@@ -111,6 +111,36 @@ func (r *Recorder) Filter(session int) []Event {
 	return out
 }
 
+// CanonicalSort orders events by the simulated history they describe
+// rather than by recording order: (Time, Session, Seq, Hop, Kind,
+// Port, Cause). Kind order within one (time, session, seq, hop) tuple
+// follows the causal sequence at a node (Arrive, TransmitStart,
+// TransmitEnd, then a terminal Deliver or Drop). Two trace streams of
+// the same simulated history — for example a serial run and a sharded
+// run of the same seed, whose per-shard recorders interleave
+// differently — become byte-identical after CanonicalSort.
+func CanonicalSort(evs []Event) {
+	sort.Slice(evs, func(i, j int) bool {
+		a, b := &evs[i], &evs[j]
+		switch {
+		case a.Time != b.Time:
+			return a.Time < b.Time
+		case a.Session != b.Session:
+			return a.Session < b.Session
+		case a.Seq != b.Seq:
+			return a.Seq < b.Seq
+		case a.Hop != b.Hop:
+			return a.Hop < b.Hop
+		case a.Kind != b.Kind:
+			return a.Kind < b.Kind
+		case a.Port != b.Port:
+			return a.Port < b.Port
+		default:
+			return a.Cause < b.Cause
+		}
+	})
+}
+
 // PerHopDelay summarizes one hop's contribution to a session's delay.
 type PerHopDelay struct {
 	Port    string
