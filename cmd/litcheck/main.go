@@ -10,6 +10,7 @@
 //	litcheck -seeds 200                 # check seeds 1..200
 //	litcheck -seed 17 -seeds 5          # check seeds 17..21
 //	litcheck -churn -seeds 200          # chaos mode: fault/churn plans
+//	litcheck -classes -seeds 200        # + aggregate-class battery
 //	litcheck -replay repro.json         # re-check a written repro
 //	litcheck -shards 4 -seeds 25        # shard-invariance battery
 //
@@ -36,13 +37,30 @@
 // below 1 demand more than the theorems promise and exist to prove the
 // harness can fail, shrink and replay (see the acceptance tests).
 //
+// -classes additionally runs every clean seed through the aggregate-
+// class battery: the scenario's sessions mapped onto a few classes
+// with one regulator and one K clock per class (core.Aggregate),
+// checked against the degraded aggregate bounds (see
+// internal/simcheck). The worst degradation factor is printed on the
+// seed's report line.
+//
 // -shards N (N >= 2) switches to the shard-invariance battery: each
 // seed's scenario runs under exact Leave-in-Time on the
 // conservative-parallel runtime at shards=1 and shards=N, and the two
 // runs must agree byte for byte — canonical traces, per-session
-// statistics, checker violation sets, merged telemetry. -shards is
-// incompatible with -churn (fault plans address a single engine) and
-// with -replay; an invalid count exits with status 2 and usage.
+// statistics, checker violation sets, merged telemetry. An invalid
+// count exits with status 2 and usage.
+//
+// Incoherent flag combinations exit with status 2 and a message naming
+// both flags. -shards is incompatible with -churn (fault plans address
+// a single engine), -replay, -repro-dir (invariance divergences have
+// no repro path), -bound-scale (the battery checks agreement, not
+// bounds) and -classes; -replay is incompatible with -seed, -seeds,
+// -workers, -repro-dir, -bound-scale, -churn and -classes (a repro
+// file fixes its own scenario, fault plan and bound scale); -classes
+// is incompatible with -churn. -seed composes with -shards (it sets
+// the battery's first seed), and -bound-scale composes with -churn
+// (the tightening is embedded into chaos repros).
 package main
 
 import (
@@ -57,6 +75,46 @@ import (
 	"leaveintime/internal/simcheck"
 )
 
+// flagConflict is one incoherent pair of the flag matrix: setting both
+// (in an enabling state) exits with status 2. The message names both
+// flags, a first and why.
+type flagConflict struct{ a, b, why string }
+
+// flagMatrix is the audited set of incoherent combinations. Pairs
+// absent from the table compose: -seed sets the shard battery's first
+// seed, -bound-scale tightens the churn battery's survivor bounds, and
+// the watchdog budgets apply to every battery including replay.
+var flagMatrix = []flagConflict{
+	{"shards", "churn", "fault plans are serial-only"},
+	{"shards", "replay", "the invariance battery generates its own scenarios"},
+	{"shards", "repro-dir", "invariance divergences have no shrink/repro path"},
+	{"shards", "bound-scale", "the invariance battery checks agreement, not bounds"},
+	{"shards", "classes", "the invariance battery runs exact Leave-in-Time only"},
+	{"replay", "seed", "a repro file fixes its own scenario"},
+	{"replay", "seeds", "a repro file fixes its own scenario"},
+	{"replay", "workers", "replay is a single run"},
+	{"replay", "repro-dir", "replay never writes repros"},
+	{"replay", "bound-scale", "a repro embeds its own bound scale"},
+	{"replay", "churn", "a repro embeds its own fault plan"},
+	{"replay", "classes", "a repro replays the battery it was written under"},
+	{"churn", "classes", "class mode belongs to the clean battery"},
+}
+
+// flagConflicts returns one message per incoherent combination among
+// the enabled flags. enabled holds the flags that were explicitly set
+// on the command line AND carry an enabling value (e.g. -shards 1 or
+// -repro-dir "" are explicit but disable their feature, so they
+// conflict with nothing).
+func flagConflicts(enabled map[string]bool) []string {
+	var msgs []string
+	for _, c := range flagMatrix {
+		if enabled[c.a] && enabled[c.b] {
+			msgs = append(msgs, fmt.Sprintf("-%s is incompatible with -%s (%s)", c.b, c.a, c.why))
+		}
+	}
+	return msgs
+}
+
 func main() {
 	var (
 		seeds      = flag.Int("seeds", 100, "number of seeds to check")
@@ -69,6 +127,7 @@ func main() {
 		maxEvents  = flag.Int64("max-events", 0, "watchdog: fired-event budget per run (0 = default in churn mode, unlimited otherwise)")
 		maxWall    = flag.Duration("max-wall", 0, "watchdog: wall-clock budget per run (0 = unlimited)")
 		shards     = flag.Int("shards", 1, "shard-invariance battery: compare shards=1 against this shard count (1 = serial battery)")
+		classes    = flag.Bool("classes", false, "additionally run the aggregate-class battery per seed (degraded-bound checks)")
 		verbose    = flag.Bool("v", false, "print every seed's report line, not only failures")
 	)
 	flag.Parse()
@@ -77,19 +136,35 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *shards > 1 && *churn {
-		fmt.Fprintln(os.Stderr, "litcheck: -shards is incompatible with -churn (fault plans are serial-only)")
+
+	// The flag matrix: which flags were explicitly set with an enabling
+	// value. flag.Visit only sees flags present on the command line, so
+	// defaults never trigger a conflict.
+	explicit := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	enabled := map[string]bool{
+		"shards":      explicit["shards"] && *shards > 1,
+		"churn":       explicit["churn"] && *churn,
+		"replay":      explicit["replay"] && *replay != "",
+		"classes":     explicit["classes"] && *classes,
+		"seed":        explicit["seed"],
+		"seeds":       explicit["seeds"],
+		"workers":     explicit["workers"] && *workers != 0,
+		"repro-dir":   explicit["repro-dir"] && *reproDir != "",
+		"bound-scale": explicit["bound-scale"] && *boundScale > 0,
+	}
+	if msgs := flagConflicts(enabled); len(msgs) > 0 {
+		for _, m := range msgs {
+			fmt.Fprintf(os.Stderr, "litcheck: %s\n", m)
+		}
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *shards > 1 && *replay != "" {
-		fmt.Fprintln(os.Stderr, "litcheck: -shards is incompatible with -replay")
-		flag.Usage()
-		os.Exit(2)
-	}
+
 	opt := simcheck.Options{
 		BoundScale: *boundScale,
 		Churn:      *churn,
+		ClassMode:  *classes,
 		MaxEvents:  *maxEvents,
 		MaxWall:    *maxWall,
 	}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlagMatrix drives flagConflicts over the audited combinations:
+// every incoherent pair is rejected with a message naming both flags,
+// and every combination documented as composing passes.
+func TestFlagMatrix(t *testing.T) {
+	on := func(names ...string) map[string]bool {
+		m := make(map[string]bool)
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name    string
+		enabled map[string]bool
+		// reject lists the flag pairs that must each appear in some
+		// message; empty means the combination is accepted.
+		reject [][2]string
+	}{
+		{"defaults", on(), nil},
+		{"clean battery", on("seeds", "seed", "workers"), nil},
+		{"shards with seed", on("shards", "seed", "seeds"), nil},
+		{"churn with bound-scale", on("churn", "bound-scale"), nil},
+		{"replay with watchdog only", on("replay"), nil},
+		{"classes clean", on("classes", "seeds", "bound-scale"), nil},
+
+		{"shards with churn", on("shards", "churn"), [][2]string{{"churn", "shards"}}},
+		{"shards with replay", on("shards", "replay"), [][2]string{{"replay", "shards"}}},
+		{"shards with repro-dir", on("shards", "repro-dir"), [][2]string{{"repro-dir", "shards"}}},
+		{"shards with bound-scale", on("shards", "bound-scale"), [][2]string{{"bound-scale", "shards"}}},
+		{"shards with classes", on("shards", "classes"), [][2]string{{"classes", "shards"}}},
+		{"replay with seed", on("replay", "seed"), [][2]string{{"seed", "replay"}}},
+		{"replay with seeds", on("replay", "seeds"), [][2]string{{"seeds", "replay"}}},
+		{"replay with workers", on("replay", "workers"), [][2]string{{"workers", "replay"}}},
+		{"replay with repro-dir", on("replay", "repro-dir"), [][2]string{{"repro-dir", "replay"}}},
+		{"replay with bound-scale", on("replay", "bound-scale"), [][2]string{{"bound-scale", "replay"}}},
+		{"replay with churn", on("replay", "churn"), [][2]string{{"churn", "replay"}}},
+		{"replay with classes", on("replay", "classes"), [][2]string{{"classes", "replay"}}},
+		{"churn with classes", on("churn", "classes"), [][2]string{{"classes", "churn"}}},
+		{"pileup", on("shards", "churn", "replay", "classes"), [][2]string{
+			{"churn", "shards"}, {"replay", "shards"}, {"classes", "shards"},
+			{"churn", "replay"}, {"classes", "replay"}, {"classes", "churn"},
+		}},
+	}
+	for _, c := range cases {
+		msgs := flagConflicts(c.enabled)
+		if len(c.reject) == 0 {
+			if len(msgs) != 0 {
+				t.Errorf("%s: unexpectedly rejected: %v", c.name, msgs)
+			}
+			continue
+		}
+		if len(msgs) != len(c.reject) {
+			t.Errorf("%s: got %d messages %v, want %d", c.name, len(msgs), msgs, len(c.reject))
+		}
+		for _, pair := range c.reject {
+			found := false
+			for _, m := range msgs {
+				if strings.Contains(m, "-"+pair[0]+" ") && strings.Contains(m, "-"+pair[1]+" ") {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: no message names both -%s and -%s: %v", c.name, pair[0], pair[1], msgs)
+			}
+		}
+	}
+}
+
+// TestFlagMatrixMessagesNameBothFlags pins the message contract for
+// every table entry, independent of which combinations the cases above
+// exercise.
+func TestFlagMatrixMessagesNameBothFlags(t *testing.T) {
+	for _, c := range flagMatrix {
+		msgs := flagConflicts(map[string]bool{c.a: true, c.b: true})
+		if len(msgs) != 1 {
+			t.Fatalf("%s+%s: got %v", c.a, c.b, msgs)
+		}
+		if !strings.Contains(msgs[0], "-"+c.a) || !strings.Contains(msgs[0], "-"+c.b) {
+			t.Errorf("message %q does not name both -%s and -%s", msgs[0], c.a, c.b)
+		}
+		if c.why == "" {
+			t.Errorf("%s+%s: conflict has no rationale", c.a, c.b)
+		}
+	}
+}

@@ -9,7 +9,9 @@
 //
 // Experiments: fig7, fig8, fig9, fig10, fig11, fig12 (alias of fig8's
 // buffer view), fig14 (figures 14-17, procedure 2), fig14ac1 (same
-// under procedure 1), section4, metro, all.
+// under procedure 1), ups (the NSDI '16 universal-packet-scheduling
+// replay: baseline schedules reproduced by LSTF and by LiT from slack
+// carried in the packet header), section4, metro, all.
 //
 // metro runs the metro-scale ring-of-rings workload (208 switches by
 // default) on the conservative-parallel shard runtime. -shards N
@@ -63,7 +65,7 @@ func reproCommand() string {
 
 func main() {
 	var (
-		exp       = flag.String("experiment", "all", "which experiment to run (fig7, fig8, fig9, fig10, fig11, fig12, fig14, fig14ac1, perhop, establish, blocking, saturation, section4, metro, all)")
+		exp       = flag.String("experiment", "all", "which experiment to run (fig7, fig8, fig9, fig10, fig11, fig12, fig14, fig14ac1, perhop, establish, blocking, saturation, ups, section4, metro, all)")
 		duration  = flag.Float64("duration", 0, "run length in simulated seconds (0 = the paper's duration)")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		asPlot    = flag.Bool("plot", false, "render distribution figures as terminal charts")
@@ -276,6 +278,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Print(res.Format())
+		fmt.Println()
+	}
+	if run("ups") {
+		any = true
+		fmt.Print(lit.RunUPS(dur(30), *seed).Format())
 		fmt.Println()
 	}
 	if run("section4") {

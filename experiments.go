@@ -131,6 +131,18 @@ func RunCallBlocking(duration float64, seed uint64, offered, hold float64) *Call
 	return scenarios.RunCallBlocking(duration, seed, offered, hold)
 }
 
+// UPSResult is the UPS replay experiment: the delivery schedules of
+// the baseline disciplines replayed from slack carried in the packet
+// header, by LSTF and by jitter-controlled Leave-in-Time.
+type UPSResult = scenarios.UPSResult
+
+// RunUPS records each baseline discipline's delivery schedule over a
+// fixed tandem population and measures how closely LSTF and LiT
+// reproduce it (Mittal et al., NSDI 2016).
+func RunUPS(duration float64, seed uint64) *UPSResult {
+	return scenarios.RunUPS(duration, seed)
+}
+
 // ComparisonResult is the live Section 4 comparison: the CROSS
 // scenario under every discipline, with per-discipline bounds.
 type ComparisonResult = scenarios.ComparisonResult

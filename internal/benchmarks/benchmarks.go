@@ -17,9 +17,11 @@ import (
 
 	lit "leaveintime"
 	"leaveintime/internal/core"
+	"leaveintime/internal/event"
 	"leaveintime/internal/metrics"
 	"leaveintime/internal/network"
 	"leaveintime/internal/packet"
+	"leaveintime/internal/rng"
 	"leaveintime/internal/scenarios"
 )
 
@@ -55,6 +57,8 @@ func Suite() []Case {
 		{Name: "Counter/raw", F: CounterRaw},
 		{Name: "Counter/arena", F: CounterArena},
 		{Name: "RegulatorPath", F: RegulatorPath},
+		{Name: "UPS/replay", SimSeconds: 12 * upsBenchDur, F: UPS},
+		{Name: "Aggregate/classes3", SimSeconds: Duration, F: Aggregate},
 	}
 	// The heap-vs-calendar ablation at three event-density regimes:
 	// light (a quarter of admissible load), mid (over half), and full
@@ -325,5 +329,66 @@ func Scale(b *testing.B, sessions int) {
 			}
 		}
 		sys.Run(Duration)
+	}
+}
+
+// upsBenchDur is the per-run simulated length of the UPS benchmark:
+// the experiment is 12 tandem runs per iteration (4 recordings, 8
+// replays), so even a short duration exercises the record/replay
+// machinery end to end.
+const upsBenchDur = 2
+
+// UPS runs the full UPS replay experiment per iteration: record four
+// baseline disciplines on the Figure 6 tandem, then replay each
+// recording under LSTF and under the jitter-controlled Leave-in-Time
+// regulator. The case tracks the slack-carrying header path (LSTF due
+// times, regulator holds) under a realistic multi-hop load.
+func UPS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := scenarios.RunUPS(upsBenchDur, uint64(i+1))
+		if len(res.Rows) != 8 || res.Packets == 0 {
+			b.Fatal("bad replay")
+		}
+	}
+}
+
+// Aggregate runs the Figure 6 five-hop tandem with a class-aggregated
+// Leave-in-Time server at every port: 48 voice sessions mapped onto
+// three classes round-robin, so each port carries O(classes) interior
+// state. Against Scale/voice48 the case isolates the hot-path cost of
+// aggregation (class table lookups, shared K clocks) at identical
+// offered load.
+func Aggregate(b *testing.B) {
+	const sessions, classes = 48, 3
+	for i := 0; i < b.N; i++ {
+		sim := event.New()
+		net := network.New(sim, 424)
+		r := rng.New(uint64(i + 1))
+		ports := make([]*network.Port, 5)
+		for h := range ports {
+			ports[h] = net.NewPort(fmt.Sprintf("n%d", h+1), 1536e3, 1e-3,
+				core.NewAggregate(core.AggConfig{
+					Capacity: 1536e3, LMax: 424, Classes: classes,
+					ClassOf: func(id int) int { return (id - 1) % classes },
+				}))
+		}
+		cfgs := make([]network.SessionPort, len(ports))
+		for h := range cfgs {
+			cfgs[h] = network.SessionPort{Rate: 32e3, DMax: 424.0 / 32e3}
+		}
+		sess := make([]*network.Session, sessions)
+		for s := 0; s < sessions; s++ {
+			sess[s] = net.AddSession(s+1, 32e3, false, ports, cfgs,
+				scenarios.NewOnOff(6.5e-3, r.Split()))
+			sess[s].Start(0, Duration)
+		}
+		sim.RunAll()
+		var delivered int64
+		for _, s := range sess {
+			delivered += s.Delivered
+		}
+		if delivered == 0 {
+			b.Fatal("no packets")
+		}
 	}
 }

@@ -223,10 +223,13 @@ const deadlineSlack = 1e-9
 func (l *LiT) Len() int { return l.ready.len() + l.regulator.len() }
 
 // RemoveSession implements network.SessionRemover: it frees the
-// session's scheduling state at teardown. Any still-queued packet of
-// the session will panic on its next Enqueue, surfacing teardown
-// before drain.
+// session's scheduling state at teardown. Any still-in-flight packet
+// of the session is dropped by the port on arrival (cause "purged",
+// via HasSession) instead of reaching Enqueue.
 func (l *LiT) RemoveSession(id int) { l.sessions.Delete(id) }
+
+// HasSession implements network.SessionChecker.
+func (l *LiT) HasSession(id int) bool { return l.sessions.Get(id) != nil }
 
 // PurgeSession implements network.SessionPurger: a mid-run teardown
 // that evicts the session's queued packets — regulated and eligible —

@@ -77,7 +77,29 @@ func (p *Port) RestoreLink() {
 const (
 	causeFault = "fault"
 	causePurge = "purge"
+	// causePurged marks the registration race: a packet arriving at a
+	// port after PurgeSession already swept its session from the
+	// discipline there (distinct from "purge", which marks packets the
+	// purge itself evicted).
+	causePurged = "purged"
 )
+
+// dropUnregistered terminates a packet that arrived for a session the
+// port's discipline no longer knows: trace, count, release. Unlike
+// dropFault the packet was never accepted at this port, so there is no
+// buffer-probe occupancy to return.
+func (p *Port) dropUnregistered(pkt *packet.Packet, now float64) {
+	if p.ma != nil {
+		p.ma.Inc(p.mb + metrics.PortFaultDrops)
+		p.ma.AddFloat(p.mb+metrics.PortFaultDroppedBits, pkt.Length)
+	}
+	if m := p.net.metrics; m != nil {
+		m.Arena().Inc(metrics.HFaultPurgeDrops)
+	}
+	p.net.trace(trace.Event{Time: now, Kind: trace.Drop, Port: p.Name,
+		Session: pkt.Session, Seq: pkt.Seq, Hop: pkt.Hop, Cause: causePurged})
+	p.net.pool.put(pkt)
+}
 
 // dropFault terminates a packet lost to a fault or purge: trace, count,
 // release. The packet has already been accepted at this port, so its

@@ -98,6 +98,20 @@ type SessionRemover interface {
 	RemoveSession(id int)
 }
 
+// SessionChecker is optionally implemented by disciplines that keep
+// per-session state and can report whether a session is currently
+// registered. Ports consult it on every arrival: a packet of an
+// unregistered session — the registration race of a mid-run teardown,
+// where a late in-flight packet lands after PurgeSession has swept the
+// node — becomes a traced terminal drop with cause "purged" instead of
+// a panic inside the discipline. Disciplines without per-session state
+// (FCFS, Stop-and-Go) simply don't implement it. Construction-time
+// validation panics (bad rates, missing budgets at AddSession) are
+// unaffected.
+type SessionChecker interface {
+	HasSession(id int) bool
+}
+
 // Network is a simulated packet-switching network.
 //
 // Packet lifecycle: every packet lives in the network's pool. A session
@@ -193,6 +207,11 @@ func (n *Network) NewPort(name string, capacity, gamma float64, disc Discipline)
 		Gamma: gamma,
 		Disc:  disc,
 	}
+	// Cache the registration-check interface once so the per-arrival
+	// guard is a nil check, not a type assertion per packet.
+	if c, ok := disc.(SessionChecker); ok {
+		p.check = c
+	}
 	p.SetTieBase(len(n.ports))
 	// Pre-bind the port's event handlers once: the transmission-finish,
 	// link-delivery and wake-up events on the per-packet path reuse
@@ -251,6 +270,12 @@ type Port struct {
 	// dropped there instead of forwarded.
 	down   bool
 	txLost string
+
+	// check, when the discipline keeps per-session state, answers
+	// whether a session is registered; arrivals for unregistered
+	// sessions are dropped with cause "purged" instead of reaching the
+	// discipline (see SessionChecker). Cached at port construction.
+	check SessionChecker
 
 	// Closure-free event plumbing: txPkt is the packet under
 	// transmission (one at a time per port), inflight the FIFO of
@@ -403,6 +428,13 @@ func (p *Port) LimitBuffer(session int, bits float64) *BufferProbe {
 // last bit arrives, per the paper's convention).
 func (p *Port) Arrive(pkt *packet.Packet, now float64) {
 	pkt.NodeArrive = now
+	if p.check != nil && !p.check.HasSession(pkt.Session) {
+		// Registration race: the session was purged from this node while
+		// the packet was still in flight toward it. Terminal drop, before
+		// any probe or queue accounting touches the packet.
+		p.dropUnregistered(pkt, now)
+		return
+	}
 	if probe := p.probeFor(pkt.Session); probe != nil {
 		if probe.Limit > 0 && probe.Bits+pkt.Length > probe.Limit+1e-9 {
 			probe.DroppedPackets++
@@ -618,6 +650,16 @@ type Session struct {
 	// OnDeliver, if non-nil, observes every delivered packet.
 	OnDeliver func(p *packet.Packet, delay float64)
 
+	// InitialSlack, if non-nil, stamps the packet's carried holding
+	// time (packet.Hold) at emission: the packet enters the first node
+	// exactly as if an upstream regulator had handed it that much
+	// slack. Packets normally emit with zero Hold; the hook exists for
+	// replay harnesses — the UPS experiment (internal/scenarios) uses
+	// it to seed LSTF with per-packet slack derived from another
+	// discipline's recorded schedule. Called once per emission with the
+	// packet's sequence number and emission instant.
+	InitialSlack func(seq int64, t float64) float64
+
 	// HopOffset is the global hop index of Route[0]. It is zero for a
 	// whole session and nonzero for a downstream segment of a session
 	// whose route was split across network shards (internal/shard):
@@ -774,15 +816,19 @@ func (s *Session) send(t, length float64) {
 	p.Length = length
 	p.SourceTime = t
 	p.Hop = s.HopOffset
+	if s.InitialSlack != nil {
+		p.Hold = s.InitialSlack(p.Seq, t)
+	}
 	s.Route[0].Arrive(p, t)
 }
 
 // RemoveSession tears down a session's routing and scheduling state at
 // every port of its route. The session must be fully drained: its
 // source stopped and no packets of it anywhere in the network (a
-// packet of a removed session arriving at a port will panic inside the
-// discipline, surfacing the misuse). Call it a grace period after the
-// source's stop time.
+// packet of a removed session arriving at a port is dropped with cause
+// "purged" when the discipline tracks registration, and a packet
+// finishing a hop with no route panics). Call it a grace period after
+// the source's stop time.
 func (n *Network) RemoveSession(s *Session) {
 	for _, port := range s.Route {
 		if r, ok := port.Disc.(SessionRemover); ok {

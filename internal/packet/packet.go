@@ -41,6 +41,12 @@ type Packet struct {
 	// from node n-1 to node n (eq. 9). It is zero at the first node
 	// (eq. 8) and zero at every node for sessions without delay jitter
 	// control.
+	//
+	// More generally it is the header's per-packet slack carrier: LSTF
+	// reads it as remaining slack and writes back the residue on
+	// transmission, and the UPS replay experiment seeds it at emission
+	// via Session.InitialSlack — the same field serving priority
+	// (LSTF) and holding (the LiT regulator) replay semantics.
 	Hold float64
 
 	// Hop is the index (0-based) of the node the packet currently

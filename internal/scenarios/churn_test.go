@@ -1,7 +1,6 @@
 package scenarios
 
 import (
-	"fmt"
 	"testing"
 	"testing/quick"
 
@@ -10,6 +9,7 @@ import (
 	"leaveintime/internal/event"
 	"leaveintime/internal/network"
 	"leaveintime/internal/rng"
+	"leaveintime/internal/trace"
 	"leaveintime/internal/traffic"
 )
 
@@ -95,28 +95,39 @@ func TestChurnPreservesBounds(t *testing.T) {
 	}
 }
 
-// TestRemoveSessionPanicsOnLivePackets: tearing a session down with a
-// packet still queued surfaces as a panic when that packet would need
-// the freed state again.
-func TestRemoveSessionPanicsOnLivePackets(t *testing.T) {
+// TestRemoveSessionDropsLivePackets: a packet arriving for a session
+// the port no longer knows is refused at the port — a traced terminal
+// Drop with cause "purged" — rather than reaching the discipline and
+// panicking on the freed state (the registration race of a teardown
+// with packets still in flight; see TestInFlightTeardownNoPanic in
+// internal/network for the full discipline battery).
+func TestRemoveSessionDropsLivePackets(t *testing.T) {
 	sim := event.New()
 	net := network.New(sim, CellBits)
+	rec := &trace.Recorder{}
+	net.Tracer = rec
 	disc := core.New(core.Config{Capacity: T1Rate, LMax: CellBits})
 	port := net.NewPort("X", T1Rate, PropDelay, disc)
 	s := net.AddSession(1, VoiceRate, false, []*network.Port{port},
 		make([]network.SessionPort, 1), nil)
 	// Remove while idle is fine.
 	net.RemoveSession(s)
-	// A new packet for the removed session must panic inside the
-	// discipline.
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic for packet of removed session")
-		}
-	}()
+	// A new packet for the removed session is dropped at the port.
 	s2 := net.AddSession(2, VoiceRate, false, []*network.Port{port},
 		make([]network.SessionPort, 1), nil)
 	net.RemoveSession(s2)
 	s2.InjectAt(sim.Now(), CellBits)
-	_ = fmt.Sprint()
+	sim.RunAll()
+	var drops int
+	for _, e := range rec.Events {
+		if e.Kind == trace.Drop {
+			drops++
+			if e.Cause != "purged" {
+				t.Errorf("drop cause %q, want \"purged\"", e.Cause)
+			}
+		}
+	}
+	if drops != 1 || s2.Delivered != 0 {
+		t.Errorf("drops %d delivered %d, want the packet refused at the port", drops, s2.Delivered)
+	}
 }

@@ -1,0 +1,72 @@
+package scenarios
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestUPSDeterministic pins the experiment's contract: identical
+// (duration, seed) pairs produce byte-identical reports, and every
+// replay run sees the full recorded emission pattern.
+func TestUPSDeterministic(t *testing.T) {
+	a := RunUPS(5, 7)
+	b := RunUPS(5, 7)
+	if a.Format() != b.Format() {
+		t.Fatalf("same seed diverged:\n%s\nvs\n%s", a.Format(), b.Format())
+	}
+	if a.Packets == 0 {
+		t.Fatal("no packets recorded")
+	}
+	for _, row := range a.Rows {
+		if row.Packets != a.Packets {
+			t.Errorf("%s/%s compared %d packets, recorded %d",
+				row.Recorded, row.Replayer, row.Packets, a.Packets)
+		}
+	}
+	c := RunUPS(5, 8)
+	if a.Format() == c.Format() {
+		t.Fatal("distinct seeds produced identical reports")
+	}
+}
+
+// TestUPSReplayQuality asserts the UPS claim on this workload: LSTF
+// given per-packet slack from a recorded schedule reproduces it almost
+// exactly (delivery no later than recorded plus one cell time for the
+// vast majority of packets), and the LiT regulator replay stays within
+// a small constant of the recording. The thresholds are loose — the
+// run is deterministic, so a failure means replay mechanics regressed,
+// not an unlucky seed.
+func TestUPSReplayQuality(t *testing.T) {
+	res := RunUPS(5, 1)
+	if len(res.Rows) != 8 {
+		t.Fatalf("expected 4 recorded disciplines x 2 replayers = 8 rows, got %d", len(res.Rows))
+	}
+	recorded := map[string]bool{}
+	for _, row := range res.Rows {
+		recorded[row.Recorded] = true
+		switch row.Replayer {
+		case "lstf":
+			if row.OnTime < 0.95 {
+				t.Errorf("lstf replay of %s: on-time %.3f < 0.95", row.Recorded, row.OnTime)
+			}
+			if row.MeanDist > 1e-3 {
+				t.Errorf("lstf replay of %s: mean distance %.6fs > 1ms", row.Recorded, row.MeanDist)
+			}
+		case "lit":
+			if row.MeanDist > 5e-3 {
+				t.Errorf("lit replay of %s: mean distance %.6fs > 5ms", row.Recorded, row.MeanDist)
+			}
+			if row.MaxLate > 50e-3 {
+				t.Errorf("lit replay of %s: max lateness %.6fs > 50ms", row.Recorded, row.MaxLate)
+			}
+		default:
+			t.Errorf("unknown replayer %q", row.Replayer)
+		}
+	}
+	if len(recorded) < 3 {
+		t.Errorf("fewer than 3 recorded disciplines: %v", recorded)
+	}
+	if !strings.Contains(res.Format(), "on-time") {
+		t.Error("Format missing on-time column")
+	}
+}

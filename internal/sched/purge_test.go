@@ -1,0 +1,156 @@
+package sched
+
+import (
+	"testing"
+
+	"leaveintime/internal/network"
+	"leaveintime/internal/packet"
+)
+
+// TestPktHeapPurge checks the heap purge contract directly: every
+// packet of the purged session is dropped in (key, stamp) order, the
+// survivors re-heapify, and their pop order is untouched.
+func TestPktHeapPurge(t *testing.T) {
+	var q pktHeap
+	// Interleave two sessions with deliberately shuffled keys.
+	q.push(pkt(1, 1, 10), 5, 1)
+	q.push(pkt(2, 1, 10), 3, 2)
+	q.push(pkt(1, 2, 10), 1, 3)
+	q.push(pkt(2, 2, 10), 4, 4)
+	q.push(pkt(1, 3, 10), 2, 5)
+	q.push(pkt(2, 3, 10), 2, 6) // same key as (1,3), later stamp
+
+	var dropped []int64
+	q.purge(1, func(p *packet.Packet) {
+		if p.Session != 1 {
+			t.Fatalf("dropped packet of session %d", p.Session)
+		}
+		dropped = append(dropped, p.Seq)
+	})
+	// Session 1 keys: seq1→5, seq2→1, seq3→2: drop order by key 1,2,5.
+	want := []int64{2, 3, 1}
+	if len(dropped) != len(want) {
+		t.Fatalf("dropped %v, want %v", dropped, want)
+	}
+	for i := range want {
+		if dropped[i] != want[i] {
+			t.Fatalf("dropped %v, want %v", dropped, want)
+		}
+	}
+	if q.len() != 3 {
+		t.Fatalf("len = %d after purge", q.len())
+	}
+	// Survivors pop in (key, stamp) order: (2,1) key 3, (2,3) key 2
+	// → key 2 first, then 3, then 4.
+	for _, wantSeq := range []int64{3, 1, 2} {
+		p, ok := q.popMin()
+		if !ok || p.Session != 2 || p.Seq != wantSeq {
+			t.Fatalf("survivor pop: got %+v, want session 2 seq %d", p, wantSeq)
+		}
+	}
+	// Purging an empty heap or an absent session is a no-op.
+	q.purge(7, func(*packet.Packet) { t.Fatal("dropped from empty heap") })
+}
+
+// TestFifoQPurge checks the FIFO purge: queue order both of the
+// dropped packets and of the survivors is preserved, including after
+// partial pops moved the head.
+func TestFifoQPurge(t *testing.T) {
+	var f fifoQ
+	f.push(pkt(1, 1, 10))
+	f.push(pkt(2, 1, 10))
+	f.push(pkt(1, 2, 10))
+	f.push(pkt(2, 2, 10))
+	if p, ok := f.pop(); !ok || p.Session != 1 || p.Seq != 1 {
+		t.Fatalf("pop head: %+v", p)
+	}
+	var dropped []int64
+	f.purge(2, func(p *packet.Packet) { dropped = append(dropped, p.Seq) })
+	if len(dropped) != 2 || dropped[0] != 1 || dropped[1] != 2 {
+		t.Fatalf("dropped %v, want [1 2]", dropped)
+	}
+	if f.len() != 1 {
+		t.Fatalf("len = %d", f.len())
+	}
+	if p, ok := f.pop(); !ok || p.Session != 1 || p.Seq != 2 {
+		t.Fatalf("survivor: %+v", p)
+	}
+	// Fully drained: internal storage resets.
+	if _, ok := f.pop(); ok {
+		t.Fatal("pop from drained FIFO succeeded")
+	}
+	f.purge(1, func(*packet.Packet) { t.Fatal("dropped from empty FIFO") })
+}
+
+// TestPurgeSessionDrainsEveryDiscipline runs the SessionPurger
+// contract over every discipline: after enqueueing packets of two
+// sessions and purging one, only the other's packets remain and the
+// purged ID can be re-admitted.
+func TestPurgeSessionDrainsEveryDiscipline(t *testing.T) {
+	cfg := func(id int) network.SessionPort {
+		return network.SessionPort{Session: id, Rate: 32e3, LocalDelay: 1e-3, XMin: 1e-3, DMax: 1e-3}
+	}
+	discs := []struct {
+		name string
+		mk   func() network.Discipline
+	}{
+		{"fcfs", func() network.Discipline { return NewFCFS() }},
+		{"virtualclock", func() network.Discipline { return NewVirtualClock() }},
+		{"wfq", func() network.Discipline { return NewWFQ(1536e3) }},
+		{"wf2q", func() network.Discipline { return NewWF2Q(1536e3) }},
+		{"scfq", func() network.Discipline { return NewSCFQ() }},
+		{"delayedd", func() network.Discipline { return NewDelayEDD() }},
+		{"jitteredd", func() network.Discipline { return NewJitterEDD() }},
+		{"stopandgo", func() network.Discipline { return NewStopAndGo(0.01) }},
+		{"hrr", func() network.Discipline { return NewHRR(424, 0.01) }},
+		{"rcsp", func() network.Discipline { return NewRCSP(2) }},
+		{"lstf", func() network.Discipline { return NewLSTF() }},
+		{"srpt", func() network.Discipline { return NewSRPT() }},
+	}
+	for _, d := range discs {
+		disc := d.mk()
+		disc.AddSession(cfg(1))
+		disc.AddSession(cfg(2))
+		for i := int64(1); i <= 3; i++ {
+			disc.Enqueue(pkt(1, i, 424), float64(i)*1e-4)
+			disc.Enqueue(pkt(2, i, 424), float64(i)*1e-4+5e-5)
+		}
+		purger, ok := disc.(network.SessionPurger)
+		if !ok {
+			t.Errorf("%s: no SessionPurger", d.name)
+			continue
+		}
+		n := 0
+		purger.PurgeSession(1, func(p *packet.Packet) {
+			n++
+			if p.Session != 1 {
+				t.Errorf("%s: purge dropped session %d", d.name, p.Session)
+			}
+		})
+		if n != 3 {
+			t.Errorf("%s: purged %d packets, want 3", d.name, n)
+		}
+		if disc.Len() != 3 {
+			t.Errorf("%s: Len = %d after purge, want 3", d.name, disc.Len())
+		}
+		// The survivors drain and all belong to session 2. Advance the
+		// clock between pops so framing credits (Stop-and-Go frames,
+		// HRR slots) replenish.
+		for i := 0; i < 3; i++ {
+			p, ok := disc.Dequeue(1e3 + float64(i)*100)
+			if !ok || p.Session != 2 {
+				t.Errorf("%s: survivor dequeue %d: %v %v", d.name, i, p, ok)
+				break
+			}
+		}
+		if disc.Len() != 0 {
+			t.Errorf("%s: Len = %d after drain", d.name, disc.Len())
+		}
+		// The purged ID is re-admittable and serviceable.
+		disc.AddSession(cfg(1))
+		disc.Enqueue(pkt(1, 9, 424), 2e3)
+		if p, ok := disc.Dequeue(4e3); !ok || p.Session != 1 {
+			t.Errorf("%s: re-admitted session unserviceable: %v %v", d.name, p, ok)
+		}
+	}
+}

@@ -1,0 +1,39 @@
+package sched
+
+// Session-registration checks (network.SessionChecker) for every
+// baseline that keeps per-session state. A port consults HasSession on
+// each arrival and converts packets of unregistered sessions — the
+// late-in-flight race of a mid-run purge — into traced "purged" drops
+// instead of letting them reach Enqueue's panic. FCFS and Stop-and-Go
+// keep no per-session state and accept any packet, so they
+// intentionally do not implement the interface.
+
+// HasSession implements network.SessionChecker.
+func (v *VirtualClock) HasSession(id int) bool { return v.sessions.Get(id) != nil }
+
+// HasSession implements network.SessionChecker.
+func (d *DelayEDD) HasSession(id int) bool { return d.sessions.Get(id) != nil }
+
+// HasSession implements network.SessionChecker.
+func (j *JitterEDD) HasSession(id int) bool { return j.inner.HasSession(id) }
+
+// HasSession implements network.SessionChecker.
+func (w *WFQ) HasSession(id int) bool { return w.sessions[id] != nil }
+
+// HasSession implements network.SessionChecker.
+func (w *WF2Q) HasSession(id int) bool { return w.wfq.HasSession(id) }
+
+// HasSession implements network.SessionChecker.
+func (s *SCFQ) HasSession(id int) bool { return s.sessions[id] != nil }
+
+// HasSession implements network.SessionChecker.
+func (h *HRR) HasSession(id int) bool { return h.sessions[id] != nil }
+
+// HasSession implements network.SessionChecker.
+func (r *RCSP) HasSession(id int) bool { return r.sessions[id] != nil }
+
+// HasSession implements network.SessionChecker.
+func (l *LSTF) HasSession(id int) bool { return l.sessions.Get(id) != nil }
+
+// HasSession implements network.SessionChecker.
+func (s *SRPT) HasSession(id int) bool { return s.sessions.Get(id) != nil }

@@ -21,6 +21,14 @@ type Options struct {
 	// degradation instead of clean-network bounds.
 	Churn bool
 
+	// ClassMode adds the aggregate-class battery to clean scenarios:
+	// the scenario re-run with core.Aggregate (one regulator per EF/AF
+	// class instead of per session) and checked against the degraded
+	// aggregation bounds. Ignored for churn scenarios — the chaos
+	// battery and the class battery compose multiplicatively and are
+	// exercised separately.
+	ClassMode bool
+
 	// MaxEvents caps fired events per run (the deterministic watchdog
 	// budget). 0 means unlimited in the clean battery and a generous
 	// default in the churn battery, which always runs under a watchdog.
@@ -147,6 +155,12 @@ func CheckScenario(sc Scenario, opt Options) (rep *SeedReport) {
 		} else if litBare.Tripped == "" && vcRun.Tripped == "" {
 			checkVCEquivalence(litBare, vcRun, rep)
 		}
+	}
+
+	// Class mode: the aggregate-class discipline with degraded bound
+	// checks (see aggcheck.go).
+	if opt.ClassMode {
+		checkAggregate(&sc, exact, scale, wd, rep)
 	}
 
 	// Every baseline discipline: generic invariants only (drain,

@@ -170,6 +170,17 @@ func (c *checkedDisc) PurgeSession(id int, drop func(*packet.Packet)) {
 	c.RemoveSession(id)
 }
 
+// HasSession implements network.SessionChecker: forwarded when the
+// wrapped discipline tracks registration, permissive otherwise (ports
+// type-assert on this decorator, so it must not claim stricter
+// registration semantics than the discipline it wraps).
+func (c *checkedDisc) HasSession(id int) bool {
+	if h, ok := c.inner.(network.SessionChecker); ok {
+		return h.HasSession(id)
+	}
+	return true
+}
+
 // OnTransmit implements network.Discipline.
 func (c *checkedDisc) OnTransmit(p *packet.Packet, finish float64) { c.inner.OnTransmit(p, finish) }
 
@@ -279,6 +290,16 @@ func baselineSpecs(sc *Scenario) []discSpec {
 		}},
 		{name: "rcsp", mk: func(sc *Scenario, l *topoLink) network.Discipline {
 			return sched.NewRCSP(2)
+		}},
+		// LSTF pops the minimum due time among held packets (all of which
+		// are eligible — it keeps no regulators), so it earns the same
+		// deadline-inversion check as exact LiT.
+		{name: "lstf", wcAlways: true, deadlineCheck: true,
+			mk: func(sc *Scenario, l *topoLink) network.Discipline {
+				return sched.NewLSTF()
+			}},
+		{name: "srpt", wcAlways: true, mk: func(sc *Scenario, l *topoLink) network.Discipline {
+			return sched.NewSRPT()
 		}},
 	}
 }

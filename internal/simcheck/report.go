@@ -42,6 +42,13 @@ type SeedReport struct {
 	Duration    float64       `json:"duration_s"`
 	Disciplines []DiscSummary `json:"disciplines"`
 	Violations  []Violation   `json:"violations,omitempty"`
+
+	// AggChecked counts sessions checked against the degraded
+	// aggregate-class bounds (class mode only), and AggDegrade is the
+	// worst degradation factor observed: degraded aggregate delay bound
+	// over the paper's per-session eq.-12 bound.
+	AggChecked int     `json:"agg_checked,omitempty"`
+	AggDegrade float64 `json:"agg_degrade,omitempty"`
 }
 
 // OK reports whether every invariant held.
@@ -76,8 +83,12 @@ func (r *SeedReport) Format() string {
 	if r.Churn {
 		mode = " churn"
 	}
-	fmt.Fprintf(&b, "seed %d: %s%s  %s links=%d sessions=%d proc=%d dur=%.3gs pkts=%d disciplines=%d\n",
-		r.Seed, status, mode, r.Topology, r.Links, r.Sessions, r.Proc, r.Duration, pkts, len(r.Disciplines))
+	agg := ""
+	if r.AggChecked > 0 {
+		agg = fmt.Sprintf(" agg=%d/x%.2f", r.AggChecked, r.AggDegrade)
+	}
+	fmt.Fprintf(&b, "seed %d: %s%s  %s links=%d sessions=%d proc=%d dur=%.3gs pkts=%d disciplines=%d%s\n",
+		r.Seed, status, mode, r.Topology, r.Links, r.Sessions, r.Proc, r.Duration, pkts, len(r.Disciplines), agg)
 	for _, v := range r.Violations {
 		loc := v.Discipline
 		if v.Port != "" {

@@ -191,9 +191,10 @@ type runOpts struct {
 
 // traceCounts tallies trace events per port so the battery can demand
 // metrics/trace/probe agreement. Drop events are split by cause: an
-// empty cause is a buffer-limit drop, "fault"/"purge" are packet
-// losses injected by the chaos layer, and any other cause is a lost
-// signaling message (which carries no packet).
+// empty cause is a buffer-limit drop, "fault"/"purge"/"purged" are
+// packet losses injected by the chaos layer (including the late
+// arrival of a purged session's packet), and any other cause is a
+// lost signaling message (which carries no packet).
 type traceCounts struct {
 	Arrivals  map[string]int64
 	Transmits map[string]int64
@@ -230,7 +231,7 @@ func (t *traceCounts) Trace(e traceEvent) {
 		switch e.Cause {
 		case "":
 			t.SessDrops[e.Session]++
-		case "fault", "purge":
+		case "fault", "purge", "purged":
 			t.SessDrops[e.Session]++
 			t.FaultDrops[e.Port]++
 		default:

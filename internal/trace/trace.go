@@ -30,12 +30,14 @@ const (
 	Deliver
 	// Drop: the packet was discarded — at a port's buffer limit (the
 	// Cause field is empty), by an injected link fault ("fault"), by a
-	// mid-run session teardown purge ("purge"), or as a lost signaling
-	// message ("setup", "accept", "reject", "release"). A buffer-limit
-	// Drop is emitted instead of Arrive (the port refused the packet);
-	// fault and purge Drops terminate packets the port had already
-	// accepted. Either way a session's trace shows exactly one terminal
-	// event per packet: Deliver or Drop.
+	// mid-run session teardown purge ("purge"), on arrival for a
+	// session the port no longer knows ("purged" — the registration
+	// race of a teardown with packets still in flight), or as a lost
+	// signaling message ("setup", "accept", "reject", "release"). A
+	// buffer-limit or "purged" Drop is emitted instead of Arrive (the
+	// port refused the packet); fault and purge Drops terminate packets
+	// the port had already accepted. Either way a session's trace shows
+	// exactly one terminal event per packet: Deliver or Drop.
 	Drop
 )
 
@@ -70,7 +72,8 @@ type Event struct {
 	Deadline float64
 	// Cause qualifies Drop events: empty for buffer-limit drops,
 	// "fault" for packets lost to an injected link fault, "purge" for
-	// packets discarded by a mid-run session teardown, and
+	// packets discarded by a mid-run session teardown, "purged" for
+	// packets arriving at a port after their session's teardown, and
 	// "setup"/"accept"/"reject"/"release" for signaling messages lost
 	// on a faulted link (those carry Seq 0).
 	Cause string

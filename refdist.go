@@ -1,5 +1,7 @@
 package lit
 
+import "errors"
+
 // ReferenceDistribution feeds n packets of src through a fixed-rate
 // reference server (eq. 1) and returns the empirical distribution of
 // the reference delays D_ref. For sources that are not amenable to
@@ -9,10 +11,20 @@ package lit
 // bound" of Figures 9-11.
 //
 // The histogram has nbins bins of binWidth seconds; exact extremes
-// remain available through its Tracker.
-func ReferenceDistribution(src Source, rate float64, n int, binWidth float64, nbins int) *Histogram {
-	if src == nil || rate <= 0 || n <= 0 {
-		panic("lit: ReferenceDistribution needs a source, positive rate and n")
+// remain available through its Tracker. An invalid configuration (nil
+// source, nonpositive rate, count, bin width or bin count) returns an
+// error — this is a library entry point fed from user parameters, not
+// a programming-error site.
+func ReferenceDistribution(src Source, rate float64, n int, binWidth float64, nbins int) (*Histogram, error) {
+	switch {
+	case src == nil:
+		return nil, errors.New("lit: ReferenceDistribution needs a source")
+	case rate <= 0:
+		return nil, errors.New("lit: ReferenceDistribution needs a positive rate")
+	case n <= 0:
+		return nil, errors.New("lit: ReferenceDistribution needs a positive packet count")
+	case binWidth <= 0 || nbins <= 0:
+		return nil, errors.New("lit: ReferenceDistribution needs positive bin width and bin count")
 	}
 	rs := NewRefServer(rate)
 	h := NewHistogram(binWidth, nbins)
@@ -23,7 +35,7 @@ func ReferenceDistribution(src Source, rate float64, n int, binWidth float64, nb
 		_, d := rs.Arrive(clock, length)
 		h.Add(d)
 	}
-	return h
+	return h, nil
 }
 
 // BoundedTail combines ReferenceDistribution with a session's Route

@@ -16,7 +16,10 @@ func TestReferenceDistributionMatchesMD1(t *testing.T) {
 		pkt  = 424.0
 	)
 	src := &lit.Poisson{Mean: mean, Length: pkt, Rng: lit.NewRand(6)}
-	h := lit.ReferenceDistribution(src, rate, 300000, 0.25e-3, 400)
+	h, err := lit.ReferenceDistribution(src, rate, 300000, 0.25e-3, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
 	q := lit.MD1{Lambda: 1 / mean, Service: pkt / rate}
 	for _, d := range []float64{2e-3, 5e-3, 10e-3, 15e-3} {
 		emp := h.TailProb(d)
@@ -29,7 +32,10 @@ func TestReferenceDistributionMatchesMD1(t *testing.T) {
 
 func TestBoundedTailShifts(t *testing.T) {
 	src := &lit.Deterministic{Interval: 0.01325, Length: 424}
-	h := lit.ReferenceDistribution(src, 32e3, 1000, 1e-3, 100)
+	h, err := lit.ReferenceDistribution(src, 32e3, 1000, 1e-3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	hops := []lit.Hop{{C: 1536e3, Gamma: 1e-3, DMax: 424.0 / 32e3}}
 	route := lit.Route{Hops: hops, LMax: 424}
 	bound := lit.BoundedTail(h, route)
@@ -46,10 +52,29 @@ func TestBoundedTailShifts(t *testing.T) {
 }
 
 func TestReferenceDistributionValidates(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("nil source did not panic")
+	src := &lit.Deterministic{Interval: 1, Length: 1}
+	cases := []struct {
+		name string
+		src  lit.Source
+		rate float64
+		n    int
+		bw   float64
+		bins int
+	}{
+		{"nil source", nil, 1, 1, 1, 1},
+		{"zero rate", src, 0, 1, 1, 1},
+		{"negative rate", src, -1, 1, 1, 1},
+		{"zero count", src, 1, 0, 1, 1},
+		{"zero bin width", src, 1, 1, 0, 1},
+		{"zero bins", src, 1, 1, 1, 0},
+	}
+	for _, c := range cases {
+		h, err := lit.ReferenceDistribution(c.src, c.rate, c.n, c.bw, c.bins)
+		if err == nil || h != nil {
+			t.Errorf("%s: got (%v, %v), want nil histogram and an error", c.name, h, err)
 		}
-	}()
-	lit.ReferenceDistribution(nil, 1, 1, 1, 1)
+	}
+	if _, err := lit.ReferenceDistribution(src, 1, 1, 1, 1); err != nil {
+		t.Errorf("valid configuration rejected: %v", err)
+	}
 }
