@@ -33,3 +33,83 @@ func SumEnvelopes(flows ...Envelope) Envelope { return calculus.Sum(flows...) }
 func TandemDelayBound(flow Envelope, hops []TandemHop) (float64, error) {
 	return calculus.TandemDelayBound(flow, hops)
 }
+
+// Piecewise-linear curves: the multi-segment generalization of
+// Envelope. A Curve is a concatenation of linear segments plus a final
+// unbounded one; token buckets, rate-latency service curves, peak-rate
+// caps and their min-plus combinations are all curves. The one-segment
+// case degenerates bit-identically to the Envelope results above.
+type (
+	// Curve is a nonnegative, nondecreasing piecewise-linear function
+	// of time (zero value: the zero function).
+	Curve = calculus.Curve
+	// CurveSeg is one segment of a Curve as returned by Curve.Segs.
+	CurveSeg = calculus.Seg
+	// CurvePiece declares a slope change for NewCurve: from X on, the
+	// curve grows at Slope.
+	CurvePiece = calculus.Piece
+	// CurveHop is one FCFS hop of a tandem in curve form: the server,
+	// its cross-traffic arrival curve and the propagation delay.
+	CurveHop = calculus.CurveHop
+	// CurveWs is reusable workspace making repeated curve operations
+	// allocation-free (see the calculus package's Ws methods).
+	CurveWs = calculus.Ws
+)
+
+// NewCurve builds a curve from its value at 0 and slope changes at
+// strictly increasing breakpoints.
+func NewCurve(y0 float64, pieces ...CurvePiece) (Curve, error) {
+	return calculus.NewCurve(y0, pieces...)
+}
+
+// MustCurve is NewCurve, panicking on invalid input.
+func MustCurve(y0 float64, pieces ...CurvePiece) Curve {
+	return calculus.MustCurve(y0, pieces...)
+}
+
+// TokenBucketCurve is the arrival curve b0 + r*t.
+func TokenBucketCurve(r, b0 float64) Curve { return calculus.TokenBucket(r, b0) }
+
+// RateLatencyCurve is the service curve rate * max(0, t - latency).
+func RateLatencyCurve(rate, latency float64) Curve { return calculus.RateLatency(rate, latency) }
+
+// SumCurves adds curves pointwise (flow aggregation).
+func SumCurves(curves ...Curve) Curve { return calculus.SumCurves(curves...) }
+
+// MinCurves takes the pointwise minimum (e.g. peak-rate capping).
+func MinCurves(f, g Curve) Curve { return calculus.Min(f, g) }
+
+// Convolve is min-plus convolution: (f ⊗ g)(t) = inf over s of
+// f(s) + g(t-s), the composition of service curves.
+func Convolve(f, g Curve) Curve { return calculus.Convolve(f, g) }
+
+// Deconvolve is min-plus deconvolution: (f ⊘ g)(t) = sup over u of
+// f(t+u) - g(u), the output arrival curve of f through g. ErrUnstable
+// when f outgrows g.
+func Deconvolve(f, g Curve) (Curve, error) { return calculus.Deconvolve(f, g) }
+
+// VerticalDeviation is the backlog bound sup(alpha - beta); ErrUnstable
+// when alpha outgrows beta.
+func VerticalDeviation(alpha, beta Curve) (float64, error) {
+	return calculus.VerticalDeviation(alpha, beta)
+}
+
+// HorizontalDeviation is the delay bound: the maximum horizontal gap
+// from alpha to beta.
+func HorizontalDeviation(alpha, beta Curve) (float64, error) {
+	return calculus.HorizontalDeviation(alpha, beta)
+}
+
+// BusyPeriodBound is sup{t : alpha(t) >= C*t}, the longest busy period
+// of a rate-C server — a delay bound for any work-conserving
+// discipline, not just FCFS.
+func BusyPeriodBound(alpha Curve, c float64) (float64, error) {
+	return calculus.BusyPeriodBound(alpha, c)
+}
+
+// TandemDelayBoundCurve is TandemDelayBound over piecewise-linear
+// curves: multi-segment flows and cross traffic, same hop-by-hop
+// composition.
+func TandemDelayBoundCurve(flow Curve, hops []CurveHop) (float64, error) {
+	return calculus.TandemDelayBoundCurve(flow, hops)
+}

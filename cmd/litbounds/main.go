@@ -7,75 +7,143 @@
 // Usage:
 //
 //	litbounds -rate 32000 -b0 424 -lmax 424 -hops 5 -capacity 1536000 \
-//	          -gamma 0.001 -d 0.01325 [-jitterctrl]
+//	          -gamma 0.001 -d 0.01325 [-jitterctrl] \
+//	          [-calculus -cross-rate 1280000 -cross-b0 16960]
 //
 // -d is the per-node service parameter d_max (defaults to lmax/rate,
 // the one-class case). Output: beta, the end-to-end delay bound, the
 // jitter bound for the selected mode, and per-node buffer bounds.
+//
+// -calculus appends the network-calculus comparison the paper's §4
+// draws: the same session bounded as an arrival curve through a tandem
+// of FCFS servers sharing each hop with -cross-rate/-cross-b0 of cross
+// traffic. Unlike the Leave-in-Time bounds above it, the FCFS figures
+// depend on everyone's burstiness — the methodological contrast the
+// isolation property removes.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"strings"
 
 	lit "leaveintime"
 )
 
-func main() {
-	var (
-		rate       = flag.Float64("rate", 32e3, "reserved rate r_s, bits/s")
-		b0         = flag.Float64("b0", 424, "token bucket depth b_0, bits (session conforms to (rate, b0))")
-		lmax       = flag.Float64("lmax", 424, "session and network maximum packet length, bits")
-		lmin       = flag.Float64("lmin", 0, "session minimum packet length, bits (default lmax)")
-		hops       = flag.Int("hops", 5, "number of Leave-in-Time servers on the route")
-		capacity   = flag.Float64("capacity", 1536e3, "link capacity C, bits/s (all hops)")
-		gamma      = flag.Float64("gamma", 1e-3, "link propagation delay, seconds (all hops)")
-		d          = flag.Float64("d", 0, "per-node d_max, seconds (default lmax/rate)")
-		jitterCtrl = flag.Bool("jitterctrl", false, "session uses delay jitter control")
-	)
-	flag.Parse()
+// boundsConfig is everything the renderer needs — the flag set in
+// struct form, so tests can pin outputs without running the binary.
+type boundsConfig struct {
+	Rate, B0, LMax, LMin float64
+	Hops                 int
+	Capacity, Gamma, D   float64
+	JitterCtrl           bool
+	Calculus             bool
+	CrossRate, CrossB0   float64
+}
 
-	if *lmin == 0 {
-		*lmin = *lmax
+// render computes and formats the bounds. Pure: same config, same
+// string.
+func render(cfg boundsConfig) string {
+	var b strings.Builder
+	if cfg.LMin == 0 {
+		cfg.LMin = cfg.LMax
 	}
-	dMax := *d
+	dMax := cfg.D
 	alpha := 0.0
 	if dMax == 0 {
-		dMax = *lmax / *rate
+		dMax = cfg.LMax / cfg.Rate
 	} else {
 		// With a fixed d, alpha = d - Lmin/r maximized over lengths.
-		alpha = dMax - *lmin / *rate
-		if a2 := dMax - *lmax / *rate; a2 > alpha {
+		alpha = dMax - cfg.LMin/cfg.Rate
+		if a2 := dMax - cfg.LMax/cfg.Rate; a2 > alpha {
 			alpha = a2
 		}
 	}
-	hopList := make([]lit.Hop, *hops)
+	hopList := make([]lit.Hop, cfg.Hops)
 	for i := range hopList {
-		hopList[i] = lit.Hop{C: *capacity, Gamma: *gamma, DMax: dMax}
+		hopList[i] = lit.Hop{C: cfg.Capacity, Gamma: cfg.Gamma, DMax: dMax}
 	}
-	route := lit.Route{Hops: hopList, LMax: *lmax, Alpha: alpha}
-	dRef := *b0 / *rate
+	route := lit.Route{Hops: hopList, LMax: cfg.LMax, Alpha: alpha}
+	dRef := cfg.B0 / cfg.Rate
 
-	fmt.Printf("session: rate %.6g bit/s, token bucket (%.6g, %.6g), %d hops of %.6g bit/s\n",
-		*rate, *rate, *b0, *hops, *capacity)
-	fmt.Printf("  D_ref_max (eq. 14)        %12.6g s\n", dRef)
-	fmt.Printf("  beta (eq. 13)             %12.6g s\n", route.Beta())
-	fmt.Printf("  alpha                     %12.6g s\n", alpha)
-	fmt.Printf("  end-to-end delay (eq. 12) %12.6g s\n", route.DelayBound(dRef))
-	if *jitterCtrl {
-		fmt.Printf("  jitter bound (eq. 17)     %12.6g s (with jitter control)\n",
-			route.JitterBoundControl(dRef, *lmin))
+	fmt.Fprintf(&b, "session: rate %.6g bit/s, token bucket (%.6g, %.6g), %d hops of %.6g bit/s\n",
+		cfg.Rate, cfg.Rate, cfg.B0, cfg.Hops, cfg.Capacity)
+	fmt.Fprintf(&b, "  D_ref_max (eq. 14)        %12.6g s\n", dRef)
+	fmt.Fprintf(&b, "  beta (eq. 13)             %12.6g s\n", route.Beta())
+	fmt.Fprintf(&b, "  alpha                     %12.6g s\n", alpha)
+	fmt.Fprintf(&b, "  end-to-end delay (eq. 12) %12.6g s\n", route.DelayBound(dRef))
+	if cfg.JitterCtrl {
+		fmt.Fprintf(&b, "  jitter bound (eq. 17)     %12.6g s (with jitter control)\n",
+			route.JitterBoundControl(dRef, cfg.LMin))
 	} else {
-		fmt.Printf("  jitter bound              %12.6g s (no jitter control)\n",
-			route.JitterBoundNoControl(dRef, *lmin))
+		fmt.Fprintf(&b, "  jitter bound              %12.6g s (no jitter control)\n",
+			route.JitterBoundNoControl(dRef, cfg.LMin))
 	}
-	for n := 1; n <= *hops; n++ {
+	for n := 1; n <= cfg.Hops; n++ {
 		var q float64
-		if *jitterCtrl {
-			q = route.BufferBoundControl(*rate, dRef, *lmin, n)
+		if cfg.JitterCtrl {
+			q = route.BufferBoundControl(cfg.Rate, dRef, cfg.LMin, n)
 		} else {
-			q = route.BufferBoundNoControl(*rate, dRef, *lmin, n)
+			q = route.BufferBoundNoControl(cfg.Rate, dRef, cfg.LMin, n)
 		}
-		fmt.Printf("  buffer bound, node %d      %12.6g bits (%.2f packets of lmax)\n", n, q, q / *lmax)
+		fmt.Fprintf(&b, "  buffer bound, node %d      %12.6g bits (%.2f packets of lmax)\n", n, q, q/cfg.LMax)
 	}
+	if cfg.Calculus {
+		renderCalculus(&b, cfg)
+	}
+	return b.String()
+}
+
+// renderCalculus appends the FCFS network-calculus section: the
+// session as a piecewise-linear arrival curve through a tandem of FCFS
+// hops, each shared with the configured cross-traffic aggregate.
+func renderCalculus(b *strings.Builder, cfg boundsConfig) {
+	flow := lit.TokenBucketCurve(cfg.Rate, cfg.B0)
+	cross := lit.TokenBucketCurve(cfg.CrossRate, cfg.CrossB0)
+	srv := lit.FCFSServer{C: cfg.Capacity, LMax: cfg.LMax}
+	hops := make([]lit.CurveHop, cfg.Hops)
+	for i := range hops {
+		hops[i] = lit.CurveHop{Server: srv, Cross: cross, Gamma: cfg.Gamma}
+	}
+	fmt.Fprintf(b, "network calculus (FCFS, cross traffic (%.6g, %.6g) per hop):\n",
+		cfg.CrossRate, cfg.CrossB0)
+
+	agg := lit.SumCurves(flow, cross)
+	d1, err := srv.DelayBoundCurve(agg)
+	if err != nil {
+		fmt.Fprintf(b, "  %v\n", err)
+		return
+	}
+	fmt.Fprintf(b, "  FCFS delay, one hop       %12.6g s\n", d1)
+	if busy, err := lit.BusyPeriodBound(agg, cfg.Capacity); err == nil {
+		fmt.Fprintf(b, "  busy period, one hop      %12.6g s (any work-conserving order)\n", busy)
+	}
+	var ws lit.CurveWs
+	if q, err := srv.FlowBacklogBound(&ws, flow, cross); err == nil {
+		fmt.Fprintf(b, "  flow backlog, one hop     %12.6g bits (%.2f packets of lmax)\n", q, q/cfg.LMax)
+	}
+	de2e, err := lit.TandemDelayBoundCurve(flow, hops)
+	if err != nil {
+		fmt.Fprintf(b, "  tandem: %v\n", err)
+		return
+	}
+	fmt.Fprintf(b, "  FCFS delay, end to end    %12.6g s\n", de2e)
+}
+
+func main() {
+	var cfg boundsConfig
+	flag.Float64Var(&cfg.Rate, "rate", 32e3, "reserved rate r_s, bits/s")
+	flag.Float64Var(&cfg.B0, "b0", 424, "token bucket depth b_0, bits (session conforms to (rate, b0))")
+	flag.Float64Var(&cfg.LMax, "lmax", 424, "session and network maximum packet length, bits")
+	flag.Float64Var(&cfg.LMin, "lmin", 0, "session minimum packet length, bits (default lmax)")
+	flag.IntVar(&cfg.Hops, "hops", 5, "number of Leave-in-Time servers on the route")
+	flag.Float64Var(&cfg.Capacity, "capacity", 1536e3, "link capacity C, bits/s (all hops)")
+	flag.Float64Var(&cfg.Gamma, "gamma", 1e-3, "link propagation delay, seconds (all hops)")
+	flag.Float64Var(&cfg.D, "d", 0, "per-node d_max, seconds (default lmax/rate)")
+	flag.BoolVar(&cfg.JitterCtrl, "jitterctrl", false, "session uses delay jitter control")
+	flag.BoolVar(&cfg.Calculus, "calculus", false, "append the FCFS network-calculus comparison")
+	flag.Float64Var(&cfg.CrossRate, "cross-rate", 0, "calculus: aggregate cross-traffic rate per hop, bits/s")
+	flag.Float64Var(&cfg.CrossB0, "cross-b0", 0, "calculus: aggregate cross-traffic burst per hop, bits")
+	flag.Parse()
+	fmt.Print(render(cfg))
 }

@@ -11,6 +11,7 @@
 //	litcheck -seed 17 -seeds 5          # check seeds 17..21
 //	litcheck -churn -seeds 200          # chaos mode: fault/churn plans
 //	litcheck -classes -seeds 200        # + aggregate-class battery
+//	litcheck -calculus -seeds 200       # + network-calculus battery
 //	litcheck -replay repro.json         # re-check a written repro
 //	litcheck -shards 4 -seeds 25        # shard-invariance battery
 //
@@ -43,6 +44,17 @@
 // checked against the degraded aggregate bounds (see
 // internal/simcheck). The worst degradation factor is printed on the
 // seed's report line.
+//
+// -calculus additionally runs every clean seed through the network-
+// calculus battery: the scenario's flows propagated as piecewise-
+// linear arrival curves, the resulting FIFO delay and per-flow backlog
+// bounds checked against an FCFS run of the identical arrivals, and
+// the batch-admission fast path differentially checked against
+// sequential admission (see internal/simcheck). After the seeds it
+// runs the designed tightness family — N synchronized CBR sessions
+// saturating one link — and demands the observed worst delay approach
+// the analytic bound within -tight-margin: the bounds must be not just
+// sound but tight. A tightness miss fails the run.
 //
 // -shards N (N >= 2) switches to the shard-invariance battery: each
 // seed's scenario runs under exact Leave-in-Time on the
@@ -98,6 +110,9 @@ var flagMatrix = []flagConflict{
 	{"replay", "churn", "a repro embeds its own fault plan"},
 	{"replay", "classes", "a repro replays the battery it was written under"},
 	{"churn", "classes", "class mode belongs to the clean battery"},
+	{"shards", "calculus", "the invariance battery runs exact Leave-in-Time only"},
+	{"replay", "calculus", "a repro replays the battery it was written under"},
+	{"churn", "calculus", "the calculus battery checks clean-network bounds"},
 }
 
 // flagConflicts returns one message per incoherent combination among
@@ -128,6 +143,8 @@ func main() {
 		maxWall    = flag.Duration("max-wall", 0, "watchdog: wall-clock budget per run (0 = unlimited)")
 		shards     = flag.Int("shards", 1, "shard-invariance battery: compare shards=1 against this shard count (1 = serial battery)")
 		classes    = flag.Bool("classes", false, "additionally run the aggregate-class battery per seed (degraded-bound checks)")
+		calculus   = flag.Bool("calculus", false, "additionally run the network-calculus battery per seed (curve bounds vs FCFS) and the tightness family")
+		tightMarg  = flag.Float64("tight-margin", 0.8, "calculus tightness: required observed/bound ratio (with -calculus)")
 		verbose    = flag.Bool("v", false, "print every seed's report line, not only failures")
 	)
 	flag.Parse()
@@ -152,6 +169,7 @@ func main() {
 		"workers":     explicit["workers"] && *workers != 0,
 		"repro-dir":   explicit["repro-dir"] && *reproDir != "",
 		"bound-scale": explicit["bound-scale"] && *boundScale > 0,
+		"calculus":    explicit["calculus"] && *calculus,
 	}
 	if msgs := flagConflicts(enabled); len(msgs) > 0 {
 		for _, m := range msgs {
@@ -165,6 +183,7 @@ func main() {
 		BoundScale: *boundScale,
 		Churn:      *churn,
 		ClassMode:  *classes,
+		Calculus:   *calculus,
 		MaxEvents:  *maxEvents,
 		MaxWall:    *maxWall,
 	}
@@ -267,7 +286,16 @@ func main() {
 		}
 	}
 	fmt.Printf("litcheck: %d seeds, %d failed, %d violations\n", n, failed, violations)
-	if failed > 0 {
+
+	// The tightness half of the calculus acceptance: the bounds must be
+	// approached by the designed family, not merely never exceeded.
+	tightFailed := false
+	if *calculus && *shards == 1 {
+		tr := simcheck.CalculusTightness(*tightMarg)
+		fmt.Print(tr.Format())
+		tightFailed = !tr.Pass()
+	}
+	if failed > 0 || tightFailed {
 		os.Exit(1)
 	}
 }

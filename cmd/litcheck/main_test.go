@@ -29,6 +29,8 @@ func TestFlagMatrix(t *testing.T) {
 		{"churn with bound-scale", on("churn", "bound-scale"), nil},
 		{"replay with watchdog only", on("replay"), nil},
 		{"classes clean", on("classes", "seeds", "bound-scale"), nil},
+		{"calculus clean", on("calculus", "seeds", "bound-scale"), nil},
+		{"calculus with classes", on("calculus", "classes"), nil},
 
 		{"shards with churn", on("shards", "churn"), [][2]string{{"churn", "shards"}}},
 		{"shards with replay", on("shards", "replay"), [][2]string{{"replay", "shards"}}},
@@ -43,9 +45,13 @@ func TestFlagMatrix(t *testing.T) {
 		{"replay with churn", on("replay", "churn"), [][2]string{{"churn", "replay"}}},
 		{"replay with classes", on("replay", "classes"), [][2]string{{"classes", "replay"}}},
 		{"churn with classes", on("churn", "classes"), [][2]string{{"classes", "churn"}}},
-		{"pileup", on("shards", "churn", "replay", "classes"), [][2]string{
+		{"shards with calculus", on("shards", "calculus"), [][2]string{{"calculus", "shards"}}},
+		{"replay with calculus", on("replay", "calculus"), [][2]string{{"calculus", "replay"}}},
+		{"churn with calculus", on("churn", "calculus"), [][2]string{{"calculus", "churn"}}},
+		{"pileup", on("shards", "churn", "replay", "classes", "calculus"), [][2]string{
 			{"churn", "shards"}, {"replay", "shards"}, {"classes", "shards"},
 			{"churn", "replay"}, {"classes", "replay"}, {"classes", "churn"},
+			{"calculus", "shards"}, {"calculus", "replay"}, {"calculus", "churn"},
 		}},
 	}
 	for _, c := range cases {

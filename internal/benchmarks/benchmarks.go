@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	lit "leaveintime"
+	"leaveintime/internal/calculus"
 	"leaveintime/internal/core"
 	"leaveintime/internal/event"
 	"leaveintime/internal/metrics"
@@ -59,6 +60,7 @@ func Suite() []Case {
 		{Name: "RegulatorPath", F: RegulatorPath},
 		{Name: "UPS/replay", SimSeconds: 12 * upsBenchDur, F: UPS},
 		{Name: "Aggregate/classes3", SimSeconds: Duration, F: Aggregate},
+		{Name: "Calculus/convolve", F: Convolve},
 	}
 	// The heap-vs-calendar ablation at three event-density regimes:
 	// light (a quarter of admissible load), mid (over half), and full
@@ -218,6 +220,32 @@ func QueueAblationN(b *testing.B, approx bool, sessions int) {
 
 // counterSink defeats dead-code elimination in the counter benchmarks.
 var counterSink uint64
+
+// curveSink defeats dead-code elimination in the calculus benchmark.
+var curveSink float64
+
+// Convolve measures one min-plus convolution of multi-segment curves
+// through a warmed workspace — the unit of curve arithmetic behind the
+// admission fast path's gate and the calculus battery's bound
+// propagation. The operands are a peak-capped voice aggregate (two
+// concave segments) and a T1 rate-latency service curve, so the kink
+// grid and branch-crossing scans all run. Allocation-free after
+// warm-up: a nonzero allocs/op here means the workspace reuse broke.
+func Convolve(b *testing.B) {
+	arrival := calculus.Min(
+		calculus.TokenBucket(1.28e6, 16960),
+		calculus.MustCurve(424, calculus.Piece{X: 0, Slope: 1.536e6}),
+	)
+	service := calculus.RateLatency(1.536e6, 424.0/1.536e6)
+	var ws calculus.Ws
+	var out calculus.Curve
+	ws.Convolve(&out, arrival, service) // warm the workspace
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Convolve(&out, arrival, service)
+	}
+	curveSink = out.Eval(1)
+}
 
 // CounterRaw measures a memory-resident uint64 increment: the floor
 // the arena counter is held against (within 2x, zero allocations). The

@@ -222,4 +222,9 @@ func checkAggregate(sc *Scenario, exact *runResult, scale float64, wd event.Watc
 			}
 		}
 	}
+
+	// Curve-side cross-check: the busy-period composition bounds any
+	// work-conserving discipline, the deadline-ordered aggregate
+	// included (see calccheck.go).
+	checkAggCalc(sc, res, scale, rep)
 }

@@ -1,0 +1,527 @@
+package simcheck
+
+import (
+	"fmt"
+	"strings"
+
+	"leaveintime/internal/admission"
+	"leaveintime/internal/calculus"
+	"leaveintime/internal/event"
+)
+
+// Network-calculus battery: the piecewise-linear curve machinery
+// (internal/calculus) cross-validated against the simulator. The
+// scenario's admitted flows are propagated hop by hop as arrival
+// curves — token bucket (rate, burst) at the source, delayed by each
+// hop's aggregate FIFO delay bound and peak-capped by the upstream
+// wire — and the resulting per-session end-to-end delay bounds and
+// per-hop per-flow backlog bounds are checked against an FCFS run of
+// the identical arrival sequence: the simulation must never exceed
+// the analytics. The peak caps make the flows genuinely multi-segment
+// from hop 2 on, so the battery exercises the full curve arithmetic,
+// not just its token-bucket degenerate case.
+//
+// Soundness notes. Every source conforms to its (Rate, Burst) token
+// bucket by construction with Burst >= LMax (Validate), so the
+// instantaneous arrival of a whole packet is inside the fluid curve.
+// DelayBoundCurve and FlowBacklogBound already carry the +LMax/C and
+// +LMax packetization terms. The battery runs only on scenarios
+// without jitter control: regulators deliberately hold packets past
+// the FIFO prediction, so no FIFO bound applies there. A link whose
+// aggregate rate reaches capacity (possible at the admission rules'
+// float tolerance) has no finite FIFO delay bound; the battery then
+// skips the scenario rather than check downstream hops against
+// contaminated curves. Routes that order the links cyclically (no hop
+// order in which every upstream curve is known first) are likewise
+// skipped.
+
+// calcMode selects the per-hop delay bound used for curve propagation.
+type calcMode int
+
+const (
+	// calcFIFO uses the aggregate FIFO delay bound (horizontal
+	// deviation): valid for an FCFS server.
+	calcFIFO calcMode = iota
+	// calcBusy uses the busy-period length sup{t : alpha(t) >= Ct}:
+	// valid for ANY work-conserving discipline — every packet is served
+	// within the busy period containing its arrival — so it bounds the
+	// deadline-ordered class aggregate too.
+	calcBusy
+)
+
+// calcAnalysis is the outcome of propagating the scenario's flows
+// through the curve machinery.
+type calcAnalysis struct {
+	// delay maps session ID -> end-to-end analytic delay bound
+	// (per-hop bounds plus propagation delays).
+	delay map[int]float64
+	// backlog maps session ID -> per-hop flow backlog bound, bits, in
+	// route order (FIFO mode only).
+	backlog map[int][]float64
+	// skipped marks a scenario the analysis cannot soundly bound:
+	// cyclic link order or a saturated link.
+	skipped bool
+	reason  string
+}
+
+// linkTopoOrder orders the topology's links so that every link a
+// session traverses appears after all of the session's upstream
+// links. Reports ok=false when the routes induce a cycle.
+func linkTopoOrder(sc *Scenario, routes []*admitted) ([]string, bool) {
+	indeg := make(map[string]int, len(sc.Topology.Links))
+	keys := make([]string, 0, len(sc.Topology.Links))
+	for _, ld := range sc.Topology.Links {
+		k := ld.From + "->" + ld.To
+		if _, dup := indeg[k]; !dup {
+			indeg[k] = 0
+			keys = append(keys, k)
+		}
+	}
+	succ := make(map[string][]string)
+	for _, ad := range routes {
+		for i := 0; i+1 < len(ad.links); i++ {
+			a, b := linkKey(ad.links[i]), linkKey(ad.links[i+1])
+			succ[a] = append(succ[a], b)
+			indeg[b]++
+		}
+	}
+	// Kahn's algorithm seeded in topology order, so the result is
+	// deterministic for a given scenario.
+	var order, ready []string
+	for _, k := range keys {
+		if indeg[k] == 0 {
+			ready = append(ready, k)
+		}
+	}
+	for len(ready) > 0 {
+		k := ready[0]
+		ready = ready[1:]
+		order = append(order, k)
+		for _, n := range succ[k] {
+			if indeg[n]--; indeg[n] == 0 {
+				ready = append(ready, n)
+			}
+		}
+	}
+	return order, len(order) == len(keys)
+}
+
+// calcBounds replays admission, orders the links, and propagates every
+// session's arrival curve along its route, composing per-session delay
+// bounds and (in FIFO mode) per-hop flow backlog bounds.
+func calcBounds(sc *Scenario, mode calcMode) (*calcAnalysis, error) {
+	g := scenarioGraph(sc)
+	adm := newAdmitters(sc)
+	routes := make([]*admitted, len(sc.Sessions))
+	for i, def := range sc.Sessions {
+		ad, err := replayAdmission(sc, g, adm, def)
+		if err != nil {
+			return nil, fmt.Errorf("session %d: %w", def.ID, err)
+		}
+		routes[i] = ad
+	}
+	order, ok := linkTopoOrder(sc, routes)
+	if !ok {
+		return &calcAnalysis{skipped: true, reason: "routes order the links cyclically"}, nil
+	}
+	byKey := make(map[string]LinkDef, len(sc.Topology.Links))
+	for _, ld := range sc.Topology.Links {
+		byKey[ld.From+"->"+ld.To] = ld
+	}
+
+	an := &calcAnalysis{
+		delay:   make(map[int]float64, len(sc.Sessions)),
+		backlog: make(map[int][]float64, len(sc.Sessions)),
+	}
+	cur := make([]calculus.Curve, len(sc.Sessions))
+	hop := make([]int, len(sc.Sessions))
+	for i, def := range sc.Sessions {
+		cur[i] = calculus.TokenBucket(def.Rate, def.Burst)
+		an.backlog[def.ID] = make([]float64, len(routes[i].links))
+	}
+	var ws calculus.Ws
+	for _, key := range order {
+		var idx []int
+		for i := range sc.Sessions {
+			if hop[i] < len(routes[i].links) && linkKey(routes[i].links[hop[i]]) == key {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) == 0 {
+			continue
+		}
+		ld := byKey[key]
+		srv := calculus.FCFSServer{C: ld.Capacity, LMax: sc.LMax}
+		var agg calculus.Curve
+		for _, i := range idx {
+			agg = calculus.Add(agg, cur[i])
+		}
+		var d float64
+		var err error
+		if mode == calcBusy {
+			d, err = calculus.BusyPeriodBound(agg, ld.Capacity)
+		} else {
+			d, err = srv.DelayBoundCurve(agg)
+		}
+		if err != nil {
+			// Saturated link (admission admits up to a float tolerance
+			// of C): no finite bound exists, and every downstream
+			// aggregate would be missing this hop's contribution.
+			return &calcAnalysis{skipped: true,
+				reason: fmt.Sprintf("link %s: %v", key, err)}, nil
+		}
+		if mode == calcFIFO {
+			for _, i := range idx {
+				var ax calculus.Curve
+				for _, j := range idx {
+					if j != i {
+						ax = calculus.Add(ax, cur[j])
+					}
+				}
+				b, err := srv.FlowBacklogBound(&ws, cur[i], ax)
+				if err != nil {
+					return &calcAnalysis{skipped: true,
+						reason: fmt.Sprintf("link %s: %v", key, err)}, nil
+				}
+				an.backlog[sc.Sessions[i].ID][hop[i]] = b
+			}
+		}
+		for _, i := range idx {
+			def := sc.Sessions[i]
+			an.delay[def.ID] += d + ld.Gamma
+			// Output envelope: the input delayed by the hop bound,
+			// capped by the wire — downstream, the flow cannot arrive
+			// faster than one packet plus the upstream link rate.
+			cur[i] = calculus.Min(cur[i].Delayed(d),
+				calculus.TokenBucket(ld.Capacity, def.LMax))
+			hop[i]++
+		}
+	}
+	return an, nil
+}
+
+// calcFCFSSpec is the battery's reference run: plain FCFS under a
+// distinct name so its summary row and any online violations are
+// attributable to this battery.
+func calcFCFSSpec() discSpec {
+	spec := fcfsSpec()
+	spec.name = "fcfs-calc"
+	return spec
+}
+
+// checkCalculus runs the network-calculus battery: the differential
+// admission fast-path check, then (for jitter-free scenarios) the
+// curve-propagated delay and backlog bounds against an FCFS run with
+// occupancy probes. CalcChecked counts bound-checked sessions and
+// CalcTight records how closely the simulation approached the delay
+// bounds (observed/bound, maximized over sessions) — the per-seed
+// tightness telemetry.
+func checkCalculus(sc *Scenario, scale float64, wd event.Watchdog, rep *SeedReport) {
+	checkFastpath(sc, rep)
+	if sc.hasJitter() {
+		return
+	}
+	an, err := calcBounds(sc, calcFIFO)
+	if err != nil {
+		rep.add(Violation{Check: "admission-replay", Discipline: "fcfs-calc", Detail: err.Error()})
+		return
+	}
+	if an.skipped {
+		return
+	}
+
+	res, err := runScenario(sc, calcFCFSSpec(), runOpts{probes: true, wd: wd})
+	if err != nil {
+		rep.add(Violation{Check: "build", Discipline: "fcfs-calc", Detail: err.Error()})
+		return
+	}
+	rep.Violations = append(rep.Violations, res.Violations...)
+	rep.summarize(res)
+	if res.Tripped != "" {
+		return
+	}
+	for _, sr := range res.Sessions {
+		if sr.Delivered == 0 {
+			continue
+		}
+		id := sr.Def.ID
+		if bound := an.delay[id] * scale; sr.MaxDelay >= bound {
+			rep.add(Violation{Check: "calc-delay-bound", Discipline: res.Name, Session: id,
+				Detail: fmt.Sprintf("max delay %.9f >= curve bound %.9f (%d hops)",
+					sr.MaxDelay, bound, sr.Hops)})
+		} else if bound > 0 {
+			if r := sr.MaxDelay / bound; r > rep.CalcTight {
+				rep.CalcTight = r
+			}
+		}
+		for i, pr := range sr.Probes {
+			bb := an.backlog[id]
+			if i >= len(bb) {
+				break
+			}
+			if bound := bb[i] * scale; pr.MaxBits >= bound {
+				rep.add(Violation{Check: "calc-backlog-bound", Discipline: res.Name, Session: id,
+					Port: pr.Port, Detail: fmt.Sprintf("occupancy %.0f bits >= curve bound %.0f",
+						pr.MaxBits, bound)})
+			}
+		}
+		rep.CalcChecked++
+	}
+}
+
+// checkFastpath is the differential admission check: at every link,
+// batching the link's sessions by class through AdmitClass must accept
+// (the rules are additive, so the aggregate test is order-independent)
+// and produce assignments identical to the sequential Admit calls the
+// generator performed. Procedures 1 and 2 only — procedure 3 has no
+// class structure to batch.
+func checkFastpath(sc *Scenario, rep *SeedReport) {
+	if sc.Proc != 1 && sc.Proc != 2 {
+		return
+	}
+	g := scenarioGraph(sc)
+	opts := admission.Options{PerPacket: true}
+	type flow struct {
+		spec  admission.SessionSpec
+		class int
+	}
+	perLink := make(map[string][]flow)
+	for _, def := range sc.Sessions {
+		links, err := g.RouteLinks(def.From, def.To)
+		if err != nil {
+			continue // reported by the run batteries
+		}
+		f := flow{
+			spec:  admission.SessionSpec{ID: def.ID, Rate: def.Rate, LMax: def.LMax, LMin: def.LMin},
+			class: def.Class,
+		}
+		for _, l := range links {
+			perLink[linkKey(l)] = append(perLink[linkKey(l)], f)
+		}
+	}
+	for _, ld := range sc.Topology.Links {
+		key := ld.From + "->" + ld.To
+		flows := perLink[key]
+		if len(flows) == 0 {
+			continue
+		}
+		classes := make([]admission.Class, len(sc.Classes))
+		for k, c := range sc.Classes {
+			classes[k] = admission.Class{R: c.RFrac * ld.Capacity, Sigma: c.Sigma}
+		}
+		type controller interface {
+			Admit(admission.SessionSpec, int, admission.Options) (admission.Assignment, error)
+			AdmitClass(*admission.CurveGate, []admission.SessionSpec, int, admission.Options) ([]admission.Assignment, bool)
+		}
+		var fast, seq controller
+		var err1, err2 error
+		if sc.Proc == 1 {
+			var f, s *admission.Procedure1
+			f, err1 = admission.NewProcedure1(ld.Capacity, classes)
+			s, err2 = admission.NewProcedure1(ld.Capacity, classes)
+			fast, seq = f, s
+		} else {
+			var f, s *admission.Procedure2
+			f, err1 = admission.NewProcedure2(ld.Capacity, classes)
+			s, err2 = admission.NewProcedure2(ld.Capacity, classes)
+			fast, seq = f, s
+		}
+		if err1 != nil || err2 != nil {
+			continue // invalid class table is the generator's bug, reported elsewhere
+		}
+		seqAss := make(map[int]admission.Assignment, len(flows))
+		seqOK := true
+		for _, f := range flows {
+			a, err := seq.Admit(f.spec, f.class, opts)
+			if err != nil {
+				seqOK = false
+				break
+			}
+			seqAss[f.spec.ID] = a
+		}
+		for j := 1; j <= len(classes); j++ {
+			var batch []admission.SessionSpec
+			for _, f := range flows {
+				if f.class == j {
+					batch = append(batch, f.spec)
+				}
+			}
+			if len(batch) == 0 {
+				continue
+			}
+			got, ok := fast.AdmitClass(nil, batch, j, opts)
+			if !ok {
+				if seqOK {
+					rep.add(Violation{Check: "fastpath-divergence", Discipline: "admission", Port: key,
+						Detail: fmt.Sprintf("batch of %d class-%d sessions declined, sequential admits all", len(batch), j)})
+				}
+				return
+			}
+			if !seqOK {
+				rep.add(Violation{Check: "fastpath-divergence", Discipline: "admission", Port: key,
+					Detail: fmt.Sprintf("batch of %d class-%d sessions accepted, sequential rejects a member", len(batch), j)})
+				return
+			}
+			for i, a := range got {
+				want := seqAss[batch[i].ID]
+				if a.DMax != want.DMax || a.DMin != want.DMin || a.Class != want.Class ||
+					a.D(batch[i].LMin) != want.D(batch[i].LMin) {
+					rep.add(Violation{Check: "fastpath-divergence", Discipline: "admission",
+						Session: batch[i].ID, Port: key,
+						Detail: fmt.Sprintf("batch assignment {DMax %.9g DMin %.9g class %d} != sequential {%.9g %.9g %d}",
+							a.DMax, a.DMin, a.Class, want.DMax, want.DMin, want.Class)})
+					return
+				}
+			}
+		}
+	}
+}
+
+// checkAggCalc is the curve-side check of the class-aggregated run:
+// the busy-period composition bounds any work-conserving discipline,
+// so the deadline-ordered aggregate must respect it too. Skipped under
+// jitter control (the aggregate is then not work-conserving) and on
+// scenarios the analysis cannot soundly bound.
+func checkAggCalc(sc *Scenario, res *runResult, scale float64, rep *SeedReport) {
+	if sc.hasJitter() {
+		return
+	}
+	an, err := calcBounds(sc, calcBusy)
+	if err != nil || an.skipped {
+		return
+	}
+	for _, sr := range res.Sessions {
+		if sr.Delivered == 0 {
+			continue
+		}
+		id := sr.Def.ID
+		if bound := an.delay[id] * scale; sr.MaxDelay >= bound {
+			rep.add(Violation{Check: "agg-calc-bound", Discipline: res.Name, Session: id,
+				Detail: fmt.Sprintf("max delay %.9f >= busy-period curve bound %.9f (%d hops)",
+					sr.MaxDelay, bound, sr.Hops)})
+		}
+	}
+}
+
+// TightnessFamily is one configuration of the designed tightness
+// scenario: N synchronized CBR sessions sharing one FCFS link.
+type TightnessFamily struct {
+	Sessions int     `json:"sessions"`
+	Observed float64 `json:"observed_s"`
+	Bound    float64 `json:"bound_s"`
+	Ratio    float64 `json:"ratio"`
+}
+
+// TightnessResult is the outcome of the calculus tightness check.
+type TightnessResult struct {
+	Margin   float64           `json:"margin"`
+	Families []TightnessFamily `json:"families"`
+	// Err records a family that failed to run or exceeded its bound
+	// (which would be a soundness bug, not a tightness miss).
+	Err string `json:"err,omitempty"`
+}
+
+// Pass reports whether the bounds proved tight: every family stayed
+// below its bound and at least one approached it within the margin.
+func (t *TightnessResult) Pass() bool {
+	if t.Err != "" {
+		return false
+	}
+	for _, f := range t.Families {
+		if f.Ratio >= t.Margin {
+			return true
+		}
+	}
+	return false
+}
+
+// Format renders the result deterministically, one line per family.
+func (t *TightnessResult) Format() string {
+	var b strings.Builder
+	status := "tight"
+	if !t.Pass() {
+		status = "NOT TIGHT"
+	}
+	fmt.Fprintf(&b, "calculus tightness: %s (margin %.2f)\n", status, t.Margin)
+	for _, f := range t.Families {
+		fmt.Fprintf(&b, "  N=%-3d observed %.9fs bound %.9fs ratio %.3f\n",
+			f.Sessions, f.Observed, f.Bound, f.Ratio)
+	}
+	if t.Err != "" {
+		fmt.Fprintf(&b, "  error: %s\n", t.Err)
+	}
+	return b.String()
+}
+
+// CalculusTightness runs the designed worst-case family: N synchronized
+// CBR sessions at 80%% load share one T1 FCFS link, so every emission
+// wave queues N packets and the last one waits N·L/C — against the
+// analytic bound (N+1)·L/C. The observed/bound ratio N/(N+1) approaches
+// 1 as N grows, demonstrating the curve bounds are approached by a real
+// arrival pattern, not just never exceeded. A default margin of 0.8 is
+// met from N=8 on.
+func CalculusTightness(margin float64) *TightnessResult {
+	out := &TightnessResult{Margin: margin}
+	const (
+		cap  = 1.536e6
+		lpkt = 424.0
+	)
+	for _, n := range []int{4, 8, 16} {
+		sc := Scenario{
+			Seed: uint64(n), LMax: lpkt, Duration: 0.05,
+			Topology: Topology{Kind: "tandem", Links: []LinkDef{
+				{From: "A", To: "B", Capacity: cap, Gamma: 0},
+			}},
+			Proc:    1,
+			Classes: []ClassDef{{RFrac: 1, Sigma: 1}},
+		}
+		rate := 0.8 * cap / float64(n)
+		for i := 0; i < n; i++ {
+			sc.Sessions = append(sc.Sessions, SessionDef{
+				ID: i + 1, From: "A", To: "B", Rate: rate, Class: 1,
+				LMin: lpkt, LMax: lpkt, Burst: lpkt,
+				Source: SourceDef{Kind: "cbr", Seed: uint64(i + 1)},
+			})
+		}
+		if err := sc.Validate(); err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		an, err := calcBounds(&sc, calcFIFO)
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		if an.skipped {
+			out.Err = an.reason
+			return out
+		}
+		res, err := runScenario(&sc, calcFCFSSpec(), runOpts{})
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		if res.Tripped != "" {
+			out.Err = "watchdog: " + res.Tripped
+			return out
+		}
+		var worst float64
+		for _, sr := range res.Sessions {
+			if sr.MaxDelay > worst {
+				worst = sr.MaxDelay
+			}
+		}
+		// All sessions share the one link and class, so every bound is
+		// the same; take session 1's.
+		bound := an.delay[1]
+		fam := TightnessFamily{Sessions: n, Observed: worst, Bound: bound}
+		if bound > 0 {
+			fam.Ratio = worst / bound
+		}
+		if worst >= bound {
+			out.Err = fmt.Sprintf("N=%d: observed %.9f exceeds bound %.9f", n, worst, bound)
+		}
+		out.Families = append(out.Families, fam)
+	}
+	return out
+}

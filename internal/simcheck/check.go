@@ -29,6 +29,14 @@ type Options struct {
 	// exercised separately.
 	ClassMode bool
 
+	// Calculus adds the network-calculus battery to clean scenarios:
+	// flows propagated as piecewise-linear arrival curves, their FIFO
+	// delay and per-flow backlog bounds checked against an FCFS run,
+	// plus the batch-admission fast path differentially checked against
+	// sequential admission (see calccheck.go). Ignored for churn
+	// scenarios.
+	Calculus bool
+
 	// MaxEvents caps fired events per run (the deterministic watchdog
 	// budget). 0 means unlimited in the clean battery and a generous
 	// default in the churn battery, which always runs under a watchdog.
@@ -86,6 +94,11 @@ func CheckSeed(seed uint64, opt Options) *SeedReport {
 func CheckScenario(sc Scenario, opt Options) (rep *SeedReport) {
 	if opt.BoundScale > 0 {
 		sc.BoundScale = opt.BoundScale
+	}
+	if opt.Calculus {
+		// Folded into the scenario like BoundScale, so a written repro
+		// replays the calculus battery with no extra flags.
+		sc.Calculus = true
 	}
 	rep = &SeedReport{
 		Seed: sc.Seed, Topology: sc.Topology.Kind, Links: len(sc.Topology.Links),
@@ -161,6 +174,12 @@ func CheckScenario(sc Scenario, opt Options) (rep *SeedReport) {
 	// checks (see aggcheck.go).
 	if opt.ClassMode {
 		checkAggregate(&sc, exact, scale, wd, rep)
+	}
+
+	// Network-calculus battery: curve-propagated FIFO bounds against an
+	// FCFS run, plus the admission fast-path differential check.
+	if sc.Calculus {
+		checkCalculus(&sc, scale, wd, rep)
 	}
 
 	// Every baseline discipline: generic invariants only (drain,

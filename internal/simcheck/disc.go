@@ -256,6 +256,16 @@ func vcSpec() discSpec {
 		}}
 }
 
+// fcfsSpec returns the FCFS spec — a baseline, and (renamed) the
+// reference run of the network-calculus battery, whose analytic FIFO
+// bounds are exactly what FCFS promises.
+func fcfsSpec() discSpec {
+	return discSpec{name: "fcfs", wcAlways: true,
+		mk: func(sc *Scenario, l *topoLink) network.Discipline {
+			return sched.NewFCFS()
+		}}
+}
+
 // baselineSpecs returns every non-LiT discipline in the repository,
 // configured for the scenario. The framing disciplines' frame time is
 // one maximum-length packet at the slowest session's reserved rate, so
@@ -273,9 +283,7 @@ func baselineSpecs(sc *Scenario) []discSpec {
 		{name: "scfq", wcAlways: true, mk: func(sc *Scenario, l *topoLink) network.Discipline {
 			return sched.NewSCFQ()
 		}},
-		{name: "fcfs", wcAlways: true, mk: func(sc *Scenario, l *topoLink) network.Discipline {
-			return sched.NewFCFS()
-		}},
+		fcfsSpec(),
 		{name: "delayedd", wcAlways: true, mk: func(sc *Scenario, l *topoLink) network.Discipline {
 			return sched.NewDelayEDD()
 		}},

@@ -49,6 +49,13 @@ type SeedReport struct {
 	// over the paper's per-session eq.-12 bound.
 	AggChecked int     `json:"agg_checked,omitempty"`
 	AggDegrade float64 `json:"agg_degrade,omitempty"`
+
+	// CalcChecked counts sessions checked against the curve-propagated
+	// network-calculus bounds (calculus battery only), and CalcTight is
+	// how closely the simulation approached them: observed delay over
+	// analytic bound, maximized over checked sessions.
+	CalcChecked int     `json:"calc_checked,omitempty"`
+	CalcTight   float64 `json:"calc_tight,omitempty"`
 }
 
 // OK reports whether every invariant held.
@@ -86,6 +93,9 @@ func (r *SeedReport) Format() string {
 	agg := ""
 	if r.AggChecked > 0 {
 		agg = fmt.Sprintf(" agg=%d/x%.2f", r.AggChecked, r.AggDegrade)
+	}
+	if r.CalcChecked > 0 {
+		agg += fmt.Sprintf(" calc=%d/%.2f", r.CalcChecked, r.CalcTight)
 	}
 	fmt.Fprintf(&b, "seed %d: %s%s  %s links=%d sessions=%d proc=%d dur=%.3gs pkts=%d disciplines=%d%s\n",
 		r.Seed, status, mode, r.Topology, r.Links, r.Sessions, r.Proc, r.Duration, pkts, len(r.Disciplines), agg)

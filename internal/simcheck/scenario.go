@@ -59,6 +59,12 @@ type Scenario struct {
 	// -bound-scale flag.
 	BoundScale float64 `json:"bound_scale,omitempty"`
 
+	// Calculus switches on the network-calculus battery for this
+	// scenario (see calccheck.go). Set from Options.Calculus at check
+	// time and embedded into written repros so they replay the battery
+	// without extra flags.
+	Calculus bool `json:"calculus,omitempty"`
+
 	// Faults, when non-nil, is the deterministic chaos plan injected
 	// into every run (see internal/faults): link and node outage
 	// windows, source stalls, and session churn through the real

@@ -23,6 +23,10 @@ func Shrink(sc Scenario, opt Options) (Scenario, *SeedReport) {
 		// written repro reproduces the failure with no extra flags.
 		sc.BoundScale = opt.BoundScale
 	}
+	if opt.Calculus {
+		// Same embedding for the calculus battery selection.
+		sc.Calculus = true
+	}
 	orig := CheckScenario(sc, opt)
 	if orig.OK() {
 		return sc, orig
