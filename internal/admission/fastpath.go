@@ -27,6 +27,15 @@ import (
 // batchTotals validates every spec in the batch and returns the
 // additive quantities the class rules test: total reserved rate and
 // total LMax/C sigma contribution.
+//
+// Float caveat: the batch sum is accumulated here in one pass and
+// added to the cumulative totals as a single term, while sequential
+// Admit folds each member into the cumulative walk one at a time. The
+// two summation orders can differ by a few ulps, so a batch whose
+// aggregate lands within an ulp of a rule's tolerance boundary
+// (rateTol / 1e-12) may be decided differently by the two paths —
+// both decisions are sound; the differential check in simcheck
+// recognizes and skips that boundary band.
 func batchTotals(batch []SessionSpec, c float64) (rate, sigma float64, ok bool) {
 	for _, spec := range batch {
 		if spec.validate() != nil {
@@ -157,8 +166,13 @@ func (g *CurveGate) Try(rate, burst float64) (float64, bool) {
 	if err != nil {
 		return 0, false
 	}
+	if g.Budget != 0 && d > g.Budget {
+		// Declined: report the bound but leave lastDelay at the last
+		// admitted commitment (see Delay).
+		return d, false
+	}
 	g.lastDelay = d
-	return d, g.Budget == 0 || d <= g.Budget
+	return d, true
 }
 
 // tryCommit is Try followed by Commit on success.

@@ -305,6 +305,30 @@ func TestFlowBacklogBoundHandComputed(t *testing.T) {
 	}
 }
 
+func TestFlowBacklogBoundJumpCandidate(t *testing.T) {
+	// Regression: af = 1 + 8t capped to slope 1 after t = 7,
+	// ax = TB(4, 40), C = 10. The af-kink candidate theta = 7 builds a
+	// leftover curve that jumps from 0 to C*7 - ax(0) = 30 at theta;
+	// evaluating only the post-jump breakpoint yields af(7) - 30 = 27,
+	// below the flow backlog ~36.67 that greedy curve-conforming FIFO
+	// arrivals actually reach — an unsound bound. With the jump
+	// accounted (the deviation of each candidate is floored at
+	// af(theta)), the minimum comes from the continuous candidate
+	// theta = ax(0)/C = 4: af(7) - beta_4(7) = 57 - 18 = 39.
+	var w Ws
+	af := MustCurve(1, Piece{0, 8}, Piece{7, 1})
+	got, err := w.FlowBacklogBound(af, TokenBucket(4, 40), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(got, 39) {
+		t.Errorf("flow backlog = %g, want 39", got)
+	}
+	if got < 36.67 {
+		t.Errorf("flow backlog %g below achievable 36.67 — unsound", got)
+	}
+}
+
 func TestUnstableBoundaryRhoToC(t *testing.T) {
 	srv := FCFSServer{C: 100, LMax: 10}
 	// Exactly at capacity: rejected, mirroring the Envelope path.

@@ -436,6 +436,12 @@ func BusyPeriodBound(alpha Curve, C float64) (float64, error) {
 // under FIFO (Le Boudec & Thiran, Prop. 6.2.1), so any member of the
 // family gives a sound per-flow bound and the minimum over candidates
 // is still sound.
+//
+// Caution: when C*theta > ax(0) the true beta_theta jumps at theta
+// (0 up to and including theta, C*theta - ax(0) just after). The
+// emitted curve stores the post-jump value at X = theta, so a plain
+// VerticalDeviation against it misses the supremum af(theta) - 0
+// attained at the jump; FlowBacklogBound compensates explicitly.
 func (w *Ws) leftoverFIFO(dst *Curve, ax Curve, C, theta float64) {
 	dst.segs = dst.segs[:0]
 	dst.segs = append(dst.segs, Seg{X: 0, Y: 0, Slope: 0})
@@ -488,7 +494,11 @@ func (w *Ws) leftoverFIFO(dst *Curve, ax Curve, C, theta float64) {
 //  3. min over theta of v(af, beta_theta) — the leftover-service
 //     family, evaluated at the candidate thetas where the clamp
 //     boundary of beta_theta aligns with a kink of ax (including the
-//     classical theta = sigma_x/C) plus theta = 0.
+//     classical theta = sigma_x/C) plus theta = 0 and af's kinks.
+//     Since beta_theta vanishes up to and including theta (with a
+//     jump there whenever C*theta > ax(0)), each candidate's
+//     deviation is floored at af(theta), the supremum over [0, theta]
+//     that the jump hides from VerticalDeviation.
 //
 // Returns ErrUnstable when af+ax outgrows the server (slope strictly
 // above C; exact saturation still has a finite backlog bound).
@@ -519,7 +529,21 @@ func (w *Ws) FlowBacklogBound(af, ax Curve, C float64) (float64, error) {
 		}
 		w.leftoverFIFO(&w.tmp2, ax, C, theta)
 		v, err := VerticalDeviation(af, w.tmp2)
-		if err == nil && v < best {
+		if err != nil {
+			return
+		}
+		// True beta_theta is 0 on [0, theta]; the emitted curve stores
+		// the post-jump value C*theta - ax(0) at X = theta whenever
+		// that is positive, so VerticalDeviation alone would understate
+		// the supremum there (af(theta) - 0). Floor the deviation at
+		// af(theta): exact, because af is nondecreasing so
+		// sup_{t<=theta} af(t) - beta_theta(t) = af(theta). For
+		// continuous candidates (C*theta <= ax(0)) this changes
+		// nothing.
+		if lim := af.Eval(theta); lim > v {
+			v = lim
+		}
+		if v < best {
 			best = v
 		}
 	}
