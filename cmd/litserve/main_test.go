@@ -1,0 +1,251 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"leaveintime/internal/serve"
+)
+
+// TestFlagMatrix drives flagConflicts over the audited combinations:
+// every flag owned by another mode is rejected with a message naming
+// the flag and the mode, and every combination documented as composing
+// passes.
+func TestFlagMatrix(t *testing.T) {
+	on := func(names ...string) map[string]bool {
+		m := make(map[string]bool)
+		for _, n := range names {
+			m[n] = true
+		}
+		return m
+	}
+	cases := []struct {
+		name    string
+		mode    string
+		enabled map[string]bool
+		// reject lists flags that must each be named in some message;
+		// empty means the combination is accepted.
+		reject []string
+	}{
+		{"serve defaults", "serve", on(), nil},
+		{"serve full", "serve", on("addr", "workers", "queue", "checkpoint-dir", "slice"), nil},
+		{"bench full", "bench", on("bench-duration", "arrival", "hold", "call-rate",
+			"call-lmax", "clients", "out", "gate", "latband", "rateband", "workers", "queue", "slice"), nil},
+		{"chaos full", "chaos", on("seeds", "seed", "dir"), nil},
+		{"bench with dir", "bench", on("dir", "out"), nil},
+
+		{"serve with loadgen", "serve", on("arrival", "hold"), []string{"arrival", "hold"}},
+		{"serve with gate", "serve", on("gate", "latband"), []string{"gate", "latband"}},
+		{"serve with seeds", "serve", on("seeds"), []string{"seeds"}},
+		{"bench with addr", "bench", on("addr"), []string{"addr"}},
+		{"bench with checkpoint", "bench", on("checkpoint-dir"), []string{"checkpoint-dir"}},
+		{"bench with seeds", "bench", on("seeds"), []string{"seeds"}},
+		{"chaos with addr", "chaos", on("addr", "seeds"), []string{"addr"}},
+		{"chaos with daemon shape", "chaos", on("workers", "queue", "slice"),
+			[]string{"workers", "queue", "slice"}},
+		{"chaos with bench flags", "chaos", on("out", "gate", "arrival"),
+			[]string{"out", "gate", "arrival"}},
+	}
+	for _, c := range cases {
+		msgs := flagConflicts(c.mode, c.enabled)
+		if len(c.reject) == 0 {
+			if len(msgs) != 0 {
+				t.Errorf("%s: unexpectedly rejected: %v", c.name, msgs)
+			}
+			continue
+		}
+		if len(msgs) != len(c.reject) {
+			t.Errorf("%s: got %d messages %v, want %d", c.name, len(msgs), msgs, len(c.reject))
+		}
+		for _, f := range c.reject {
+			found := false
+			for _, m := range msgs {
+				if strings.Contains(m, "-"+f+" ") && strings.Contains(m, "-mode "+c.mode) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Errorf("%s: no message names -%s and -mode %s: %v", c.name, f, c.mode, msgs)
+			}
+		}
+	}
+}
+
+// TestFlagMatrixEntriesHaveRationale pins the message contract for
+// every table row.
+func TestFlagMatrixEntriesHaveRationale(t *testing.T) {
+	for _, c := range flagMatrix {
+		if !strings.HasPrefix(c.a, "mode=") {
+			t.Errorf("row %+v: first element must be a mode key", c)
+		}
+		if c.why == "" {
+			t.Errorf("%s+%s: conflict has no rationale", c.a, c.b)
+		}
+		mode := strings.TrimPrefix(c.a, "mode=")
+		msgs := flagConflicts(mode, map[string]bool{c.b: true})
+		if len(msgs) != 1 || !strings.Contains(msgs[0], "-"+c.b) {
+			t.Errorf("%s under %s: got %v", c.b, mode, msgs)
+		}
+	}
+}
+
+// The daemon stats schema, re-declared field by field. The test
+// decodes /v1/stats with DisallowUnknownFields (litsim telemetry-mirror
+// precedent), so any change to the emitted schema must consciously
+// update this mirror.
+type statsMirror struct {
+	UptimeS   float64        `json:"uptime_s"`
+	Systems   int            `json:"systems"`
+	QueueLen  int            `json:"queue_len"`
+	QueueCap  int            `json:"queue_cap"`
+	Accepting bool           `json:"accepting"`
+	Jobs      map[string]int `json:"jobs"`
+	Serve     struct {
+		Requests        int64 `json:"requests"`
+		Malformed       int64 `json:"malformed"`
+		Duplicates      int64 `json:"duplicates"`
+		Shed            int64 `json:"shed"`
+		Setups          int64 `json:"setups"`
+		SetupRejects    int64 `json:"setup_rejects"`
+		Releases        int64 `json:"releases"`
+		Adopts          int64 `json:"adopts"`
+		ScenarioQueued  int64 `json:"scenario_queued"`
+		ScenarioDone    int64 `json:"scenario_done"`
+		ScenarioFailed  int64 `json:"scenario_failed"`
+		Panics          int64 `json:"panics"`
+		WatchdogTrips   int64 `json:"watchdog_trips"`
+		DeadlineExpired int64 `json:"deadline_expired"`
+		Checkpoints     int64 `json:"checkpoints"`
+		Restores        int64 `json:"restores"`
+	} `json:"serve"`
+}
+
+// TestStatsSchema pins /v1/stats (including the daemon counter
+// section) to the mirror above against a live daemon.
+func TestStatsSchema(t *testing.T) {
+	d := serve.New(serve.Options{Workers: 1})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := d.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+	resp, err := http.Get("http://" + d.Addr() + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	dec := json.NewDecoder(resp.Body)
+	dec.DisallowUnknownFields()
+	var st statsMirror
+	if err := dec.Decode(&st); err != nil {
+		t.Fatalf("/v1/stats does not match the pinned schema: %v", err)
+	}
+	if st.QueueCap == 0 || !st.Accepting {
+		t.Fatalf("fresh daemon stats: %+v", st)
+	}
+	if st.Serve.Requests == 0 {
+		t.Fatal("the stats request itself was not counted")
+	}
+}
+
+// TestBenchSmokeAndFileSchema runs a short load against an in-process
+// daemon and checks the BENCH_serve.json layout round-trips with no
+// unknown fields.
+func TestBenchSmokeAndFileSchema(t *testing.T) {
+	d := serve.New(serve.Options{Workers: 1})
+	if err := d.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		d.Drain(ctx) //nolint:errcheck
+	}()
+	rep, err := serve.RunLoad(serve.LoadOptions{
+		BaseURL:     "http://" + d.Addr(),
+		System:      "bench",
+		Capacity:    1536000,
+		LMax:        424,
+		ArrivalRate: 400,
+		HoldMean:    0.05,
+		CallRate:    32000,
+		CallLMax:    424,
+		Duration:    500 * time.Millisecond,
+		Seed:        1,
+		Clients:     8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Offered == 0 || rep.Accepted == 0 {
+		t.Fatalf("load report: %+v", rep)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d transport errors: %+v", rep.Errors, rep)
+	}
+	if rep.P50ms <= 0 || rep.P99ms < rep.P50ms {
+		t.Fatalf("latency percentiles incoherent: %+v", rep)
+	}
+	file := BenchFile{Go: "gotest", GOOS: "linux", GOARCH: "amd64",
+		Results: []BenchResult{{Name: "poisson-admission", LoadReport: *rep}}}
+	data, err := json.Marshal(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var back BenchFile
+	if err := dec.Decode(&back); err != nil {
+		t.Fatalf("BENCH_serve.json schema does not round-trip: %v", err)
+	}
+	if back.Results[0].AcceptedPS != rep.AcceptedPS {
+		t.Fatal("accepted-calls/s lost in round-trip")
+	}
+}
+
+// TestServeGate exercises the bench gate's budgets on synthetic data.
+func TestServeGate(t *testing.T) {
+	base := BenchFile{Results: []BenchResult{{Name: "poisson-admission",
+		LoadReport: serve.LoadReport{AcceptedPS: 100, P99ms: 10}}}}
+	path := filepath.Join(t.TempDir(), "base.json")
+	data, _ := json.Marshal(base)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(aps, p99 float64) []BenchResult {
+		return []BenchResult{{Name: "poisson-admission",
+			LoadReport: serve.LoadReport{AcceptedPS: aps, P99ms: p99}}}
+	}
+	cases := []struct {
+		name     string
+		results  []BenchResult
+		wantFail bool
+	}{
+		{"within budgets", mk(95, 11), false},
+		{"at the floor", mk(75, 10), false},
+		{"throughput collapse", mk(50, 10), true},
+		{"latency blowup", mk(100, 25), true},
+		{"unknown case passes", []BenchResult{{Name: "other"}}, false},
+	}
+	for _, c := range cases {
+		err := checkServeGate(path, c.results, 0.25, 1.0)
+		if (err != nil) != c.wantFail {
+			t.Errorf("%s: err = %v, wantFail = %v", c.name, err, c.wantFail)
+		}
+	}
+	if err := checkServeGate(filepath.Join(t.TempDir(), "missing.json"), mk(1, 1), 0.25, 1.0); err == nil {
+		t.Error("missing baseline file did not fail")
+	}
+}

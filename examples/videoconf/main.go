@@ -24,13 +24,24 @@ func main() {
 
 	// A triangle backbone with access tails.
 	g := lit.NewGraph()
-	g.AddDuplex("sea", "chi", ds3, 12e-3)
-	g.AddDuplex("chi", "nyc", ds3, 8e-3)
-	g.AddDuplex("sea", "sfo", ds3, 5e-3)
-	g.AddDuplex("sfo", "nyc", ds3, 18e-3)
-	g.Build(net, func(l *lit.Link) lit.Discipline {
+	for _, span := range []struct {
+		a, b  string
+		gamma float64
+	}{
+		{"sea", "chi", 12e-3},
+		{"chi", "nyc", 8e-3},
+		{"sea", "sfo", 5e-3},
+		{"sfo", "nyc", 18e-3},
+	} {
+		if _, _, err := g.AddDuplex(span.a, span.b, ds3, span.gamma); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := g.Build(net, func(l *lit.Link) lit.Discipline {
 		return lit.NewLeaveInTime(lit.LeaveInTimeConfig{Capacity: l.Capacity, LMax: cell})
-	})
+	}); err != nil {
+		log.Fatal(err)
+	}
 
 	// Per-link admission (procedure 1, one class).
 	admit := map[*lit.Link]*lit.Procedure1{}

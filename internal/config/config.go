@@ -32,6 +32,7 @@ import (
 	"leaveintime/internal/admission"
 	"leaveintime/internal/core"
 	"leaveintime/internal/event"
+	"leaveintime/internal/faults"
 	"leaveintime/internal/metrics"
 	"leaveintime/internal/network"
 	"leaveintime/internal/rng"
@@ -47,6 +48,14 @@ type Scenario struct {
 	Sessions []Session `json:"sessions"`
 	Duration float64   `json:"duration"`
 	Seed     uint64    `json:"seed"`
+
+	// Faults, when present, is a deterministic chaos plan injected into
+	// the run: link/node outage windows, source stalls, and mid-run
+	// session releases. Churn cycles with a resetup are rejected — the
+	// declarative runner has no signaling path to re-establish through.
+	// Session references are 1-based indexes into Sessions; port and
+	// node references are server names.
+	Faults *faults.Plan `json:"faults,omitempty"`
 }
 
 // Class is one delay class.
@@ -157,6 +166,34 @@ func (s *Scenario) validate() error {
 			return fmt.Errorf("config: session %d packets exceed network lmax", i)
 		}
 	}
+	if !s.Faults.Empty() {
+		if err := s.Faults.Validate(); err != nil {
+			return err
+		}
+		for i, l := range s.Faults.Links {
+			if !names[l.Port] {
+				return fmt.Errorf("config: fault %d names unknown port %q", i, l.Port)
+			}
+		}
+		for i, n := range s.Faults.Nodes {
+			if !names[n.Node] {
+				return fmt.Errorf("config: node fault %d names unknown node %q", i, n.Node)
+			}
+		}
+		for i, st := range s.Faults.Stalls {
+			if st.Session < 1 || st.Session > len(s.Sessions) {
+				return fmt.Errorf("config: stall %d names unknown session %d", i, st.Session)
+			}
+		}
+		for i, c := range s.Faults.Churn {
+			if c.Session < 1 || c.Session > len(s.Sessions) {
+				return fmt.Errorf("config: churn cycle %d names unknown session %d", i, c.Session)
+			}
+			if c.Resetup != 0 {
+				return fmt.Errorf("config: churn cycle %d schedules a resetup; the declarative runner supports release-only churn", i)
+			}
+		}
+	}
 	return nil
 }
 
@@ -191,6 +228,47 @@ func (s *Scenario) Run() (*Result, error) {
 // controllers count into it. Snapshot it with reg.Snapshot(s.Duration)
 // after the run. Results are identical with and without a registry.
 func (s *Scenario) RunWithMetrics(reg *metrics.Registry) (*Result, error) {
+	run, err := s.Prepare(reg)
+	if err != nil {
+		return nil, err
+	}
+	run.Start()
+	run.RunSlice(s.Duration)
+	return run.Finish(), nil
+}
+
+type serverState struct {
+	port *network.Port
+	ac1  *admission.Procedure1
+	ac2  *admission.Procedure2
+	spec Server
+}
+
+type tracked struct {
+	cfg   Session
+	sess  *network.Session
+	route admission.Route
+}
+
+// Run is a prepared, steppable execution of a scenario: the network is
+// built, every session is admitted and registered, but no simulated
+// time has passed. A caller advances it in slices (RunSlice) and may
+// purge sessions between slices — the service daemon's control path.
+// Slicing never changes event order, so a fault-free Run driven in
+// slices produces results byte-identical to Scenario.Run.
+type Run struct {
+	sc      *Scenario
+	sim     *event.Simulator
+	net     *network.Network
+	servers map[string]*serverState
+	all     []tracked
+	purged  []bool
+	started bool
+}
+
+// Prepare builds the scenario without running it. When reg is non-nil
+// the run counts telemetry into it exactly as RunWithMetrics does.
+func (s *Scenario) Prepare(reg *metrics.Registry) (*Run, error) {
 	sim := event.New()
 	net := network.New(sim, s.LMax)
 	if reg != nil {
@@ -198,12 +276,6 @@ func (s *Scenario) RunWithMetrics(reg *metrics.Registry) (*Result, error) {
 	}
 	r := rng.New(s.Seed)
 
-	type serverState struct {
-		port *network.Port
-		ac1  *admission.Procedure1
-		ac2  *admission.Procedure2
-		spec Server
-	}
 	servers := map[string]*serverState{}
 	classes := make([]admission.Class, len(s.Classes))
 	for i, c := range s.Classes {
@@ -244,11 +316,6 @@ func (s *Scenario) RunWithMetrics(reg *metrics.Registry) (*Result, error) {
 		servers[sv.Name] = st
 	}
 
-	type tracked struct {
-		cfg   Session
-		sess  *network.Session
-		route admission.Route
-	}
 	var all []tracked
 	for i, sc := range s.Sessions {
 		lMax := sc.LMax
@@ -302,13 +369,107 @@ func (s *Scenario) RunWithMetrics(reg *metrics.Registry) (*Result, error) {
 		})
 	}
 
-	for _, tr := range all {
-		tr.sess.Start(0, s.Duration)
+	run := &Run{sc: s, sim: sim, net: net, servers: servers, all: all, purged: make([]bool, len(all))}
+	if !s.Faults.Empty() {
+		faults.Inject(sim, (*runActions)(run), s.Faults)
 	}
-	sim.Run(s.Duration)
+	return run, nil
+}
 
+// Sim exposes the run's event engine, e.g. to arm a watchdog before
+// the first slice.
+func (r *Run) Sim() *event.Simulator { return r.sim }
+
+// Duration returns the scenario's configured run length.
+func (r *Run) Duration() float64 { return r.sc.Duration }
+
+// Now returns the current simulated time.
+func (r *Run) Now() float64 { return r.sim.Now() }
+
+// Start begins every session's traffic. Call once, before RunSlice.
+func (r *Run) Start() {
+	if r.started {
+		return
+	}
+	r.started = true
+	for _, tr := range r.all {
+		tr.sess.Start(0, r.sc.Duration)
+	}
+}
+
+// RunSlice advances simulated time to min(until, Duration) and reports
+// whether the run is complete. Repeated slicing executes exactly the
+// event sequence a single RunSlice(Duration) would.
+func (r *Run) RunSlice(until float64) (done bool) {
+	if until > r.sc.Duration {
+		until = r.sc.Duration
+	}
+	r.sim.Run(until)
+	return r.sim.Now() >= r.sc.Duration
+}
+
+// PurgeSession drops session id (1-based, matching the scenario's
+// session order) mid-run: its source stops, queued packets are purged
+// at every hop, and its reservation is released. Delivered-so-far
+// statistics are retained for Finish. It reports whether the session
+// was still registered.
+func (r *Run) PurgeSession(id int) bool {
+	if id < 1 || id > len(r.all) {
+		return false
+	}
+	if r.purged[id-1] {
+		return false
+	}
+	r.purged[id-1] = true
+	r.net.DropSession(r.all[id-1].sess)
+	r.releaseAdmission(id)
+	return true
+}
+
+// releaseAdmission frees session id's reservation at every hop it was
+// admitted through.
+func (r *Run) releaseAdmission(id int) {
+	tr := r.all[id-1]
+	for _, hopName := range tr.cfg.Route {
+		st := r.servers[hopName]
+		if st.ac1 != nil {
+			st.ac1.Remove(id)
+		} else {
+			st.ac2.Remove(id)
+		}
+	}
+}
+
+// runActions adapts Run to the fault injector. Resetups are rejected
+// at validation, so ResetupSession is unreachable.
+type runActions Run
+
+func (a *runActions) run() *Run { return (*Run)(a) }
+
+func (a *runActions) LinkDown(port string) { a.run().servers[port].port.FailLink() }
+func (a *runActions) LinkUp(port string)   { a.run().servers[port].port.RestoreLink() }
+
+// NodeDown fails the node's outgoing link — in the declarative schema
+// every server is exactly one port, so a node outage and a link outage
+// coincide.
+func (a *runActions) NodeDown(node string) { a.LinkDown(node) }
+func (a *runActions) NodeUp(node string)   { a.LinkUp(node) }
+
+func (a *runActions) StallSession(id int, on bool) {
+	a.run().all[id-1].sess.SetStalled(on)
+}
+
+func (a *runActions) ReleaseSession(id int) { a.run().PurgeSession(id) }
+
+func (a *runActions) ResetupSession(id int) {
+	panic("config: resetup rejected at validation")
+}
+
+// Finish computes the per-session results at the current instant.
+func (r *Run) Finish() *Result {
+	s := r.sc
 	res := &Result{Duration: s.Duration}
-	for _, tr := range all {
+	for _, tr := range r.all {
 		sr := SessionResult{
 			Name:       tr.cfg.Name,
 			Delivered:  tr.sess.Delivered,
@@ -333,7 +494,7 @@ func (s *Scenario) RunWithMetrics(reg *metrics.Registry) (*Result, error) {
 		}
 		res.Sessions = append(res.Sessions, sr)
 	}
-	return res, nil
+	return res
 }
 
 func buildSource(sc Source, r *rng.Rand) (traffic.Source, error) {

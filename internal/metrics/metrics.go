@@ -35,7 +35,10 @@
 // exposes it through System.Metrics().
 package metrics
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Handle addresses one counter slot in an Arena. Handles are resolved
 // at wiring time (fixed-section constants below, NewPort for ports)
@@ -74,6 +77,30 @@ func (a *Arena) Int(h Handle) int64 { return int64(a.slots[h]) }
 
 // Float reads a float64 accumulator.
 func (a *Arena) Float(h Handle) float64 { return math.Float64frombits(a.slots[h]) }
+
+// Atomic accessors, for the serve section only: the daemon's HTTP
+// handlers increment concurrently, unlike the single-threaded
+// simulation sections. A slot must be accessed either always plainly
+// or always atomically — mixing the two on one slot is a data race.
+
+// AtomicInc atomically adds one to an integer counter.
+func (a *Arena) AtomicInc(h Handle) { atomic.AddUint64(&a.slots[h], 1) }
+
+// AtomicAdd atomically adds v to an integer counter.
+func (a *Arena) AtomicAdd(h Handle, v uint64) { atomic.AddUint64(&a.slots[h], v) }
+
+// AtomicMaxUint atomically raises an integer high-water mark to v.
+func (a *Arena) AtomicMaxUint(h Handle, v uint64) {
+	for {
+		old := atomic.LoadUint64(&a.slots[h])
+		if v <= old || atomic.CompareAndSwapUint64(&a.slots[h], old, v) {
+			return
+		}
+	}
+}
+
+// AtomicInt atomically reads an integer counter as int64.
+func (a *Arena) AtomicInt(h Handle) int64 { return int64(atomic.LoadUint64(&a.slots[h])) }
 
 // lineSlots is one cache line's worth of uint64 slots. Sections are
 // padded to multiples of it and the arena carries one line of padding
@@ -128,9 +155,33 @@ const (
 	HFaultWatchdogTrips                              // runs aborted by the event-engine watchdog
 )
 
+// Serve section: scenario-daemon (litserve) activity. Unlike every
+// other section these slots are written concurrently by HTTP handler
+// and worker goroutines, so they must be accessed only through the
+// Atomic* arena methods and read through ServeCounters — never via a
+// plain Snapshot of a registry that is still serving.
+const (
+	HServeRequests        Handle = 6*lineSlots + iota // wire requests received
+	HServeMalformed                                   // requests rejected as malformed
+	HServeDuplicates                                  // duplicate ids / replays refused
+	HServeShed                                        // overload sheds (429 + Retry-After)
+	HServeSetups                                      // SETUP calls accepted
+	HServeSetupRejects                                // SETUP calls declined by admission
+	HServeReleases                                    // RELEASE calls completed
+	HServeAdopts                                      // Adopt registrations
+	HServeScenarioQueued                              // scenario jobs accepted into the queue
+	HServeScenarioDone                                // scenario jobs completed
+	HServeScenarioFailed                              // scenario jobs failed (panic or watchdog)
+	HServePanics                                      // worker panics recovered
+	HServeWatchdogTrips                               // worker watchdog aborts
+	HServeDeadlineExpired                             // requests abandoned at their deadline
+	HServeCheckpoints                                 // checkpoint files written
+	HServeRestores                                    // jobs restored from a checkpoint
+)
+
 // fixedSlots is the arena length before the first port block: head pad
-// + engine + pool + admission + faults (faults needs two lines).
-const fixedSlots = 6 * lineSlots
+// + engine + pool + admission + faults (two lines) + serve (two lines).
+const fixedSlots = 8 * lineSlots
 
 // Per-port block offsets. Each port's block is PortSlots wide and
 // holds the port counters followed by its discipline's scheduler
@@ -302,6 +353,78 @@ func admissionView(a *Arena) Admission {
 		}
 	}
 	return Admission{AC1: proc(HAdmissionAC1), AC2: proc(HAdmissionAC2), AC3: proc(HAdmissionAC3)}
+}
+
+// Serve is the read-side view of the daemon section.
+type Serve struct {
+	Requests        int64
+	Malformed       int64
+	Duplicates      int64
+	Shed            int64
+	Setups          int64
+	SetupRejects    int64
+	Releases        int64
+	Adopts          int64
+	ScenarioQueued  int64
+	ScenarioDone    int64
+	ScenarioFailed  int64
+	Panics          int64
+	WatchdogTrips   int64
+	DeadlineExpired int64
+	Checkpoints     int64
+	Restores        int64
+}
+
+// ServeCounters materializes the daemon section with atomic loads, so
+// it is safe to call while handlers are still incrementing.
+func (r *Registry) ServeCounters() Serve {
+	a := &r.arena
+	return Serve{
+		Requests:        a.AtomicInt(HServeRequests),
+		Malformed:       a.AtomicInt(HServeMalformed),
+		Duplicates:      a.AtomicInt(HServeDuplicates),
+		Shed:            a.AtomicInt(HServeShed),
+		Setups:          a.AtomicInt(HServeSetups),
+		SetupRejects:    a.AtomicInt(HServeSetupRejects),
+		Releases:        a.AtomicInt(HServeReleases),
+		Adopts:          a.AtomicInt(HServeAdopts),
+		ScenarioQueued:  a.AtomicInt(HServeScenarioQueued),
+		ScenarioDone:    a.AtomicInt(HServeScenarioDone),
+		ScenarioFailed:  a.AtomicInt(HServeScenarioFailed),
+		Panics:          a.AtomicInt(HServePanics),
+		WatchdogTrips:   a.AtomicInt(HServeWatchdogTrips),
+		DeadlineExpired: a.AtomicInt(HServeDeadlineExpired),
+		Checkpoints:     a.AtomicInt(HServeCheckpoints),
+		Restores:        a.AtomicInt(HServeRestores),
+	}
+}
+
+// ServeSnapshot is the JSON-facing daemon section, rendered by the
+// litserve stats endpoint (it is not part of Snapshot: the simulation
+// telemetry schema predates the daemon and stays pinned).
+type ServeSnapshot struct {
+	Requests        int64 `json:"requests"`
+	Malformed       int64 `json:"malformed"`
+	Duplicates      int64 `json:"duplicates"`
+	Shed            int64 `json:"shed"`
+	Setups          int64 `json:"setups"`
+	SetupRejects    int64 `json:"setup_rejects"`
+	Releases        int64 `json:"releases"`
+	Adopts          int64 `json:"adopts"`
+	ScenarioQueued  int64 `json:"scenario_queued"`
+	ScenarioDone    int64 `json:"scenario_done"`
+	ScenarioFailed  int64 `json:"scenario_failed"`
+	Panics          int64 `json:"panics"`
+	WatchdogTrips   int64 `json:"watchdog_trips"`
+	DeadlineExpired int64 `json:"deadline_expired"`
+	Checkpoints     int64 `json:"checkpoints"`
+	Restores        int64 `json:"restores"`
+}
+
+// ServeSnapshotNow renders the daemon section (atomic loads, safe
+// while serving).
+func (r *Registry) ServeSnapshotNow() ServeSnapshot {
+	return ServeSnapshot(r.ServeCounters())
 }
 
 // FaultCounters materializes the faults section.

@@ -81,7 +81,10 @@ func PlanMetro(opt MetroOptions) (*MetroPlan, error) {
 		return nil, fmt.Errorf("scenarios: metro shard count must be at least 1, got %d", opt.Shards)
 	}
 	p := &MetroPlan{opt: opt, cfg: topo.DefaultMetro(opt.Rings, opt.RingSize)}
-	g := topo.Metro(p.cfg)
+	g, err := topo.Metro(p.cfg)
+	if err != nil {
+		return nil, err
+	}
 	idx := make(map[*topo.Link]int, len(g.Links()))
 	for i, l := range g.Links() {
 		idx[l] = i
@@ -161,7 +164,10 @@ func (r *MetroResult) Format() string {
 // every shard and worker count.
 func (p *MetroPlan) Run() (*MetroResult, error) {
 	opt := p.opt
-	g := topo.Metro(p.cfg)
+	g, err := topo.Metro(p.cfg)
+	if err != nil {
+		return nil, err
+	}
 	rt, err := shard.New(shard.Config{
 		Shards: opt.Shards,
 		LMax:   CellBits,

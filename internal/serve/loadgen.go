@@ -1,0 +1,189 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"leaveintime/internal/rng"
+)
+
+// This file is the daemon's built-in open-loop load generator: a
+// Poisson call-arrival process of SETUP requests with exponential
+// holding times (the classic telephone-traffic model the paper's
+// call-blocking experiments use), driven against a live daemon over
+// real HTTP. Open loop means arrivals do not wait for responses — the
+// generator keeps offering load even when the daemon sheds, which is
+// exactly the regime the overload controls are for.
+
+// LoadOptions configures a load run.
+type LoadOptions struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// System is the target system name (created if absent).
+	System string
+	// Capacity and LMax shape the system when the generator creates it.
+	Capacity, LMax float64
+	// ArrivalRate is calls per wall-second (Poisson).
+	ArrivalRate float64
+	// HoldMean is the mean call holding time in wall-seconds
+	// (exponential).
+	HoldMean float64
+	// CallRate and CallLMax are the per-call SETUP parameters.
+	CallRate, CallLMax float64
+	// Duration is how long to offer load.
+	Duration time.Duration
+	// Seed makes the arrival/holding process reproducible.
+	Seed uint64
+	// Clients bounds concurrent in-flight requests (default 16).
+	Clients int
+}
+
+// LoadReport is the generator's measurement, the payload behind
+// BENCH_serve.json.
+type LoadReport struct {
+	Offered    int     `json:"offered_calls"`
+	Accepted   int     `json:"accepted_calls"`
+	Rejected   int     `json:"rejected_calls"`
+	Errors     int     `json:"transport_errors"`
+	WallS      float64 `json:"wall_s"`
+	AcceptedPS float64 `json:"accepted_calls_per_s"`
+	// Admission latency percentiles over every SETUP round trip.
+	P50ms float64 `json:"admission_p50_ms"`
+	P90ms float64 `json:"admission_p90_ms"`
+	P99ms float64 `json:"admission_p99_ms"`
+}
+
+// RunLoad offers a Poisson SETUP/RELEASE call process to a daemon and
+// measures admission throughput and latency.
+func RunLoad(opts LoadOptions) (*LoadReport, error) {
+	if opts.Clients <= 0 {
+		opts.Clients = 16
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	if err := ensureSystem(client, opts); err != nil {
+		return nil, err
+	}
+
+	g := rng.New(opts.Seed)
+	var (
+		mu        sync.Mutex
+		latencies []float64
+		rep       LoadReport
+	)
+	// sem bounds concurrent SETUP round trips only; holding and RELEASE
+	// run detached so a long holding time never throttles arrivals.
+	sem := make(chan struct{}, opts.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	deadline := start.Add(opts.Duration)
+	id := 0
+	next := 0.0
+	for {
+		// Open loop: arrival instants come from the Poisson process on
+		// an absolute clock (so sleep overshoot never slows the offered
+		// rate), never from the previous response.
+		next += g.Exp(1 / opts.ArrivalRate)
+		at := start.Add(time.Duration(next * float64(time.Second)))
+		if at.After(deadline) {
+			break
+		}
+		time.Sleep(time.Until(at))
+		id++
+		call := id
+		hold := g.Exp(opts.HoldMean)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			t0 := time.Now()
+			ok, err := setupCall(client, opts, call)
+			lat := time.Since(t0)
+			<-sem
+			mu.Lock()
+			rep.Offered++
+			switch {
+			case err != nil:
+				rep.Errors++
+			case ok:
+				rep.Accepted++
+				latencies = append(latencies, lat.Seconds()*1e3)
+			default:
+				rep.Rejected++
+				latencies = append(latencies, lat.Seconds()*1e3)
+			}
+			mu.Unlock()
+			if err == nil && ok {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					time.Sleep(time.Duration(hold * float64(time.Second)))
+					releaseCall(client, opts, call) //nolint:errcheck — best-effort teardown
+				}()
+			}
+		}()
+	}
+	wg.Wait()
+	rep.WallS = time.Since(start).Seconds()
+	if rep.WallS > 0 {
+		rep.AcceptedPS = float64(rep.Accepted) / rep.WallS
+	}
+	sort.Float64s(latencies)
+	rep.P50ms = percentile(latencies, 0.50)
+	rep.P90ms = percentile(latencies, 0.90)
+	rep.P99ms = percentile(latencies, 0.99)
+	return &rep, nil
+}
+
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func ensureSystem(client *http.Client, opts LoadOptions) error {
+	body, _ := json.Marshal(CreateSystemRequest{
+		Name: opts.System, Capacity: opts.Capacity, LMax: opts.LMax,
+	})
+	resp, err := client.Post(opts.BaseURL+"/v1/systems", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusConflict {
+		return fmt.Errorf("create system: %s", resp.Status)
+	}
+	return nil
+}
+
+func setupCall(client *http.Client, opts LoadOptions, id int) (bool, error) {
+	body, _ := json.Marshal(SetupRequest{ID: id, Rate: opts.CallRate, LMax: opts.CallLMax})
+	resp, err := client.Post(
+		opts.BaseURL+"/v1/systems/"+opts.System+"/setup", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	var sr SetupResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return false, err
+	}
+	return sr.Accepted, nil
+}
+
+func releaseCall(client *http.Client, opts LoadOptions, id int) error {
+	body, _ := json.Marshal(ReleaseRequest{ID: id})
+	resp, err := client.Post(
+		opts.BaseURL+"/v1/systems/"+opts.System+"/release", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}

@@ -1,0 +1,633 @@
+// Package serve turns the Leave-in-Time library into a long-lived
+// scenario service: an HTTP daemon (stdlib net/http + JSON only) that
+// hosts many concurrent admission systems, accepts SETUP/RELEASE/Adopt
+// calls and scenario submissions over a wire API, and streams telemetry
+// snapshots and trace events while simulations run.
+//
+// Robustness is the design center, not an afterthought:
+//
+//   - Every handler runs under a context deadline. Clients may send an
+//     X-Request-Deadline header (unix seconds, their clock); the daemon
+//     clamps it into a sane window, so clock-skewed clients degrade to
+//     the default timeout instead of to an instantly-expired or
+//     never-expiring request.
+//   - Admission requests route through the PR-9 network-calculus fast
+//     path (admission.AdmitClass + CurveGate): one O(classes+segments)
+//     curve evaluation per call, so under overload the daemon sheds
+//     load by rejecting cheaply instead of queueing expensively.
+//   - Scenario work sits in a bounded queue with watermark
+//     backpressure: past the high watermark submissions get 429 plus a
+//     Retry-After hint that backs off exponentially (capped) with the
+//     shed streak, and acceptance resumes only below the low watermark.
+//   - Simulation workers wrap every run in the event-engine watchdog
+//     and a panic recovery, so a poisoned scenario degrades to a
+//     replayable repro document without taking down sibling systems.
+//   - Graceful drain checkpoints unfinished scenario jobs to disk;
+//     a restarted daemon restores and re-runs them. Runs are
+//     deterministic, so restore-and-rerun reproduces byte-identical
+//     telemetry.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"leaveintime/internal/admission"
+	"leaveintime/internal/calculus"
+	"leaveintime/internal/event"
+	"leaveintime/internal/metrics"
+)
+
+// Options configures a Daemon. The zero value is usable: every field
+// has a production-shaped default.
+type Options struct {
+	// Addr is the listen address (default "127.0.0.1:0").
+	Addr string
+	// Workers is the number of scenario workers (default 2).
+	Workers int
+	// QueueDepth bounds the scenario work queue (default 64).
+	QueueDepth int
+	// HighWater and LowWater are the backpressure watermarks on the
+	// queue depth: at or above HighWater submissions are shed with 429,
+	// and acceptance resumes only at or below LowWater. Defaults:
+	// 3/4 and 1/2 of QueueDepth.
+	HighWater, LowWater int
+	// RequestTimeout bounds every handler (default 5s). It is also the
+	// ceiling for client-supplied deadlines.
+	RequestTimeout time.Duration
+	// Slice is how many simulated seconds a worker advances a run
+	// between control polls (default 0.25).
+	Slice float64
+	// Watchdog bounds every scenario run; zero fields are defaulted to
+	// MaxEvents 50e6 and MaxWall 30s so a poisoned scenario cannot
+	// wedge a worker forever.
+	Watchdog event.Watchdog
+	// CheckpointDir, when non-empty, enables drain checkpoints and
+	// poisoned-scenario repro files.
+	CheckpointDir string
+	// RetryAfterBase and RetryAfterCap shape the 429 Retry-After hint:
+	// the hint doubles with the consecutive-shed streak from Base up to
+	// Cap. Defaults 1s and 32s.
+	RetryAfterBase, RetryAfterCap time.Duration
+	// MaxBody bounds request bodies in bytes (default 1<<20).
+	MaxBody int64
+}
+
+func (o *Options) defaults() {
+	if o.Addr == "" {
+		o.Addr = "127.0.0.1:0"
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.HighWater <= 0 {
+		o.HighWater = o.QueueDepth * 3 / 4
+	}
+	if o.LowWater <= 0 {
+		o.LowWater = o.QueueDepth / 2
+	}
+	if o.HighWater > o.QueueDepth {
+		o.HighWater = o.QueueDepth
+	}
+	if o.LowWater >= o.HighWater {
+		o.LowWater = o.HighWater - 1
+	}
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 5 * time.Second
+	}
+	if o.Slice <= 0 {
+		o.Slice = 0.25
+	}
+	if o.Watchdog.MaxEvents == 0 {
+		o.Watchdog.MaxEvents = 50e6
+	}
+	if o.Watchdog.MaxWall == 0 {
+		o.Watchdog.MaxWall = 30 * time.Second
+	}
+	if o.RetryAfterBase <= 0 {
+		o.RetryAfterBase = time.Second
+	}
+	if o.RetryAfterCap <= 0 {
+		o.RetryAfterCap = 32 * time.Second
+	}
+	if o.MaxBody <= 0 {
+		o.MaxBody = 1 << 20
+	}
+}
+
+// Daemon is the scenario service.
+type Daemon struct {
+	opts Options
+	reg  *metrics.Registry
+	ar   *metrics.Arena
+
+	mu      sync.Mutex
+	systems map[string]*system
+
+	jmu       sync.Mutex
+	jobs      map[string]*job
+	jobOrder  []string // submission order, for checkpoints
+	queue     chan *job
+	accepting bool
+	draining  bool
+
+	shedStreak atomic.Int64
+
+	srv      *http.Server
+	listener net.Listener
+	workers  sync.WaitGroup
+	stop     chan struct{}
+	started  time.Time
+}
+
+// system is one hosted admission system: a single Leave-in-Time server
+// guarded by the rule-based procedure plus the network-calculus curve
+// gate, and the book of live sessions (needed to release the gate's
+// share on RELEASE).
+type system struct {
+	mu       sync.Mutex
+	name     string
+	capacity float64
+	lmax     float64
+	proc1    *admission.Procedure1
+	proc2    *admission.Procedure2
+	gate     *admission.CurveGate
+	sessions map[int]sessionEntry
+}
+
+type sessionEntry struct {
+	rate, burst float64
+	adopted     bool
+}
+
+// New builds a daemon (not yet listening).
+func New(opts Options) *Daemon {
+	opts.defaults()
+	reg := metrics.NewRegistry()
+	d := &Daemon{
+		opts:      opts,
+		reg:       reg,
+		ar:        reg.Arena(),
+		systems:   make(map[string]*system),
+		jobs:      make(map[string]*job),
+		queue:     make(chan *job, opts.QueueDepth),
+		accepting: true,
+		stop:      make(chan struct{}),
+	}
+	return d
+}
+
+// Start restores any checkpoint, binds the listener, and launches the
+// workers and the HTTP server. It returns once the daemon is serving.
+func (d *Daemon) Start() error {
+	if err := d.restore(); err != nil {
+		return fmt.Errorf("serve: restore: %w", err)
+	}
+	ln, err := net.Listen("tcp", d.opts.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	d.listener = ln
+	d.started = time.Now()
+	d.srv = &http.Server{
+		Handler: d.routes(),
+		// Slow and stalled clients are bounded at every phase: header
+		// read, body read, and response write.
+		ReadHeaderTimeout: d.opts.RequestTimeout,
+		ReadTimeout:       2 * d.opts.RequestTimeout,
+		WriteTimeout:      2 * d.opts.RequestTimeout,
+		IdleTimeout:       4 * d.opts.RequestTimeout,
+	}
+	for i := 0; i < d.opts.Workers; i++ {
+		d.workers.Add(1)
+		go d.worker()
+	}
+	go d.srv.Serve(ln) //nolint:errcheck — Serve always returns non-nil on Shutdown
+	return nil
+}
+
+// Addr returns the bound listen address (valid after Start).
+func (d *Daemon) Addr() string { return d.listener.Addr().String() }
+
+// Drain is the SIGTERM path: stop accepting, stop the HTTP server,
+// interrupt running jobs at their next slice boundary, and checkpoint
+// every unfinished job to disk. It is idempotent.
+func (d *Daemon) Drain(ctx context.Context) error {
+	d.jmu.Lock()
+	if d.draining {
+		d.jmu.Unlock()
+		return nil
+	}
+	d.draining = true
+	d.accepting = false
+	d.jmu.Unlock()
+
+	err := d.srv.Shutdown(ctx)
+	close(d.stop)
+	d.workers.Wait()
+	if cerr := d.checkpoint(); cerr != nil && err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Registry exposes the daemon's counter registry (serve section).
+func (d *Daemon) Registry() *metrics.Registry { return d.reg }
+
+// --- HTTP plumbing ---------------------------------------------------
+
+func (d *Daemon) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", d.wrap(d.handleHealthz))
+	mux.HandleFunc("GET /v1/stats", d.wrap(d.handleStats))
+	mux.HandleFunc("POST /v1/systems", d.wrap(d.handleCreateSystem))
+	mux.HandleFunc("POST /v1/systems/{name}/setup", d.wrap(d.handleSetup))
+	mux.HandleFunc("POST /v1/systems/{name}/release", d.wrap(d.handleRelease))
+	mux.HandleFunc("POST /v1/systems/{name}/adopt", d.wrap(d.handleAdopt))
+	mux.HandleFunc("POST /v1/scenarios", d.wrap(d.handleSubmit))
+	mux.HandleFunc("GET /v1/scenarios/{id}", d.wrap(d.handleJobStatus))
+	mux.HandleFunc("GET /v1/scenarios/{id}/telemetry", d.wrap(d.handleJobTelemetry))
+	mux.HandleFunc("GET /v1/scenarios/{id}/trace", d.wrap(d.handleJobTrace))
+	mux.HandleFunc("POST /v1/scenarios/{id}/purge", d.wrap(d.handleJobPurge))
+	mux.HandleFunc("DELETE /v1/scenarios/{id}", d.wrap(d.handleJobKill))
+	return mux
+}
+
+// wrap applies the per-request robustness envelope: a counted request,
+// a bounded body, and a context deadline derived from the client's
+// X-Request-Deadline clamped into [now+ε, now+RequestTimeout] so clock
+// skew cannot produce an already-expired or unbounded request.
+func (d *Daemon) wrap(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		d.ar.AtomicInc(metrics.HServeRequests)
+		r.Body = http.MaxBytesReader(w, r.Body, d.opts.MaxBody)
+		timeout := d.opts.RequestTimeout
+		if raw := r.Header.Get("X-Request-Deadline"); raw != "" {
+			if unix, err := strconv.ParseFloat(raw, 64); err == nil {
+				sec := time.Duration((unix - float64(time.Now().UnixNano())/1e9) * float64(time.Second))
+				// Clamp: a deadline in the past (skewed-behind clock)
+				// gets a minimal grace window rather than instant
+				// expiry; a far-future one (skewed-ahead) is capped at
+				// the server's own timeout.
+				if sec < 50*time.Millisecond {
+					sec = 50 * time.Millisecond
+				}
+				if sec > d.opts.RequestTimeout {
+					sec = d.opts.RequestTimeout
+				}
+				timeout = sec
+			} else {
+				d.ar.AtomicInc(metrics.HServeMalformed)
+				httpError(w, http.StatusBadRequest, "malformed X-Request-Deadline")
+				return
+			}
+		}
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+		h(w, r.WithContext(ctx))
+		if ctx.Err() != nil {
+			d.ar.AtomicInc(metrics.HServeDeadlineExpired)
+		}
+	}
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: msg}) //nolint:errcheck
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+// decode reads a JSON body strictly (unknown fields are malformed —
+// the wire schema is versioned, not lax).
+func (d *Daemon) decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		d.ar.AtomicInc(metrics.HServeMalformed)
+		httpError(w, http.StatusBadRequest, "malformed request: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// --- wire types ------------------------------------------------------
+
+// CreateSystemRequest declares one hosted admission system.
+type CreateSystemRequest struct {
+	Name     string  `json:"name"`
+	Capacity float64 `json:"capacity"`
+	LMax     float64 `json:"lmax"`
+	Proc     int     `json:"proc,omitempty"` // 1 (default) or 2
+	Classes  []struct {
+		R     float64 `json:"r"`
+		Sigma float64 `json:"sigma"`
+	} `json:"classes,omitempty"`
+	// BudgetS is the curve gate's aggregate FIFO delay budget in
+	// seconds (0 = stability-only).
+	BudgetS float64 `json:"budget_s,omitempty"`
+}
+
+// SetupRequest is one SETUP (or Adopt) call.
+type SetupRequest struct {
+	ID    int     `json:"id"`
+	Rate  float64 `json:"rate"`
+	LMax  float64 `json:"lmax"`
+	LMin  float64 `json:"lmin,omitempty"`
+	Class int     `json:"class,omitempty"`
+	Eps   float64 `json:"eps,omitempty"`
+}
+
+// SetupResponse reports an accepted SETUP's assignment.
+type SetupResponse struct {
+	Accepted bool    `json:"accepted"`
+	DMax     float64 `json:"d_max_s"`
+	// DelayBound is the curve gate's aggregate FIFO delay bound after
+	// this commitment.
+	DelayBound float64 `json:"delay_bound_s"`
+}
+
+// ReleaseRequest tears one session down.
+type ReleaseRequest struct {
+	ID int `json:"id"`
+}
+
+// --- system handlers -------------------------------------------------
+
+func (d *Daemon) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (d *Daemon) handleCreateSystem(w http.ResponseWriter, r *http.Request) {
+	var req CreateSystemRequest
+	if !d.decode(w, r, &req) {
+		return
+	}
+	if req.Name == "" || req.Capacity <= 0 || req.LMax <= 0 {
+		d.ar.AtomicInc(metrics.HServeMalformed)
+		httpError(w, http.StatusBadRequest, "system needs a name, positive capacity and positive lmax")
+		return
+	}
+	classes := make([]admission.Class, len(req.Classes))
+	for i, c := range req.Classes {
+		classes[i] = admission.Class{R: c.R, Sigma: c.Sigma}
+	}
+	if len(classes) == 0 {
+		classes = []admission.Class{{R: req.Capacity, Sigma: 1}}
+	}
+	sys := &system{
+		name:     req.Name,
+		capacity: req.Capacity,
+		lmax:     req.LMax,
+		sessions: make(map[int]sessionEntry),
+		gate: admission.NewCurveGate(
+			calculus.FCFSServer{C: req.Capacity, LMax: req.LMax}, req.BudgetS),
+	}
+	var err error
+	switch req.Proc {
+	case 0, 1:
+		sys.proc1, err = admission.NewProcedure1(req.Capacity, classes)
+	case 2:
+		sys.proc2, err = admission.NewProcedure2(req.Capacity, classes)
+	default:
+		err = fmt.Errorf("unsupported proc %d", req.Proc)
+	}
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	d.mu.Lock()
+	if _, dup := d.systems[req.Name]; dup {
+		d.mu.Unlock()
+		d.ar.AtomicInc(metrics.HServeDuplicates)
+		httpError(w, http.StatusConflict, "system already exists")
+		return
+	}
+	d.systems[req.Name] = sys
+	d.mu.Unlock()
+	writeJSON(w, http.StatusCreated, map[string]string{"name": req.Name})
+}
+
+func (d *Daemon) lookupSystem(w http.ResponseWriter, r *http.Request) *system {
+	d.mu.Lock()
+	sys := d.systems[r.PathValue("name")]
+	d.mu.Unlock()
+	if sys == nil {
+		httpError(w, http.StatusNotFound, "no such system")
+	}
+	return sys
+}
+
+func (req *SetupRequest) spec() (admission.SessionSpec, int, admission.Options, error) {
+	lMin := req.LMin
+	if lMin == 0 {
+		lMin = req.LMax
+	}
+	class := req.Class
+	if class == 0 {
+		class = 1
+	}
+	spec := admission.SessionSpec{ID: req.ID, Rate: req.Rate, LMax: req.LMax, LMin: lMin}
+	if req.ID <= 0 || req.Rate <= 0 || req.LMax <= 0 || req.Eps < 0 {
+		return spec, 0, admission.Options{}, fmt.Errorf("setup needs a positive id, rate and lmax, nonnegative eps")
+	}
+	return spec, class, admission.Options{Eps: req.Eps, PerPacket: true}, nil
+}
+
+// handleSetup is the admission fast path: one AdmitClass batch of one
+// through the rule test plus the curve gate. Rejection costs one
+// O(classes+segments) evaluation — cheap shedding under overload.
+func (d *Daemon) handleSetup(w http.ResponseWriter, r *http.Request) {
+	sys := d.lookupSystem(w, r)
+	if sys == nil {
+		return
+	}
+	var req SetupRequest
+	if !d.decode(w, r, &req) {
+		return
+	}
+	spec, class, opts, err := req.spec()
+	if err != nil {
+		d.ar.AtomicInc(metrics.HServeMalformed)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sys.mu.Lock()
+	if _, dup := sys.sessions[req.ID]; dup {
+		sys.mu.Unlock()
+		d.ar.AtomicInc(metrics.HServeDuplicates)
+		httpError(w, http.StatusConflict, "session already established")
+		return
+	}
+	batch := []admission.SessionSpec{spec}
+	var assigns []admission.Assignment
+	var ok bool
+	if sys.proc1 != nil {
+		assigns, ok = sys.proc1.AdmitClass(sys.gate, batch, class, opts)
+	} else {
+		assigns, ok = sys.proc2.AdmitClass(sys.gate, batch, class, opts)
+	}
+	if !ok {
+		sys.mu.Unlock()
+		d.ar.AtomicInc(metrics.HServeSetupRejects)
+		writeJSON(w, http.StatusConflict, SetupResponse{Accepted: false})
+		return
+	}
+	sys.sessions[req.ID] = sessionEntry{rate: spec.Rate, burst: spec.LMax}
+	delay := sys.gate.Delay()
+	sys.mu.Unlock()
+	d.ar.AtomicInc(metrics.HServeSetups)
+	writeJSON(w, http.StatusOK, SetupResponse{Accepted: true, DMax: assigns[0].DMax, DelayBound: delay})
+}
+
+func (d *Daemon) handleRelease(w http.ResponseWriter, r *http.Request) {
+	sys := d.lookupSystem(w, r)
+	if sys == nil {
+		return
+	}
+	var req ReleaseRequest
+	if !d.decode(w, r, &req) {
+		return
+	}
+	sys.mu.Lock()
+	entry, ok := sys.sessions[req.ID]
+	if !ok {
+		sys.mu.Unlock()
+		httpError(w, http.StatusNotFound, "session not established")
+		return
+	}
+	delete(sys.sessions, req.ID)
+	if sys.proc1 != nil {
+		sys.proc1.Remove(req.ID)
+	} else {
+		sys.proc2.Remove(req.ID)
+	}
+	sys.gate.Release(entry.rate, entry.burst)
+	sys.mu.Unlock()
+	d.ar.AtomicInc(metrics.HServeReleases)
+	writeJSON(w, http.StatusOK, map[string]bool{"released": true})
+}
+
+// handleAdopt registers a session established out of band (typically
+// by a previous incarnation of this daemon, before a restart): the
+// rule test runs to rebuild controller state, but the gate's delay
+// budget is not re-judged — an adopted session already exists and
+// refusing it would strand a live reservation.
+func (d *Daemon) handleAdopt(w http.ResponseWriter, r *http.Request) {
+	sys := d.lookupSystem(w, r)
+	if sys == nil {
+		return
+	}
+	var req SetupRequest
+	if !d.decode(w, r, &req) {
+		return
+	}
+	spec, class, opts, err := req.spec()
+	if err != nil {
+		d.ar.AtomicInc(metrics.HServeMalformed)
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sys.mu.Lock()
+	if _, dup := sys.sessions[req.ID]; dup {
+		sys.mu.Unlock()
+		d.ar.AtomicInc(metrics.HServeDuplicates)
+		httpError(w, http.StatusConflict, "session already established")
+		return
+	}
+	var a admission.Assignment
+	if sys.proc1 != nil {
+		a, err = sys.proc1.Admit(spec, class, opts)
+	} else {
+		a, err = sys.proc2.Admit(spec, class, opts)
+	}
+	if err != nil {
+		sys.mu.Unlock()
+		d.ar.AtomicInc(metrics.HServeSetupRejects)
+		httpError(w, http.StatusConflict, "adopt rejected: "+err.Error())
+		return
+	}
+	// Commit the gate unconditionally: adoption records, it does not
+	// re-judge.
+	sys.gate.Commit(spec.Rate, spec.LMax)
+	sys.sessions[req.ID] = sessionEntry{rate: spec.Rate, burst: spec.LMax, adopted: true}
+	sys.mu.Unlock()
+	d.ar.AtomicInc(metrics.HServeAdopts)
+	writeJSON(w, http.StatusOK, SetupResponse{Accepted: true, DMax: a.DMax, DelayBound: sys.gate.Delay()})
+}
+
+// --- stats -----------------------------------------------------------
+
+// StatsSnapshot is the daemon's JSON status document.
+type StatsSnapshot struct {
+	UptimeS   float64               `json:"uptime_s"`
+	Systems   int                   `json:"systems"`
+	QueueLen  int                   `json:"queue_len"`
+	QueueCap  int                   `json:"queue_cap"`
+	Accepting bool                  `json:"accepting"`
+	Jobs      map[string]int        `json:"jobs"`
+	Serve     metrics.ServeSnapshot `json:"serve"`
+}
+
+func (d *Daemon) handleStats(w http.ResponseWriter, r *http.Request) {
+	d.mu.Lock()
+	systems := len(d.systems)
+	d.mu.Unlock()
+	d.jmu.Lock()
+	states := map[string]int{}
+	for _, j := range d.jobs {
+		states[j.state().String()]++
+	}
+	snap := StatsSnapshot{
+		UptimeS:   time.Since(d.started).Seconds(),
+		Systems:   systems,
+		QueueLen:  len(d.queue),
+		QueueCap:  d.opts.QueueDepth,
+		Accepting: d.accepting,
+		Jobs:      states,
+		Serve:     d.reg.ServeSnapshotNow(),
+	}
+	d.jmu.Unlock()
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// retryAfter computes the 429 hint: capped exponential in the
+// consecutive-shed streak, so a persistently overloaded daemon tells
+// its clients to come back later and later.
+func (d *Daemon) retryAfter() time.Duration {
+	streak := d.shedStreak.Add(1)
+	hint := d.opts.RetryAfterBase
+	for i := int64(1); i < streak && hint < d.opts.RetryAfterCap; i++ {
+		hint *= 2
+	}
+	if hint > d.opts.RetryAfterCap {
+		hint = d.opts.RetryAfterCap
+	}
+	return hint
+}
+
+// drainBody consumes what is left of the request body so the
+// connection can be reused even on early rejection.
+func drainBody(r *http.Request) {
+	io.Copy(io.Discard, r.Body) //nolint:errcheck
+}

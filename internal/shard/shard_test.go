@@ -18,6 +18,15 @@ import (
 )
 
 // testDisc builds the Leave-in-Time discipline for one link.
+func mustMetro(tb testing.TB, cfg topo.MetroConfig) *topo.Graph {
+	tb.Helper()
+	g, err := topo.Metro(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
 func testDisc(l *topo.Link) network.Discipline {
 	return core.New(core.Config{Capacity: l.Capacity, LMax: cellBits})
 }
@@ -81,14 +90,16 @@ func sessionCfgs(links []*topo.Link) []network.SessionPort {
 // the pre-existing serial path, no shard runtime involved.
 func runSerial(t *testing.T, cfg topo.MetroConfig, dur float64) runResult {
 	t.Helper()
-	g := topo.Metro(cfg)
+	g := mustMetro(t, cfg)
 	sim := event.New()
 	net := network.New(sim, cellBits)
 	reg := metrics.NewRegistry()
 	net.EnableMetrics(reg)
 	rec := &trace.Recorder{}
 	net.Tracer = rec
-	g.Build(net, testDisc)
+	if err := g.Build(net, testDisc); err != nil {
+		t.Fatal(err)
+	}
 	var sessions []*network.Session
 	for _, pl := range testWorkload(cfg) {
 		links, err := g.RouteLinks(pl.from, pl.to)
@@ -117,7 +128,7 @@ func runSerial(t *testing.T, cfg topo.MetroConfig, dur float64) runResult {
 // runSharded executes the same workload through the shard runtime.
 func runSharded(t *testing.T, cfg topo.MetroConfig, dur float64, shards, workers int) runResult {
 	t.Helper()
-	g := topo.Metro(cfg)
+	g := mustMetro(t, cfg)
 	recs := make([]*trace.Recorder, shards)
 	rt, err := New(Config{
 		Shards: shards, LMax: cellBits, Graph: g, Disc: testDisc,
@@ -273,7 +284,7 @@ func TestShardedPoolBalance(t *testing.T) {
 }
 
 func TestRuntimeRejectsBadConfig(t *testing.T) {
-	g := topo.Metro(topo.DefaultMetro(2, 1))
+	g := mustMetro(t, topo.DefaultMetro(2, 1))
 	if _, err := New(Config{Shards: 0, LMax: cellBits, Graph: g, Disc: testDisc}); err == nil {
 		t.Fatal("Shards=0 accepted")
 	}
@@ -284,7 +295,7 @@ func TestRuntimeRejectsBadConfig(t *testing.T) {
 
 func TestRuntimeWatchdog(t *testing.T) {
 	cfg := topo.DefaultMetro(2, 1)
-	g := topo.Metro(cfg)
+	g := mustMetro(t, cfg)
 	rt, err := New(Config{
 		Shards: 2, LMax: cellBits, Graph: g, Disc: testDisc,
 		Watchdog: event.Watchdog{MaxEvents: 50},
@@ -318,7 +329,7 @@ func TestRuntimeWatchdog(t *testing.T) {
 // drain, without the coordinator spinning one barrier per window.
 func TestRuntimeFastForward(t *testing.T) {
 	cfg := topo.DefaultMetro(2, 1)
-	g := topo.Metro(cfg)
+	g := mustMetro(t, cfg)
 	rt, err := New(Config{Shards: 2, LMax: cellBits, Graph: g, Disc: testDisc})
 	if err != nil {
 		t.Fatal(err)
@@ -351,7 +362,7 @@ func BenchmarkMetroSharded(b *testing.B) {
 	for _, shards := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				g := topo.Metro(cfg)
+				g := mustMetro(b, cfg)
 				rt, err := New(Config{Shards: shards, LMax: cellBits, Graph: g, Disc: testDisc})
 				if err != nil {
 					b.Fatal(err)

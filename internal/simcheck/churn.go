@@ -265,7 +265,7 @@ func runChurn(sc *Scenario, spec discSpec, opts runOpts) (*runResult, error) {
 	res := &runResult{Name: spec.name, Reg: reg, Counts: counts}
 
 	g := scenarioGraph(sc)
-	g.Build(net, func(l *topo.Link) network.Discipline {
+	err := g.Build(net, func(l *topo.Link) network.Discipline {
 		return &checkedDisc{
 			inner:         spec.mk(sc, l),
 			disc:          spec.name,
@@ -276,6 +276,10 @@ func runChurn(sc *Scenario, spec discSpec, opts runOpts) (*runResult, error) {
 			out:           &res.Violations,
 		}
 	})
+	if err != nil {
+		// Fresh graph per run: a double Build is a harness bug.
+		panic(err)
+	}
 	adm := newAdmitters(sc)
 	res.Adm = adm
 

@@ -20,7 +20,11 @@ type topoLink = topo.Link
 func scenarioGraph(sc *Scenario) *topo.Graph {
 	g := topo.New()
 	for _, l := range sc.Topology.Links {
-		g.AddLink(l.From, l.To, l.Capacity, l.Gamma)
+		if _, err := g.AddLink(l.From, l.To, l.Capacity, l.Gamma); err != nil {
+			// Generated scenarios are valid by construction; a bad link
+			// here is a harness bug, not a checkable outcome.
+			panic(err)
+		}
 	}
 	return g
 }
@@ -262,7 +266,7 @@ func runScenario(sc *Scenario, spec discSpec, opts runOpts) (*runResult, error) 
 	res := &runResult{Name: spec.name, Reg: reg, Counts: counts}
 
 	g := scenarioGraph(sc)
-	g.Build(net, func(l *topo.Link) network.Discipline {
+	err := g.Build(net, func(l *topo.Link) network.Discipline {
 		return &checkedDisc{
 			inner:         spec.mk(sc, l),
 			disc:          spec.name,
@@ -273,6 +277,10 @@ func runScenario(sc *Scenario, spec discSpec, opts runOpts) (*runResult, error) 
 			out:           &res.Violations,
 		}
 	})
+	if err != nil {
+		// Fresh graph per run: a double Build is a harness bug.
+		panic(err)
+	}
 
 	adm := newAdmitters(sc)
 	res.Adm = adm

@@ -48,12 +48,12 @@ func MetroNode(i, j int) string { return fmt.Sprintf("r%02dn%02d", i, j) }
 // Metro generates the ring-of-rings graph: duplex backbone links
 // between consecutive hubs (closing the ring), and per ring a duplex
 // cycle hub -> n00 -> n01 -> ... -> hub.
-func Metro(cfg MetroConfig) *Graph {
+func Metro(cfg MetroConfig) (*Graph, error) {
 	if cfg.Rings < 1 || cfg.RingSize < 1 {
-		panic("topo: metro needs at least one ring with one access switch")
+		return nil, fmt.Errorf("topo: metro needs at least one ring with one access switch, got %d rings of %d", cfg.Rings, cfg.RingSize)
 	}
 	if cfg.Rings > 100 || cfg.RingSize > 100 {
-		panic("topo: metro naming supports at most 100 rings of 100 switches")
+		return nil, fmt.Errorf("topo: metro naming supports at most 100 rings of 100 switches, got %d rings of %d", cfg.Rings, cfg.RingSize)
 	}
 	g := New()
 	for i := 0; i < cfg.Rings; i++ {
@@ -61,13 +61,17 @@ func Metro(cfg MetroConfig) *Graph {
 		prev := hub
 		for j := 0; j < cfg.RingSize; j++ {
 			n := MetroNode(i, j)
-			g.AddDuplex(prev, n, cfg.RingCapacity, cfg.RingGamma)
+			if _, _, err := g.AddDuplex(prev, n, cfg.RingCapacity, cfg.RingGamma); err != nil {
+				return nil, err
+			}
 			prev = n
 		}
 		if cfg.RingSize > 1 {
 			// Close the local ring (a single access switch already has
 			// its duplex pair to the hub).
-			g.AddDuplex(prev, hub, cfg.RingCapacity, cfg.RingGamma)
+			if _, _, err := g.AddDuplex(prev, hub, cfg.RingCapacity, cfg.RingGamma); err != nil {
+				return nil, err
+			}
 		}
 	}
 	for i := 0; i < cfg.Rings; i++ {
@@ -80,7 +84,9 @@ func Metro(cfg MetroConfig) *Graph {
 				break
 			}
 		}
-		g.AddDuplex(MetroHub(i), MetroHub(next), cfg.BackboneCapacity, cfg.BackboneGamma)
+		if _, _, err := g.AddDuplex(MetroHub(i), MetroHub(next), cfg.BackboneCapacity, cfg.BackboneGamma); err != nil {
+			return nil, err
+		}
 	}
-	return g
+	return g, nil
 }

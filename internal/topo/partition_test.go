@@ -6,8 +6,38 @@ import (
 	"testing"
 )
 
+func mustMetro(t *testing.T, cfg MetroConfig) *Graph {
+	t.Helper()
+	g, err := Metro(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestMetroValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  MetroConfig
+	}{
+		{"zero rings", DefaultMetro(0, 3)},
+		{"zero ring size", DefaultMetro(3, 0)},
+		{"too many rings", DefaultMetro(101, 3)},
+		{"too many switches", DefaultMetro(3, 101)},
+		{"negative ring capacity", MetroConfig{Rings: 2, RingSize: 2, BackboneCapacity: 1e6, RingCapacity: -1}},
+		{"zero backbone capacity", MetroConfig{Rings: 3, RingSize: 2, BackboneCapacity: 0, RingCapacity: 1e6}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if g, err := Metro(tc.cfg); err == nil {
+				t.Errorf("invalid config accepted: %d nodes", len(g.Nodes()))
+			}
+		})
+	}
+}
+
 func TestPartitionInvariants(t *testing.T) {
-	g := Metro(DefaultMetro(4, 3))
+	g := mustMetro(t, DefaultMetro(4, 3))
 	for _, k := range []int{1, 2, 3, 4, 8} {
 		p, err := g.Partition(k)
 		if err != nil {
@@ -46,7 +76,7 @@ func TestPartitionInvariants(t *testing.T) {
 }
 
 func TestPartitionDeterministic(t *testing.T) {
-	g := Metro(DefaultMetro(6, 4))
+	g := mustMetro(t, DefaultMetro(6, 4))
 	a, err := g.Partition(3)
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +95,7 @@ func TestPartitionMetroAlignsWithRings(t *testing.T) {
 	// keeps every local ring whole: only backbone links are cut, so
 	// the lookahead is the backbone propagation delay.
 	cfg := DefaultMetro(4, 5)
-	g := Metro(cfg)
+	g := mustMetro(t, cfg)
 	p, err := g.Partition(2)
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +145,7 @@ func TestPartitionContractsZeroDelayLinks(t *testing.T) {
 }
 
 func TestPartitionRejectsBadShardCount(t *testing.T) {
-	g := Metro(DefaultMetro(2, 2))
+	g := mustMetro(t, DefaultMetro(2, 2))
 	if _, err := g.Partition(0); err == nil {
 		t.Fatal("Partition(0) succeeded")
 	}
@@ -126,7 +156,7 @@ func TestPartitionRejectsBadShardCount(t *testing.T) {
 
 func TestMetroShape(t *testing.T) {
 	cfg := DefaultMetro(3, 4)
-	g := Metro(cfg)
+	g := mustMetro(t, cfg)
 	wantNodes := cfg.Rings * (cfg.RingSize + 1)
 	if got := len(g.Nodes()); got != wantNodes {
 		t.Fatalf("%d nodes, want %d", got, wantNodes)
@@ -154,7 +184,7 @@ func TestMetroShape(t *testing.T) {
 
 func TestMetroTwoRings(t *testing.T) {
 	// Rings=2 must produce exactly one backbone duplex pair, not two.
-	g := Metro(DefaultMetro(2, 1))
+	g := mustMetro(t, DefaultMetro(2, 1))
 	back := 0
 	for _, l := range g.Links() {
 		if l.Gamma == DefaultMetro(2, 1).BackboneGamma {
@@ -167,7 +197,7 @@ func TestMetroTwoRings(t *testing.T) {
 }
 
 func TestMetroOneRing(t *testing.T) {
-	g := Metro(DefaultMetro(1, 3))
+	g := mustMetro(t, DefaultMetro(1, 3))
 	for _, l := range g.Links() {
 		if l.Gamma != DefaultMetro(1, 3).RingGamma {
 			t.Fatalf("single-ring metro has a backbone link %s->%s", l.From, l.To)

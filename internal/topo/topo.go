@@ -40,22 +40,26 @@ func New() *Graph {
 }
 
 // AddNode declares a node. Nodes referenced by AddLink are declared
-// implicitly; explicit declaration documents intent.
-func (g *Graph) AddNode(name string) {
+// implicitly; explicit declaration documents intent. An empty name is
+// reported as an error and leaves the graph unchanged.
+func (g *Graph) AddNode(name string) error {
 	if name == "" {
-		panic("topo: empty node name")
+		return fmt.Errorf("topo: empty node name")
 	}
 	g.nodes[name] = true
+	return nil
 }
 
 // AddLink adds a directed link and returns it. Weight 0 defaults to
-// Gamma, and to 1 if Gamma is also 0.
-func (g *Graph) AddLink(from, to string, capacity, gamma float64) *Link {
+// Gamma, and to 1 if Gamma is also 0. Invalid parameters (missing or
+// identical endpoints, nonpositive capacity) are reported as an error
+// and leave the graph unchanged.
+func (g *Graph) AddLink(from, to string, capacity, gamma float64) (*Link, error) {
 	if from == "" || to == "" || from == to {
-		panic("topo: links need two distinct named endpoints")
+		return nil, fmt.Errorf("topo: link %q -> %q needs two distinct named endpoints", from, to)
 	}
 	if capacity <= 0 {
-		panic("topo: link capacity must be positive")
+		return nil, fmt.Errorf("topo: link %s -> %s capacity must be positive, got %g", from, to, capacity)
 	}
 	g.nodes[from] = true
 	g.nodes[to] = true
@@ -64,25 +68,36 @@ func (g *Graph) AddLink(from, to string, capacity, gamma float64) *Link {
 		l.Weight = 1
 	}
 	g.links = append(g.links, l)
-	return l
+	return l, nil
 }
 
 // AddDuplex adds both directions with the same parameters.
-func (g *Graph) AddDuplex(a, b string, capacity, gamma float64) (ab, ba *Link) {
-	return g.AddLink(a, b, capacity, gamma), g.AddLink(b, a, capacity, gamma)
+func (g *Graph) AddDuplex(a, b string, capacity, gamma float64) (ab, ba *Link, err error) {
+	if ab, err = g.AddLink(a, b, capacity, gamma); err != nil {
+		return nil, nil, err
+	}
+	if ba, err = g.AddLink(b, a, capacity, gamma); err != nil {
+		return nil, nil, err
+	}
+	return ab, ba, nil
 }
 
 // DisciplineFactory creates the scheduler for one link.
 type DisciplineFactory func(l *Link) network.Discipline
 
-// Build materializes one port per link on the given network.
-func (g *Graph) Build(net *network.Network, mk DisciplineFactory) {
+// Build materializes one port per link on the given network. Building
+// a graph twice is reported as an error (a built link already holds a
+// live port).
+func (g *Graph) Build(net *network.Network, mk DisciplineFactory) error {
 	for _, l := range g.links {
 		if l.Port != nil {
-			panic("topo: Build called twice")
+			return fmt.Errorf("topo: Build called twice (link %s -> %s already has a port)", l.From, l.To)
 		}
+	}
+	for _, l := range g.links {
 		l.Port = net.NewPort(fmt.Sprintf("%s->%s", l.From, l.To), l.Capacity, l.Gamma, mk(l))
 	}
+	return nil
 }
 
 // Route returns the ports of the minimum-weight path from src to dst

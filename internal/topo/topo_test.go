@@ -71,7 +71,9 @@ func TestBuildAndRunTraffic(t *testing.T) {
 	g.AddDuplex("corex", "edge2", 10e6, 1e-3)
 	sim := event.New()
 	net := network.New(sim, 8000)
-	g.Build(net, litFactory(8000))
+	if err := g.Build(net, litFactory(8000)); err != nil {
+		t.Fatal(err)
+	}
 
 	route, err := g.Route("edge1", "edge2")
 	if err != nil {
@@ -106,20 +108,49 @@ func TestRouteBeforeBuild(t *testing.T) {
 }
 
 func TestValidation(t *testing.T) {
-	for i, fn := range []func(){
-		func() { New().AddLink("", "b", 1, 0) },
-		func() { New().AddLink("a", "a", 1, 0) },
-		func() { New().AddLink("a", "b", 0, 0) },
-		func() { New().AddNode("") },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Errorf("case %d did not panic", i)
-				}
-			}()
-			fn()
-		}()
+	cases := []struct {
+		name string
+		fn   func(g *Graph) error
+	}{
+		{"empty from", func(g *Graph) error { _, err := g.AddLink("", "b", 1, 0); return err }},
+		{"empty to", func(g *Graph) error { _, err := g.AddLink("a", "", 1, 0); return err }},
+		{"self loop", func(g *Graph) error { _, err := g.AddLink("a", "a", 1, 0); return err }},
+		{"zero capacity", func(g *Graph) error { _, err := g.AddLink("a", "b", 0, 0); return err }},
+		{"negative capacity", func(g *Graph) error { _, err := g.AddLink("a", "b", -1, 0); return err }},
+		{"empty node", func(g *Graph) error { return g.AddNode("") }},
+		{"duplex empty endpoint", func(g *Graph) error { _, _, err := g.AddDuplex("", "b", 1, 0); return err }},
+		{"duplex self loop", func(g *Graph) error { _, _, err := g.AddDuplex("a", "a", 1, 0); return err }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := New()
+			if err := tc.fn(g); err == nil {
+				t.Error("invalid input accepted")
+			}
+			// A rejected call must leave the graph untouched.
+			if len(g.Links()) != 0 || len(g.Nodes()) != 0 {
+				t.Errorf("rejected call mutated graph: nodes=%v links=%d", g.Nodes(), len(g.Links()))
+			}
+		})
+	}
+}
+
+func TestBuildTwiceErrors(t *testing.T) {
+	g := New()
+	if _, err := g.AddLink("a", "b", 1e6, 1e-3); err != nil {
+		t.Fatal(err)
+	}
+	sim := event.New()
+	net := network.New(sim, 8000)
+	if err := g.Build(net, litFactory(8000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Build(net, litFactory(8000)); err == nil {
+		t.Error("second Build did not error")
+	}
+	// A failed second Build must not have replaced the live ports.
+	if g.Links()[0].Port == nil {
+		t.Error("failed Build cleared the existing port")
 	}
 }
 

@@ -53,6 +53,64 @@ func TestPerHopDelays(t *testing.T) {
 	}
 }
 
+// failAfter fails every write after the first n.
+type failAfter struct {
+	n    int
+	errs int
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		f.errs++
+		return 0, errWriteFailed
+	}
+	f.n--
+	return len(p), nil
+}
+
+var errWriteFailed = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "sink failed" }
+
+// TestWriterErrorRetention pins the audit result for the panic sweep:
+// Writer never panics on a failing sink — it retains the first write
+// error in Err and silently drops every subsequent event.
+func TestWriterErrorRetention(t *testing.T) {
+	cases := []struct {
+		name      string
+		okWrites  int
+		events    int
+		wantErrs  int // writes attempted after the sink starts failing
+		wantAfter bool
+	}{
+		{"first write fails", 0, 3, 1, true},
+		{"second write fails", 1, 3, 1, true},
+		{"no failure", 3, 3, 0, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sink := &failAfter{n: tc.okWrites}
+			w := &Writer{W: sink}
+			for i := 0; i < tc.events; i++ {
+				w.Trace(Event{Time: float64(i), Kind: Arrive, Port: "p", Session: 1})
+			}
+			if tc.wantAfter && w.Err == nil {
+				t.Fatal("write error not retained")
+			}
+			if !tc.wantAfter && w.Err != nil {
+				t.Fatalf("unexpected Err: %v", w.Err)
+			}
+			// Only the first failing write reaches the sink; later
+			// events are dropped before touching it.
+			if sink.errs != tc.wantErrs {
+				t.Errorf("sink saw %d failing writes, want %d", sink.errs, tc.wantErrs)
+			}
+		})
+	}
+}
+
 func TestWriterFormatAndFilter(t *testing.T) {
 	var sb strings.Builder
 	w := &Writer{W: &sb, Sessions: []int{7}}

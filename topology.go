@@ -5,12 +5,13 @@ import "leaveintime/internal/topo"
 // General topologies: named nodes, directed links, shortest-path
 // routing, materialized onto ports. The paper's experiments use the
 // Figure 6 tandem; Graph lets library users deploy Leave-in-Time on
-// arbitrary networks:
+// arbitrary networks. Construction reports invalid input (empty or
+// duplicate endpoints, nonpositive capacity, double Build) as errors:
 //
 //	g := lit.NewGraph()
-//	g.AddDuplex("sea", "chi", 45e6, 12e-3)
-//	g.AddDuplex("chi", "nyc", 45e6, 8e-3)
-//	g.Build(net, func(l *lit.Link) lit.Discipline {
+//	if _, _, err := g.AddDuplex("sea", "chi", 45e6, 12e-3); err != nil { ... }
+//	if _, _, err := g.AddDuplex("chi", "nyc", 45e6, 8e-3); err != nil { ... }
+//	err := g.Build(net, func(l *lit.Link) lit.Discipline {
 //		return lit.NewLeaveInTime(lit.LeaveInTimeConfig{Capacity: l.Capacity, LMax: lMax})
 //	})
 //	route, err := g.Route("sea", "nyc")
